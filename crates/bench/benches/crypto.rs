@@ -1,0 +1,72 @@
+//! Microbenchmarks of the from-scratch BLS12-381 substrate. These measured
+//! costs calibrate the discrete-event simulator's `CostModel` (relative
+//! magnitudes; see DESIGN.md §3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iniva_crypto::bls::BlsScheme;
+use iniva_crypto::multisig::VoteScheme;
+use iniva_crypto::sim_scheme::SimScheme;
+use iniva_crypto::{g1, g2, pairing, sha256};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bls12-381");
+    g.sample_size(10);
+
+    let scheme = BlsScheme::new(8, b"bench");
+    let msg = b"benchmark block";
+
+    g.bench_function("sha256_1kib", |b| {
+        let data = vec![0xa5u8; 1024];
+        b.iter(|| sha256::sha256(black_box(&data)))
+    });
+    g.bench_function("hash_to_g1", |b| b.iter(|| g1::hash_to_curve(black_box(msg))));
+    g.bench_function("g1_scalar_mul", |b| {
+        let p = g1::generator();
+        b.iter(|| black_box(&p).mul_u64(0xdead_beef_1234))
+    });
+    g.bench_function("pairing", |b| {
+        let p = g1::generator();
+        let q = g2::generator();
+        b.iter(|| pairing::pairing(black_box(&p), black_box(&q)))
+    });
+    g.bench_function("bls_sign", |b| b.iter(|| scheme.sign(0, black_box(msg))));
+    g.bench_function("bls_verify_single", |b| {
+        let sig = scheme.sign(0, msg);
+        b.iter(|| assert!(scheme.verify(black_box(msg), &sig)))
+    });
+    g.bench_function("bls_aggregate_4_with_multiplicity", |b| {
+        let sigs: Vec<_> = (0..4).map(|i| scheme.sign(i, msg)).collect();
+        b.iter(|| {
+            let mut agg = scheme.scale(&sigs[0], 2);
+            for s in &sigs[1..] {
+                agg = scheme.combine(&agg, &scheme.scale(s, 2));
+            }
+            agg
+        })
+    });
+    g.bench_function("bls_verify_aggregate_4", |b| {
+        let mut agg = scheme.sign(0, msg);
+        for i in 1..4 {
+            agg = scheme.combine(&agg, &scheme.sign(i, msg));
+        }
+        b.iter(|| assert!(scheme.verify(black_box(msg), &agg)))
+    });
+    g.finish();
+
+    // Ablation: the simulation scheme used by Monte-Carlo experiments.
+    let mut g = c.benchmark_group("sim-scheme-ablation");
+    let sim = SimScheme::new(8, b"bench");
+    g.bench_function("sim_sign", |b| b.iter(|| sim.sign(0, black_box(msg))));
+    g.bench_function("sim_verify_aggregate_4", |b| {
+        let mut agg = sim.sign(0, msg);
+        for i in 1..4 {
+            agg = sim.combine(&agg, &sim.sign(i, msg));
+        }
+        b.iter(|| assert!(sim.verify(black_box(msg), &agg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

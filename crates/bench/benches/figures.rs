@@ -1,0 +1,68 @@
+//! One Criterion benchmark per paper artifact: each runs a reduced-scale
+//! version of the experiment that regenerates the table/figure (full-scale
+//! rows are printed by `cargo run --release --example paper_figures`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iniva_gosig::GosigConfig;
+use iniva_sim::{omission, perf, resilience, reward_sim, table1};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper-artifacts");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(table1::table_1(500, 42)))
+    });
+    g.bench_function("fig2a_omission_collateral0", |b| {
+        b.iter(|| black_box(omission::figure_2a(300, 42)))
+    });
+    g.bench_function("fig2b_omission_vs_collateral", |b| {
+        b.iter(|| black_box(omission::figure_2b(200, 42)))
+    });
+    g.bench_function("fig2c_reward_deviation", |b| {
+        b.iter(|| black_box(reward_sim::figure_2c(200, 42)))
+    });
+    g.bench_function("fig2d_branch_collateral_cost", |b| {
+        b.iter(|| black_box(reward_sim::figure_2d(200, 42)))
+    });
+    g.bench_function("fig3a_throughput_latency_point", |b| {
+        b.iter(|| {
+            black_box(perf::run(&perf::PerfParams {
+                duration_secs: 3,
+                ..perf::PerfParams::base(perf::Protocol::Iniva, 64, 100, 20_000)
+            }))
+        })
+    });
+    g.bench_function("fig3b_cpu_point", |b| {
+        b.iter(|| {
+            black_box(perf::run(&perf::PerfParams {
+                duration_secs: 3,
+                ..perf::PerfParams::base(perf::Protocol::HotStuff, 64, 100, 20_000)
+            }))
+        })
+    });
+    g.bench_function("fig3c_scalability_point_n61", |b| {
+        b.iter(|| {
+            black_box(perf::run(&perf::PerfParams {
+                n: 61,
+                internal: 8,
+                duration_secs: 3,
+                ..perf::PerfParams::base(perf::Protocol::Iniva, 64, 100, 20_000)
+            }))
+        })
+    });
+    g.bench_function("fig4_resilience_cell", |b| {
+        b.iter(|| black_box(resilience::run(resilience::Variant::Delta5, 2, 3, 7)))
+    });
+    g.bench_function("gosig_single_instance", |b| {
+        use rand::SeedableRng;
+        let cfg = GosigConfig::paper(2, 0.1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| black_box(iniva_gosig::simulate(&cfg, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Block store, the chained-HotStuff commit rule and chain metrics.
+
+use crate::types::{Block, BlockHash, Qc, GENESIS_HASH};
+use iniva_crypto::multisig::VoteScheme;
+use iniva_net::Time;
+use std::collections::HashMap;
+
+/// Per-chain metrics harvested by the experiment harness.
+#[derive(Debug, Clone, Default)]
+pub struct ChainMetrics {
+    /// Committed client requests.
+    pub committed_reqs: u64,
+    /// Sum of request latencies (commit time − arrival time), ns.
+    pub latency_sum: u128,
+    /// Committed blocks.
+    pub committed_blocks: u64,
+    /// Sum of distinct signers over all QCs formed/observed.
+    pub qc_signers_sum: u64,
+    /// Number of QCs counted in `qc_signers_sum`.
+    pub qc_count: u64,
+    /// Views entered via timeout (failed views).
+    pub failed_views: u64,
+    /// Total views entered.
+    pub total_views: u64,
+}
+
+impl ChainMetrics {
+    /// Mean request latency in nanoseconds (0 if nothing committed).
+    pub fn mean_latency(&self) -> f64 {
+        if self.committed_reqs == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.committed_reqs as f64
+        }
+    }
+
+    /// Mean QC size (distinct signers).
+    pub fn mean_qc_size(&self) -> f64 {
+        if self.qc_count == 0 {
+            0.0
+        } else {
+            self.qc_signers_sum as f64 / self.qc_count as f64
+        }
+    }
+
+    /// Fraction of views that failed.
+    pub fn failed_view_fraction(&self) -> f64 {
+        if self.total_views == 0 {
+            0.0
+        } else {
+            self.failed_views as f64 / self.total_views as f64
+        }
+    }
+}
+
+/// The replica-local chain: stores blocks, tracks the highest QC and applies
+/// the chained-HotStuff three-chain commit rule.
+pub struct ChainState<S: VoteScheme> {
+    blocks: HashMap<BlockHash, Block>,
+    /// QC over the highest block seen (`None` until the first QC, which
+    /// conceptually certifies genesis).
+    highest_qc: Option<Qc<S>>,
+    committed_height: u64,
+    /// Request arrival model: arrival_time(i) = i * ns_per_req.
+    ns_per_req: Time,
+    /// Next uncommitted request sequence number.
+    next_req: u64,
+    /// Metrics.
+    pub metrics: ChainMetrics,
+}
+
+impl<S: VoteScheme> ChainState<S> {
+    /// Creates a chain containing only genesis. `request_rate_per_sec` models
+    /// the open-loop client workload (0 = no clients).
+    pub fn new(request_rate_per_sec: u64) -> Self {
+        let mut blocks = HashMap::new();
+        blocks.insert(GENESIS_HASH, Block::genesis());
+        ChainState {
+            blocks,
+            highest_qc: None,
+            committed_height: 0,
+            ns_per_req: if request_rate_per_sec == 0 {
+                0
+            } else {
+                1_000_000_000 / request_rate_per_sec
+            },
+            next_req: 0,
+            metrics: ChainMetrics::default(),
+        }
+    }
+
+    /// `(hash, height)` of the chain tip certified by the highest known QC
+    /// (genesis if none). Always available even when the certified block
+    /// itself has not been delivered (a replica may learn a QC from the
+    /// next proposal without ever seeing the block it certifies).
+    pub fn high_tip(&self) -> (BlockHash, u64) {
+        match &self.highest_qc {
+            None => (GENESIS_HASH, 0),
+            Some(qc) => (qc.block_hash, qc.height),
+        }
+    }
+
+    /// The block certified by the highest known QC, if it was delivered
+    /// (genesis if no QC is known yet).
+    pub fn high_block(&self) -> Option<&Block> {
+        let (hash, _) = self.high_tip();
+        self.blocks.get(&hash)
+    }
+
+    /// The highest QC, if any.
+    pub fn highest_qc(&self) -> Option<&Qc<S>> {
+        self.highest_qc.as_ref()
+    }
+
+    /// Highest committed height.
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, h: &BlockHash) -> Option<&Block> {
+        self.blocks.get(h)
+    }
+
+    /// Inserts a block (idempotent).
+    pub fn insert_block(&mut self, b: Block) {
+        self.blocks.entry(b.hash()).or_insert(b);
+    }
+
+    /// Drafts the next block for `view`, batching up to `max_batch` pending
+    /// requests that have arrived by `now`.
+    pub fn draft_block(
+        &self,
+        view: u64,
+        proposer: u32,
+        now: Time,
+        max_batch: u32,
+        payload_per_req: u32,
+    ) -> Block {
+        let (parent_hash, parent_height) = self.high_tip();
+        let mut batch_len = 0u32;
+        if self.ns_per_req > 0 {
+            let arrived = now / self.ns_per_req + 1; // requests 0..arrived
+            let pending = arrived.saturating_sub(self.next_req);
+            batch_len = pending.min(max_batch as u64) as u32;
+        }
+        Block {
+            view,
+            height: parent_height + 1,
+            parent: parent_hash,
+            proposer,
+            batch_start: self.next_req,
+            batch_len,
+            payload_per_req,
+        }
+    }
+
+    /// Records a freshly formed or observed QC; updates the high QC and runs
+    /// the three-chain commit rule. Returns the newly committed height, if
+    /// any.
+    ///
+    /// Three-chain rule (chained HotStuff): a QC for block `b` with
+    /// `b.parent = b1`, `b1.parent = b2` and consecutive views
+    /// (`b.view == b1.view + 1 == b2.view + 2`) commits `b2` and its
+    /// ancestors.
+    pub fn on_qc(&mut self, qc: Qc<S>, now: Time, scheme: &S) -> Option<u64> {
+        self.metrics.qc_signers_sum += qc.signer_count(scheme) as u64;
+        self.metrics.qc_count += 1;
+        let better = match &self.highest_qc {
+            None => true,
+            Some(old) => qc.height > old.height,
+        };
+        if !better {
+            return None;
+        }
+        self.highest_qc = Some(qc);
+        let qc = self.highest_qc.as_ref().unwrap();
+        let b = self.blocks.get(&qc.block_hash)?.clone();
+        let b1 = self.blocks.get(&b.parent)?.clone();
+        let b2 = self.blocks.get(&b1.parent)?.clone();
+        if b.view == b1.view + 1 && b1.view == b2.view + 1 && b2.height > self.committed_height {
+            let target = b2.height;
+            self.commit_chain(&b2, now);
+            return Some(target);
+        }
+        None
+    }
+
+    fn commit_chain(&mut self, tip: &Block, now: Time) {
+        // Commit tip and all uncommitted ancestors (recursively, oldest
+        // first for metric ordering; order does not affect the totals).
+        let mut chain = Vec::new();
+        let mut cur = tip.clone();
+        while cur.height > self.committed_height {
+            chain.push(cur.clone());
+            match self.blocks.get(&cur.parent) {
+                Some(p) => cur = p.clone(),
+                None => break,
+            }
+        }
+        for b in chain.iter().rev() {
+            self.metrics.committed_blocks += 1;
+            self.metrics.committed_reqs += b.batch_len as u64;
+            if self.ns_per_req > 0 {
+                for i in 0..b.batch_len as u64 {
+                    let arrival = (b.batch_start + i) * self.ns_per_req;
+                    self.metrics.latency_sum += now.saturating_sub(arrival) as u128;
+                }
+            }
+            self.next_req = self.next_req.max(b.batch_start + b.batch_len as u64);
+        }
+        self.committed_height = tip.height;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::vote_message;
+    use iniva_crypto::sim_scheme::SimScheme;
+
+    fn scheme() -> SimScheme {
+        SimScheme::new(4, b"chain-test")
+    }
+
+    fn qc_for(s: &SimScheme, b: &Block) -> Qc<SimScheme> {
+        let msg = vote_message(&b.hash(), b.view);
+        let mut agg = s.sign(0, &msg);
+        for i in 1..3 {
+            agg = s.combine(&agg, &s.sign(i, &msg));
+        }
+        Qc {
+            block_hash: b.hash(),
+            view: b.view,
+            height: b.height,
+            agg,
+        }
+    }
+
+    fn extend(chain: &mut ChainState<SimScheme>, view: u64, s: &SimScheme) -> Block {
+        let b = chain.draft_block(view, 0, 0, 0, 0);
+        chain.insert_block(b.clone());
+        chain.on_qc(qc_for(s, &b), 1000, s);
+        b
+    }
+
+    #[test]
+    fn three_consecutive_views_commit() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        extend(&mut chain, 1, &s);
+        assert_eq!(chain.committed_height(), 0);
+        extend(&mut chain, 2, &s);
+        assert_eq!(chain.committed_height(), 0);
+        extend(&mut chain, 3, &s);
+        // Blocks at views 1,2,3: the QC for view 3 commits the view-1 block.
+        assert_eq!(chain.committed_height(), 1);
+        extend(&mut chain, 4, &s);
+        assert_eq!(chain.committed_height(), 2);
+    }
+
+    #[test]
+    fn view_gap_delays_commit() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        extend(&mut chain, 1, &s);
+        extend(&mut chain, 2, &s);
+        extend(&mut chain, 5, &s); // gap: 2 -> 5
+        assert_eq!(chain.committed_height(), 0, "non-consecutive views must not commit");
+        extend(&mut chain, 6, &s);
+        assert_eq!(chain.committed_height(), 0);
+        extend(&mut chain, 7, &s);
+        // 5,6,7 consecutive: commits the block from view 5 (height 3).
+        assert_eq!(chain.committed_height(), 3);
+    }
+
+    #[test]
+    fn batching_respects_arrival_times() {
+        let chain: ChainState<SimScheme> = ChainState::new(1000); // 1 req/ms
+        // At t = 10 ms, 11 requests have arrived (0..=10).
+        let b = chain.draft_block(1, 0, 10_000_000, 100, 64);
+        assert_eq!(b.batch_len, 11);
+        // Batch cap applies.
+        let b = chain.draft_block(1, 0, 1_000_000_000, 100, 64);
+        assert_eq!(b.batch_len, 100);
+    }
+
+    #[test]
+    fn committed_requests_accumulate_latency() {
+        let s = scheme();
+        let mut chain = ChainState::new(1_000_000); // 1 req/µs
+        for v in 1..=4 {
+            let b = chain.draft_block(v, 0, v * 1_000_000, 10, 64);
+            chain.insert_block(b.clone());
+            chain.on_qc(qc_for(&s, &b), v * 1_000_000 + 500_000, &s);
+        }
+        assert!(chain.metrics.committed_reqs > 0);
+        assert!(chain.metrics.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn stale_qc_does_not_regress() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        let b1 = extend(&mut chain, 1, &s);
+        extend(&mut chain, 2, &s);
+        let high = chain.high_block().unwrap().height;
+        // Replaying the old QC must not move the high block backwards.
+        chain.on_qc(qc_for(&s, &b1), 99, &s);
+        assert_eq!(chain.high_block().unwrap().height, high);
+    }
+}

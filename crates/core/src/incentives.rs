@@ -1,0 +1,283 @@
+//! Game-theoretic incentive analysis (paper Section VI).
+//!
+//! The system is modeled as a two-player game between an honest player
+//! `p_h` and an attacker `p_a` controlling a fraction `m < 0.5` of the
+//! committee. Strategies are `S(e_l, e_v, e_a, e_p)`:
+//!
+//! * `e_l` — **vote omission**: as leader, omit `e_l·n` of the other
+//!   player's votes (bounded by `e_l ≤ f` for a valid block);
+//! * `e_v` — **vote denial**: `e_v·n` controlled processes do not vote;
+//! * `e_a` — **aggregation denial**: `e_a·n` controlled leaves bypass their
+//!   parent and reply via 2ND-CHANCE instead (punished);
+//! * `e_p` — **aggregation omission**: controlled internal processes skip
+//!   aggregating `e_p·n` signatures of the other player (punishing them).
+//!
+//! Each attack forfeits some of the attacker's reward; forfeited and
+//! punished rewards are redistributed evenly, of which the attacker
+//! recovers only a fraction `m`. The utilities below are per-round payoff
+//! *changes* relative to honest behavior `S0 = S(0,0,0,0)` in units of the
+//! block reward `R`; Theorem 3 states every strategy is dominated by `S0`
+//! whenever Equations 3 and 5 hold.
+
+use crate::rewards::RewardParams;
+
+/// The fault-tolerance fraction (the paper uses `f = 1/3`).
+pub const F: f64 = 1.0 / 3.0;
+
+/// A strategy `S(e_l, e_v, e_a, e_p)` (all parameters are fractions of `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Strategy {
+    /// Votes omitted by a controlled leader.
+    pub el: f64,
+    /// Controlled processes refraining from voting.
+    pub ev: f64,
+    /// Controlled leaves denying aggregation (2ND-CHANCE instead).
+    pub ea: f64,
+    /// Signatures of others left unaggregated by controlled internals.
+    pub ep: f64,
+}
+
+impl Strategy {
+    /// The honest strategy `S0`.
+    pub const HONEST: Strategy = Strategy {
+        el: 0.0,
+        ev: 0.0,
+        ea: 0.0,
+        ep: 0.0,
+    };
+}
+
+/// Equation 3: the leader-bonus lower bound that makes vote omission
+/// unprofitable: `b_l > m·f / (1 - m + m·f)`.
+pub fn eq3_vote_omission_bound(m: f64, f: f64) -> f64 {
+    m * f / (1.0 - m + m * f)
+}
+
+/// Equation 5: the leader-bonus upper bound that makes vote denial
+/// unprofitable: `b_l < f(1 - b_a - m) / (m + f - m·f)`.
+pub fn eq5_vote_denial_bound(ba: f64, m: f64, f: f64) -> f64 {
+    f * (1.0 - ba - m) / (m + f - m * f)
+}
+
+/// True when the reward parameters satisfy both bounds for attacker power
+/// `m` (and hence Theorem 3 applies).
+pub fn incentive_compatible(params: &RewardParams, m: f64, f: f64) -> bool {
+    params.leader_bonus > eq3_vote_omission_bound(m, f)
+        && params.leader_bonus < eq5_vote_denial_bound(params.aggregation_bonus, m, f)
+}
+
+/// Utility change (in units of `R`) for the **vote omission** part
+/// `S(e_l, 0, 0, 0)`: the leader loses `e_l/f·b_l` of the variational bonus
+/// but recovers `m` of everything redistributed
+/// (`e_l/f·b_l + e_l·b_a + e_l·b_v`).
+pub fn utility_vote_omission(params: &RewardParams, m: f64, f: f64, el: f64) -> f64 {
+    let bl = params.leader_bonus;
+    let ba = params.aggregation_bonus;
+    let bv = params.voting();
+    -el / f * bl + m * (el / f * bl + el * ba + el * bv)
+}
+
+/// Utility change for the **vote denial** part `S(0, e_v, 0, 0)`: the
+/// player forfeits the voting reward of `e_v·n` processes; the leader bonus
+/// shrinkage `e_v/f·b_l` and aggregation bonus `e_v·b_a` (both belonging to
+/// the *other* player) are redistributed along with the lost voting reward.
+pub fn utility_vote_denial(params: &RewardParams, m: f64, f: f64, ev: f64) -> f64 {
+    let bl = params.leader_bonus;
+    let ba = params.aggregation_bonus;
+    let bv = params.voting();
+    -ev * bv + m * (ev / f * bl + ev * ba + ev * bv)
+}
+
+/// Utility change for **aggregation denial** `S(0, 0, e_a, 0)`: the player
+/// is punished `e_a·b_a` (reduced voting reward); punishment plus the denied
+/// aggregation bonus are redistributed.
+pub fn utility_aggregation_denial(params: &RewardParams, m: f64, ea: f64) -> f64 {
+    let ba = params.aggregation_bonus;
+    -ea * ba + m * (2.0 * ea * ba)
+}
+
+/// Utility change for **aggregation omission** `S(0, 0, 0, e_p)`: the
+/// controlled internal forfeits `e_p·b_a` of aggregation bonus; the bonus
+/// and the punished leaves' reductions are redistributed.
+pub fn utility_aggregation_omission(params: &RewardParams, m: f64, ep: f64) -> f64 {
+    let ba = params.aggregation_bonus;
+    -ep * ba + m * (2.0 * ep * ba)
+}
+
+/// Total utility change of strategy `s` relative to honest play (the attack
+/// components are additive — paper proof of Theorem 3: "the redistributed
+/// and lost rewards for different attacks sum up").
+pub fn utility(params: &RewardParams, m: f64, f: f64, s: &Strategy) -> f64 {
+    utility_vote_omission(params, m, f, s.el)
+        + utility_vote_denial(params, m, f, s.ev)
+        + utility_aggregation_denial(params, m, s.ea)
+        + utility_aggregation_omission(params, m, s.ep)
+}
+
+/// Theorem 3 as a checkable predicate: every strategy in a grid of
+/// resolution `steps` is dominated by `S0`. Returns the first
+/// counterexample, if any.
+pub fn find_dominating_strategy(
+    params: &RewardParams,
+    m: f64,
+    f: f64,
+    steps: usize,
+) -> Option<(Strategy, f64)> {
+    let grid = |i: usize, max: f64| i as f64 / steps as f64 * max;
+    for i in 0..=steps {
+        for j in 0..=steps {
+            for k in 0..=steps {
+                for l in 0..=steps {
+                    let s = Strategy {
+                        el: grid(i, f), // valid blocks require e_l ≤ f
+                        ev: grid(j, m),
+                        ea: grid(k, m),
+                        ep: grid(l, 1.0 - m),
+                    };
+                    let u = utility(params, m, f, &s);
+                    if u > 1e-12 {
+                        return Some((s, u));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // NB: narrow import — proptest's prelude exports a `Strategy` trait that
+    // would shadow our `Strategy` struct.
+    use proptest::prelude::{prop_assert, prop_assume, proptest, ProptestConfig};
+
+    fn paper_params() -> RewardParams {
+        RewardParams {
+            leader_bonus: 0.15,
+            aggregation_bonus: 0.02,
+        }
+    }
+
+    #[test]
+    fn paper_parameters_are_incentive_compatible_up_to_m_30() {
+        let p = paper_params();
+        for m in [0.05, 0.1, 0.2, 0.3] {
+            assert!(incentive_compatible(&p, m, F), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn eq3_bound_matches_formula() {
+        // At m = 0.3, f = 1/3: 0.1 / (0.7 + 0.1) = 0.125.
+        let b = eq3_vote_omission_bound(0.3, F);
+        assert!((b - 0.125).abs() < 1e-12);
+        assert!(paper_params().leader_bonus > b);
+    }
+
+    #[test]
+    fn eq5_bound_matches_formula() {
+        let b = eq5_vote_denial_bound(0.02, 0.3, F);
+        // f(1-ba-m)/(m+f-mf) = (1/3)(0.68)/(0.5333…) = 0.425.
+        assert!((b - (1.0 / 3.0) * 0.68 / (0.3 + 1.0 / 3.0 - 0.1)).abs() < 1e-12);
+        assert!(paper_params().leader_bonus < b);
+    }
+
+    #[test]
+    fn vote_omission_unprofitable_with_paper_params() {
+        let p = paper_params();
+        for m in [0.05, 0.1, 0.2, 0.3] {
+            assert!(utility_vote_omission(&p, m, F, F) < 0.0, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn vote_omission_profitable_when_leader_bonus_too_small() {
+        // With b_l below the Eq. 3 bound, omission pays.
+        let p = RewardParams {
+            leader_bonus: 0.05,
+            aggregation_bonus: 0.02,
+        };
+        let m = 0.3;
+        assert!(p.leader_bonus < eq3_vote_omission_bound(m, F));
+        assert!(utility_vote_omission(&p, m, F, F) > 0.0);
+    }
+
+    #[test]
+    fn vote_denial_profitable_when_leader_bonus_too_large() {
+        let p = RewardParams {
+            leader_bonus: 0.6,
+            aggregation_bonus: 0.02,
+        };
+        let m = 0.3;
+        assert!(p.leader_bonus > eq5_vote_denial_bound(p.aggregation_bonus, m, F));
+        assert!(utility_vote_denial(&p, m, F, m) > 0.0);
+    }
+
+    #[test]
+    fn aggregation_attacks_unprofitable_below_half() {
+        let p = paper_params();
+        for m in [0.1, 0.3, 0.49] {
+            assert!(utility_aggregation_denial(&p, m, 0.2) < 0.0);
+            assert!(utility_aggregation_omission(&p, m, 0.2) < 0.0);
+        }
+        // Exactly at m = 0.5 the attacks become break-even.
+        assert!(utility_aggregation_denial(&p, 0.5, 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_no_dominating_strategy_with_paper_params() {
+        // b_l = 0.15 satisfies Eq. 3 only up to m ≈ 0.346
+        // (m·f/(1-m+m·f) = 0.15 ⇒ m ≈ 0.346): check the valid range.
+        let p = paper_params();
+        for m in [0.1, 0.2, 0.3, 0.34] {
+            assert!(
+                find_dominating_strategy(&p, m, F, 4).is_none(),
+                "a strategy dominates S0 at m = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_params_lose_compatibility_past_m_35() {
+        // Beyond the Eq. 3 range vote omission becomes profitable even with
+        // the paper's parameters — the bound is tight.
+        let p = paper_params();
+        assert!(!incentive_compatible(&p, 0.45, F));
+        assert!(find_dominating_strategy(&p, 0.45, F, 4).is_some());
+    }
+
+    #[test]
+    fn theorem3_fails_outside_the_bounds() {
+        let p = RewardParams {
+            leader_bonus: 0.01, // violates Eq. 3 at m = 0.3
+            aggregation_bonus: 0.02,
+        };
+        assert!(find_dominating_strategy(&p, 0.3, F, 4).is_some());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Theorem 3, property form: whenever Eqs. 3 and 5 hold and
+        /// m < 0.5, no grid strategy beats honesty.
+        #[test]
+        fn dominance_holds_whenever_bounds_hold(
+            m in 0.01f64..0.49,
+            bl in 0.01f64..0.9,
+            ba in 0.001f64..0.1,
+        ) {
+            let p = RewardParams { leader_bonus: bl, aggregation_bonus: ba };
+            prop_assume!(bl + ba < 1.0);
+            prop_assume!(incentive_compatible(&p, m, F));
+            prop_assert!(find_dominating_strategy(&p, m, F, 3).is_none());
+        }
+
+        /// Honest strategy always has utility exactly zero.
+        #[test]
+        fn honest_utility_is_zero(m in 0.0f64..0.5) {
+            let u = utility(&paper_params(), m, F, &Strategy::HONEST);
+            prop_assert!(u.abs() < 1e-15);
+        }
+    }
+}

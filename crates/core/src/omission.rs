@@ -1,0 +1,175 @@
+//! Targeted vote-omission attack analysis (paper Sections IV-B and VII-A).
+//!
+//! Contains the closed-form omission probabilities (Theorem 4, Table I) and
+//! the *structural success predicates* that mirror Algorithm 1's fallback
+//! behaviour — the Monte-Carlo simulations in `iniva-sim` evaluate these
+//! predicates over random role assignments.
+
+use iniva_tree::{Role, TreeView};
+use std::collections::HashSet;
+
+/// 0-omission probability of a star protocol with round-robin leaders:
+/// the attacker succeeds whenever it holds the leader — `m`.
+pub fn star_omission_probability(m: f64) -> f64 {
+    m
+}
+
+/// 0-omission probability of Iniva (Theorem 4): the attacker must hold two
+/// specific roles simultaneously — `m^2`.
+pub fn iniva_omission_probability(m: f64) -> f64 {
+    m * m
+}
+
+/// Outcome of a structural attack evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The victim's vote is omitted from the QC.
+    Omitted {
+        /// Number of non-victim processes excluded alongside (collateral).
+        collateral: u32,
+    },
+    /// The fallback paths re-added the victim: attack failed.
+    Failed,
+}
+
+/// Evaluates whether a targeted vote-omission succeeds in one Iniva round,
+/// given the view's tree, the previous leader `l_v` (who disseminates the
+/// block), the attacker's processes and the victim, with collateral budget
+/// `max_collateral`.
+///
+/// The predicate encodes Algorithm 1's guarantees:
+///
+/// * a **leaf victim** is omitted with collateral 0 only if the attacker
+///   controls both the tree root (`L_{v+1}`) and the victim's parent
+///   (indivisibility blocks the root; the 2ND-CHANCE path re-adds a victim
+///   omitted by its parent alone);
+/// * with only the root, a leaf victim can be omitted solely by dropping
+///   its *entire branch* (the subtree aggregate and every sibling's ACK
+///   echo contain the victim's signature) — collateral = branch − 1;
+/// * an **internal victim** is omitted with collateral 0 if the attacker
+///   controls both `L_v` and the root: `L_v` withholds the proposal from the
+///   victim and the root collects the victim's children via 2ND-CHANCE;
+/// * with only the root, an internal victim can be dropped together with
+///   its subtree aggregate; its children's ACK replies contain the victim,
+///   so they become collateral;
+/// * a **root victim** cannot be omitted (it aggregates its own vote).
+pub fn evaluate_attack(
+    tree: &TreeView,
+    l_v: u32,
+    attackers: &HashSet<u32>,
+    victim: u32,
+    max_collateral: u32,
+) -> AttackOutcome {
+    debug_assert!(!attackers.contains(&victim));
+    let root = tree.root();
+    let root_controlled = attackers.contains(&root);
+    match tree.role_of(victim) {
+        Role::Root => AttackOutcome::Failed,
+        Role::Leaf => {
+            if !root_controlled {
+                return AttackOutcome::Failed;
+            }
+            let parent = tree.parent_of(victim).expect("leaf has parent");
+            if attackers.contains(&parent) {
+                return AttackOutcome::Omitted { collateral: 0 };
+            }
+            // Drop the whole branch: parent + siblings become collateral.
+            let branch = tree.branch_of(parent);
+            let collateral = branch.len() as u32 - 1;
+            if collateral <= max_collateral {
+                AttackOutcome::Omitted { collateral }
+            } else {
+                AttackOutcome::Failed
+            }
+        }
+        Role::Internal => {
+            if root_controlled && attackers.contains(&l_v) {
+                // L_v withholds the proposal from the victim; the root
+                // collects the children individually via 2ND-CHANCE.
+                return AttackOutcome::Omitted { collateral: 0 };
+            }
+            if root_controlled {
+                // Drop the victim's subtree aggregate; the children's ACK
+                // echoes all contain the victim, so they are excluded too.
+                let collateral = tree.children_of(victim).len() as u32;
+                if collateral <= max_collateral {
+                    return AttackOutcome::Omitted { collateral };
+                }
+            }
+            AttackOutcome::Failed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_crypto::shuffle::Assignment;
+    use iniva_tree::Topology;
+
+    /// identity tree, n = 7, internal = {1, 2}: leaves 3,5 under 1; 4,6 under 2.
+    fn tree() -> TreeView {
+        TreeView::with_assignment(Topology::new(7, 2).unwrap(), Assignment::identity(7), 0)
+    }
+
+    fn set(ids: &[u32]) -> HashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn leaf_victim_needs_root_and_parent() {
+        let t = tree();
+        // Victim 3 (leaf under internal 1), root is 0.
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0, 1]), 3, 0),
+            AttackOutcome::Omitted { collateral: 0 }
+        );
+        // Parent alone is not enough (2ND-CHANCE re-adds the victim).
+        assert_eq!(evaluate_attack(&t, 5, &set(&[1]), 3, 9), AttackOutcome::Failed);
+        // Root alone with zero collateral fails (branch drop needs budget).
+        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 3, 0), AttackOutcome::Failed);
+    }
+
+    #[test]
+    fn root_alone_can_drop_the_branch_with_collateral() {
+        let t = tree();
+        // Branch of internal 1 = {1, 3, 5}: dropping it to omit victim 3
+        // costs 2 collateral.
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0]), 3, 2),
+            AttackOutcome::Omitted { collateral: 2 }
+        );
+        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 3, 1), AttackOutcome::Failed);
+    }
+
+    #[test]
+    fn internal_victim_needs_both_leaders() {
+        let t = tree();
+        // Victim 1 (internal); root 0 and previous leader 6 controlled.
+        assert_eq!(
+            evaluate_attack(&t, 6, &set(&[0, 6]), 1, 0),
+            AttackOutcome::Omitted { collateral: 0 }
+        );
+        // Root alone: must take the children as collateral.
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0]), 1, 2),
+            AttackOutcome::Omitted { collateral: 2 }
+        );
+        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 1, 1), AttackOutcome::Failed);
+    }
+
+    #[test]
+    fn root_victim_cannot_be_omitted() {
+        let t = tree();
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[1, 2, 3, 4]), 0, 10),
+            AttackOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn closed_forms() {
+        assert_eq!(star_omission_probability(0.1), 0.1);
+        assert!((iniva_omission_probability(0.1) - 0.01).abs() < 1e-15);
+    }
+}

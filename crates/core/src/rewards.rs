@@ -1,0 +1,401 @@
+//! The Iniva rewarding mechanism (paper Section V-B).
+//!
+//! A total reward `R` per block is split into
+//!
+//! * a **voting reward** `b_v = 1 - b_l - b_a`: each included signer earns
+//!   `b_v·R/n`;
+//! * an **aggregation bonus**: internal processes earn `b_a·R/n` per child
+//!   signature they aggregated; the leader (root) earns `b_a·R/n` per
+//!   subtree aggregate it included;
+//! * a **leader bonus** (Cosmos-style variational bonus): `b_l·R/(f·n)` per
+//!   included signature beyond the minimum quorum `(1-f)·n`;
+//! * a **2ND-CHANCE punishment**: a leaf collected via 2ND-CHANCE (visible
+//!   as multiplicity 1 instead of 2) forfeits `b_a·R/n` of its voting
+//!   reward, and its parent implicitly forfeits the aggregation bonus.
+//!
+//! All unclaimed bonuses and punishments are redistributed evenly over the
+//! whole committee, so the total payout is exactly `R` regardless of how
+//! many votes were aggregated (Requirement 4).
+//!
+//! How a vote was collected is reconstructed *from the indivisible
+//! multiplicities alone* (plus the deterministic tree): children aggregated
+//! by their parent appear with multiplicity 2, 2ND-CHANCE collections with
+//! multiplicity 1, and an internal process that aggregated `k` children
+//! appears with multiplicity `k + 1`. The leader cannot forge these because
+//! the aggregate does not decompose.
+
+use iniva_crypto::multisig::Multiplicities;
+use iniva_tree::{Role, TreeView};
+
+/// Reward split parameters. The paper's evaluation uses
+/// `b_l = 15%, b_a = 2%`.
+#[derive(Debug, Clone, Copy)]
+pub struct RewardParams {
+    /// Leader (variational) bonus fraction.
+    pub leader_bonus: f64,
+    /// Aggregation bonus fraction.
+    pub aggregation_bonus: f64,
+}
+
+impl Default for RewardParams {
+    fn default() -> Self {
+        RewardParams {
+            leader_bonus: 0.15,
+            aggregation_bonus: 0.02,
+        }
+    }
+}
+
+impl RewardParams {
+    /// The voting fraction `b_v = 1 - b_l - b_a`.
+    pub fn voting(&self) -> f64 {
+        1.0 - self.leader_bonus - self.aggregation_bonus
+    }
+}
+
+/// How each member's vote entered the QC, reconstructed from multiplicities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inclusion {
+    /// Not in the QC at all.
+    Absent,
+    /// Aggregated by its tree parent (multiplicity 2) or root's own vote.
+    Tree {
+        /// For internal members: how many children they aggregated.
+        aggregated_children: u64,
+    },
+    /// Collected via a 2ND-CHANCE reply (multiplicity 1) — punished.
+    SecondChance,
+}
+
+/// Per-member reward distribution for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardDistribution {
+    /// Reward share per member (sums to the total reward `r`).
+    pub shares: Vec<f64>,
+    /// The inclusion classification used.
+    pub inclusions: Vec<Inclusion>,
+}
+
+/// Checks the multiplicity pattern of a *subtree aggregate* produced by
+/// `internal` (paper: "The leader does check these multiplicities and only
+/// includes correctly aggregated shares"): each included child must appear
+/// with multiplicity exactly 2, the internal itself with multiplicity
+/// `1 + #children`, and nobody else may appear.
+pub fn validate_subtree_multiplicities(
+    tree: &TreeView,
+    internal: u32,
+    mults: &Multiplicities,
+) -> bool {
+    if tree.role_of(internal) != Role::Internal {
+        return false;
+    }
+    let children = tree.children_of(internal);
+    let mut child_count = 0u64;
+    for (signer, mult) in mults.iter() {
+        if signer == internal {
+            continue;
+        }
+        if !children.contains(&signer) || mult != 2 {
+            return false;
+        }
+        child_count += 1;
+    }
+    mults.get(internal) == 1 + child_count
+}
+
+/// Classifies every member's inclusion from the final QC multiplicities.
+///
+/// The reconstruction (Section V-B): leaves with multiplicity 2 were
+/// tree-aggregated, multiplicity 1 means 2ND-CHANCE; an internal process
+/// with multiplicity `k+1` aggregated `k` children (`k = 0` ⇒ its own vote
+/// arrived individually — via 2ND-CHANCE if its subtree aggregate never
+/// reached the root).
+pub fn classify_inclusions(tree: &TreeView, mults: &Multiplicities) -> Vec<Inclusion> {
+    let n = tree.len();
+    let mut out = Vec::with_capacity(n as usize);
+    for member in 0..n {
+        let m = mults.get(member);
+        let inc = if m == 0 {
+            Inclusion::Absent
+        } else {
+            match tree.role_of(member) {
+                Role::Leaf => {
+                    if m >= 2 {
+                        Inclusion::Tree {
+                            aggregated_children: 0,
+                        }
+                    } else {
+                        Inclusion::SecondChance
+                    }
+                }
+                Role::Internal => {
+                    if m >= 2 {
+                        Inclusion::Tree {
+                            aggregated_children: m - 1,
+                        }
+                    } else {
+                        // Multiplicity 1: the internal's vote arrived alone
+                        // (its aggregate was lost/omitted) — 2ND-CHANCE path.
+                        Inclusion::SecondChance
+                    }
+                }
+                Role::Root => Inclusion::Tree {
+                    aggregated_children: 0,
+                },
+            }
+        };
+        out.push(inc);
+    }
+    out
+}
+
+/// Computes the reward distribution for one block.
+///
+/// `mults` are the final QC multiplicities, `tree` the deterministic tree of
+/// the block's view and `r` the total block reward. The root of `tree` is
+/// the rewarded leader.
+pub fn distribute(
+    tree: &TreeView,
+    mults: &Multiplicities,
+    params: &RewardParams,
+    r: f64,
+) -> RewardDistribution {
+    let n = tree.len() as usize;
+    let nf = n as f64;
+    let inclusions = classify_inclusions(tree, mults);
+    let mut shares = vec![0.0; n];
+    let mut claimed = 0.0;
+
+    let bv_unit = params.voting() * r / nf;
+    let ba_unit = params.aggregation_bonus * r / nf;
+
+    // Voting rewards + aggregation bonuses + punishments.
+    let mut subtree_count = 0u64; // subtrees included by the leader
+    for member in 0..n {
+        match inclusions[member] {
+            Inclusion::Absent => {}
+            Inclusion::Tree {
+                aggregated_children,
+            } => {
+                shares[member] += bv_unit;
+                claimed += bv_unit;
+                if aggregated_children > 0 {
+                    let bonus = ba_unit * aggregated_children as f64;
+                    shares[member] += bonus;
+                    claimed += bonus;
+                    subtree_count += 1;
+                }
+            }
+            Inclusion::SecondChance => {
+                // Voting reward reduced by the aggregation-bonus unit.
+                let v = (bv_unit - ba_unit).max(0.0);
+                shares[member] += v;
+                claimed += v;
+            }
+        }
+    }
+
+    // Leader bonuses: per-subtree aggregation bonus + variational bonus.
+    let root = tree.root() as usize;
+    let agg_leader = ba_unit * subtree_count as f64;
+    shares[root] += agg_leader;
+    claimed += agg_leader;
+
+    let included = inclusions
+        .iter()
+        .filter(|i| !matches!(i, Inclusion::Absent))
+        .count();
+    let q = iniva_consensus::quorum(n);
+    let f_n = (nf / 3.0).floor().max(1.0);
+    let excess = included.saturating_sub(q) as f64;
+    let leader_bonus = params.leader_bonus * r * excess / f_n;
+    shares[root] += leader_bonus;
+    claimed += leader_bonus;
+
+    // Residual (unclaimed rewards + punishments) redistributed evenly
+    // (Requirement 4: total payout is exactly r).
+    let residual = (r - claimed) / nf;
+    for s in shares.iter_mut() {
+        *s += residual;
+    }
+
+    RewardDistribution { shares, inclusions }
+}
+
+/// Re-computes the distribution and compares — the verification every
+/// process runs on the leader's claimed payout (the leader "is considered
+/// faulty if the multiplicities reported in a block are wrong").
+pub fn verify_distribution(
+    tree: &TreeView,
+    mults: &Multiplicities,
+    params: &RewardParams,
+    r: f64,
+    claimed: &[f64],
+) -> bool {
+    let expect = distribute(tree, mults, params, r);
+    claimed.len() == expect.shares.len()
+        && claimed
+            .iter()
+            .zip(&expect.shares)
+            .all(|(a, b)| (a - b).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_crypto::multisig::Multiplicities;
+    use iniva_crypto::shuffle::Assignment;
+    use iniva_tree::Topology;
+
+    /// n = 7, 2 internal, identity assignment:
+    /// root = 0, internal = {1, 2}, leaves = {3, 5} -> 1, {4, 6} -> 2.
+    fn tree() -> TreeView {
+        TreeView::with_assignment(
+            Topology::new(7, 2).unwrap(),
+            Assignment::identity(7),
+            0,
+        )
+    }
+
+    /// The fault-free QC: every leaf mult 2, internals mult 3, root mult 1.
+    fn full_mults() -> Multiplicities {
+        Multiplicities::from_iter([(0, 1), (1, 3), (2, 3), (3, 2), (4, 2), (5, 2), (6, 2)])
+    }
+
+    #[test]
+    fn subtree_validation_accepts_correct_pattern() {
+        let t = tree();
+        // Internal 1 aggregated both children 3 and 5.
+        let m = Multiplicities::from_iter([(1, 3), (3, 2), (5, 2)]);
+        assert!(validate_subtree_multiplicities(&t, 1, &m));
+        // One child only.
+        let m = Multiplicities::from_iter([(1, 2), (3, 2)]);
+        assert!(validate_subtree_multiplicities(&t, 1, &m));
+    }
+
+    #[test]
+    fn subtree_validation_rejects_wrong_patterns() {
+        let t = tree();
+        // Child with multiplicity 1 (forged as 2ND-CHANCE).
+        let m = Multiplicities::from_iter([(1, 2), (3, 1)]);
+        assert!(!validate_subtree_multiplicities(&t, 1, &m));
+        // Wrong own multiplicity.
+        let m = Multiplicities::from_iter([(1, 2), (3, 2), (5, 2)]);
+        assert!(!validate_subtree_multiplicities(&t, 1, &m));
+        // Foreign signer (not a child of internal 1).
+        let m = Multiplicities::from_iter([(1, 2), (4, 2)]);
+        assert!(!validate_subtree_multiplicities(&t, 1, &m));
+        // Not an internal node.
+        let m = Multiplicities::from_iter([(3, 1)]);
+        assert!(!validate_subtree_multiplicities(&t, 3, &m));
+    }
+
+    #[test]
+    fn classification_distinguishes_tree_and_second_chance() {
+        let t = tree();
+        let m = Multiplicities::from_iter([
+            (0, 1), // root
+            (1, 2), // internal, aggregated 1 child
+            (3, 2), // that child
+            (5, 1), // 2ND-CHANCE leaf
+            (4, 1), // 2ND-CHANCE leaf
+        ]);
+        let inc = classify_inclusions(&t, &m);
+        assert_eq!(inc[0], Inclusion::Tree { aggregated_children: 0 });
+        assert_eq!(inc[1], Inclusion::Tree { aggregated_children: 1 });
+        assert_eq!(inc[3], Inclusion::Tree { aggregated_children: 0 });
+        assert_eq!(inc[5], Inclusion::SecondChance);
+        assert_eq!(inc[4], Inclusion::SecondChance);
+        assert_eq!(inc[2], Inclusion::Absent);
+        assert_eq!(inc[6], Inclusion::Absent);
+    }
+
+    #[test]
+    fn total_payout_is_exactly_r() {
+        let t = tree();
+        let params = RewardParams::default();
+        for mults in [
+            full_mults(),
+            Multiplicities::from_iter([(0, 1), (1, 3), (3, 2), (5, 2), (4, 1), (6, 1), (2, 1)]),
+            Multiplicities::from_iter([(0, 1), (3, 1), (4, 1), (5, 1), (6, 1), (1, 1), (2, 1)]),
+        ] {
+            let d = distribute(&t, &mults, &params, 1.0);
+            let total: f64 = d.shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "total {total} != R");
+        }
+    }
+
+    #[test]
+    fn fault_free_rewards_active_members_and_aggregators() {
+        let t = tree();
+        let params = RewardParams::default();
+        let d = distribute(&t, &full_mults(), &params, 1.0);
+        // Internals (1, 2) earn more than leaves (3..6): aggregation bonus.
+        assert!(d.shares[1] > d.shares[3]);
+        // Root earns the most: leader bonus + per-subtree bonus.
+        assert!(d.shares[0] > d.shares[1]);
+        // Leaves all equal.
+        for l in 4..7 {
+            assert!((d.shares[3] - d.shares[l]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn second_chance_leaf_earns_less_than_tree_leaf() {
+        let t = tree();
+        let params = RewardParams::default();
+        let m = Multiplicities::from_iter([
+            (0, 1),
+            (1, 3),
+            (3, 2),
+            (5, 2),
+            (2, 2),
+            (4, 2),
+            (6, 1), // via 2ND-CHANCE
+        ]);
+        let d = distribute(&t, &m, &params, 1.0);
+        assert!(d.shares[6] < d.shares[4], "punished leaf must earn less");
+        // The punishment is exactly the aggregation-bonus unit.
+        let ba_unit = params.aggregation_bonus / 7.0;
+        assert!((d.shares[4] - d.shares[6] - ba_unit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omitted_member_earns_only_residual() {
+        let t = tree();
+        let params = RewardParams::default();
+        let mut m = full_mults();
+        // Rebuild without member 6.
+        m = Multiplicities::from_iter(m.iter().filter(|(s, _)| *s != 6));
+        let d = distribute(&t, &m, &params, 1.0);
+        assert!(d.shares[6] < d.shares[3]);
+        assert!(d.shares[6] > 0.0, "residual redistribution reaches everyone");
+    }
+
+    #[test]
+    fn leader_bonus_grows_with_inclusion() {
+        let t = tree();
+        let params = RewardParams::default();
+        // Quorum-only QC (5 of 7) vs full QC.
+        let quorum_only =
+            Multiplicities::from_iter([(0, 1), (1, 3), (3, 2), (5, 2), (2, 1)]);
+        let d_q = distribute(&t, &quorum_only, &params, 1.0);
+        let d_full = distribute(&t, &full_mults(), &params, 1.0);
+        assert!(
+            d_full.shares[0] > d_q.shares[0],
+            "more inclusion ⇒ bigger leader bonus"
+        );
+    }
+
+    #[test]
+    fn verification_accepts_honest_and_rejects_forged() {
+        let t = tree();
+        let params = RewardParams::default();
+        let d = distribute(&t, &full_mults(), &params, 1.0);
+        assert!(verify_distribution(&t, &full_mults(), &params, 1.0, &d.shares));
+        let mut forged = d.shares.clone();
+        forged[0] += 0.01;
+        forged[3] -= 0.01;
+        assert!(!verify_distribution(&t, &full_mults(), &params, 1.0, &forged));
+    }
+}

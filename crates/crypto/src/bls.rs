@@ -1,0 +1,222 @@
+//! BLS multi-signatures over BLS12-381 (signatures in G1, public keys in
+//! G2), with multiplicity-aware aggregation.
+//!
+//! Verification uses the product-of-pairings identity
+//! `e(-σ, g2) · e(H(m), Σ mult_i · pk_i) == 1`, which costs two Miller loops
+//! and one final exponentiation.
+//!
+//! Rogue-key attacks are out of scope: the committee is fixed and keys are
+//! assumed registered with proofs of possession (standard for
+//! committee-based chains; see paper Section III).
+
+use crate::curve::Point;
+use crate::fields::Fr;
+use crate::g1::{self, G1};
+use crate::g2::{self, G2};
+use crate::multisig::{Multiplicities, SignerId, VoteScheme};
+use crate::sha256::sha256_many;
+
+/// A BLS secret key (an `Fr` scalar).
+#[derive(Clone, Debug)]
+pub struct SecretKey(Fr);
+
+/// A BLS public key (`sk · g2`).
+#[derive(Clone, Copy, Debug)]
+pub struct PublicKey(pub G2);
+
+impl SecretKey {
+    /// Derives a secret key from seed bytes (hashed to 64 bytes, reduced
+    /// mod `r`).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let h1 = sha256_many(&[b"iniva-bls-keygen/0", seed]);
+        let h2 = sha256_many(&[b"iniva-bls-keygen/1", seed]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&h1);
+        wide[32..].copy_from_slice(&h2);
+        SecretKey(Fr::from_wide_bytes(&wide))
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(g2::generator().mul_limbs(&self.0.to_scalar_limbs()))
+    }
+
+    /// Signs a message: `σ = sk · H(m) ∈ G1`.
+    pub fn sign(&self, msg: &[u8]) -> G1 {
+        g1::hash_to_curve(msg).mul_limbs(&self.0.to_scalar_limbs())
+    }
+}
+
+/// An aggregate BLS signature with its claimed multiplicity vector.
+///
+/// The group element is indivisible; the multiplicities are public metadata
+/// that verification checks against the element.
+#[derive(Clone, Debug)]
+pub struct BlsAggregate {
+    /// The aggregated G1 point `Σ mult_i · σ_i`.
+    pub point: G1,
+    /// Claimed multiset of signers.
+    pub mults: Multiplicities,
+}
+
+/// A committee keyring implementing [`VoteScheme`] with real BLS crypto.
+pub struct BlsScheme {
+    secrets: Vec<SecretKey>,
+    publics: Vec<PublicKey>,
+}
+
+impl BlsScheme {
+    /// Builds a committee of `n` deterministic keypairs from a seed.
+    pub fn new(n: usize, seed: &[u8]) -> Self {
+        let mut secrets = Vec::with_capacity(n);
+        let mut publics = Vec::with_capacity(n);
+        for i in 0..n {
+            let sk = SecretKey::from_seed(&[seed, &(i as u32).to_be_bytes()].concat());
+            publics.push(sk.public_key());
+            secrets.push(sk);
+        }
+        BlsScheme { secrets, publics }
+    }
+
+    /// Public key of a member.
+    pub fn public_key(&self, id: SignerId) -> Option<&PublicKey> {
+        self.publics.get(id as usize)
+    }
+}
+
+impl VoteScheme for BlsScheme {
+    type Aggregate = BlsAggregate;
+
+    fn sign(&self, signer: SignerId, msg: &[u8]) -> BlsAggregate {
+        let sk = &self.secrets[signer as usize];
+        BlsAggregate {
+            point: sk.sign(msg),
+            mults: Multiplicities::singleton(signer),
+        }
+    }
+
+    fn combine(&self, a: &BlsAggregate, b: &BlsAggregate) -> BlsAggregate {
+        BlsAggregate {
+            point: a.point.add(&b.point),
+            mults: a.mults.merge(&b.mults),
+        }
+    }
+
+    fn scale(&self, a: &BlsAggregate, k: u64) -> BlsAggregate {
+        BlsAggregate {
+            point: a.point.mul_u64(k),
+            mults: a.mults.scale(k),
+        }
+    }
+
+    fn verify(&self, msg: &[u8], agg: &BlsAggregate) -> bool {
+        if agg.mults.is_empty() {
+            return agg.point.is_infinity();
+        }
+        // apk = Σ mult_i · pk_i
+        let mut apk: G2 = Point::infinity();
+        for (signer, mult) in agg.mults.iter() {
+            match self.publics.get(signer as usize) {
+                Some(pk) => apk = apk.add(&pk.0.mul_u64(mult)),
+                None => return false,
+            }
+        }
+        let h = g1::hash_to_curve(msg);
+        crate::pairing::pairing_eq(&agg.point, &g2::generator(), &h, &apk)
+    }
+
+    fn multiplicities<'a>(&self, agg: &'a BlsAggregate) -> &'a Multiplicities {
+        &agg.mults
+    }
+
+    fn committee_size(&self) -> usize {
+        self.publics.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> BlsScheme {
+        BlsScheme::new(4, b"test-committee")
+    }
+
+    #[test]
+    fn single_signature_verifies() {
+        let s = scheme();
+        let sig = s.sign(0, b"block-1");
+        assert!(s.verify(b"block-1", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let s = scheme();
+        let sig = s.sign(0, b"block-1");
+        assert!(!s.verify(b"block-2", &sig));
+    }
+
+    #[test]
+    fn wrong_claimed_signer_rejected() {
+        let s = scheme();
+        let mut sig = s.sign(0, b"block-1");
+        sig.mults = Multiplicities::singleton(1);
+        assert!(!s.verify(b"block-1", &sig));
+    }
+
+    #[test]
+    fn aggregate_with_multiplicities_verifies() {
+        let s = scheme();
+        let msg = b"block-7";
+        // Paper Eq. (1): agg(σ1^2, σ2^2, σi^3).
+        let s1 = s.scale(&s.sign(1, msg), 2);
+        let s2 = s.scale(&s.sign(2, msg), 2);
+        let si = s.scale(&s.sign(0, msg), 3);
+        let agg = s.combine(&s.combine(&s1, &s2), &si);
+        assert_eq!(agg.mults.get(0), 3);
+        assert_eq!(agg.mults.get(1), 2);
+        assert_eq!(agg.mults.get(2), 2);
+        assert!(s.verify(msg, &agg));
+    }
+
+    #[test]
+    fn tampered_multiplicity_rejected() {
+        let s = scheme();
+        let msg = b"block-7";
+        let agg = s.combine(&s.sign(1, msg), &s.sign(2, msg));
+        let mut forged = agg.clone();
+        forged.mults = Multiplicities::from_iter([(1, 2), (2, 1)]);
+        assert!(s.verify(msg, &agg));
+        assert!(!s.verify(msg, &forged));
+    }
+
+    #[test]
+    fn omitting_a_signer_from_metadata_rejected() {
+        // Indivisibility at the metadata level: the leader cannot claim an
+        // aggregate contains fewer signers than it actually does.
+        let s = scheme();
+        let msg = b"block-9";
+        let agg = s.combine(&s.sign(1, msg), &s.sign(2, msg));
+        let mut forged = agg.clone();
+        forged.mults = Multiplicities::singleton(1);
+        assert!(!s.verify(msg, &forged));
+    }
+
+    #[test]
+    fn unknown_signer_id_rejected() {
+        let s = scheme();
+        let mut sig = s.sign(0, b"m");
+        sig.mults = Multiplicities::singleton(99);
+        assert!(!s.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn empty_aggregate_is_infinity_only() {
+        let s = scheme();
+        let empty = BlsAggregate {
+            point: Point::infinity(),
+            mults: Multiplicities::new(),
+        };
+        assert!(s.verify(b"m", &empty));
+    }
+}

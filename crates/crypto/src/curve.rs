@@ -1,0 +1,228 @@
+//! Short-Weierstrass curve arithmetic (`y^2 = x^3 + b`, `a = 0`), generic
+//! over the field, in Jacobian projective coordinates.
+//!
+//! Instantiated for:
+//! * `G1 = E(Fp)`  with `b = 4`
+//! * `G2 = E'(Fp2)` with `b = 4(1 + u)` (the sextic twist)
+//! * `E(Fp12)` (only for the pairing's untwisted points)
+
+use crate::fields::Field;
+use crate::nat::Nat;
+
+/// A point in Jacobian coordinates: `(X, Y, Z)` represents the affine point
+/// `(X/Z^2, Y/Z^3)`; `Z = 0` is the point at infinity.
+#[derive(Clone, Copy, Debug)]
+pub struct Point<F: Field> {
+    /// Jacobian X.
+    pub x: F,
+    /// Jacobian Y.
+    pub y: F,
+    /// Jacobian Z (`0` encodes infinity).
+    pub z: F,
+}
+
+/// An affine point or infinity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Affine<F: Field> {
+    /// The point at infinity (group identity).
+    Infinity,
+    /// A finite point `(x, y)`.
+    Coords {
+        /// Affine x.
+        x: F,
+        /// Affine y.
+        y: F,
+    },
+}
+
+impl<F: Field> Point<F> {
+    /// The point at infinity.
+    pub fn infinity() -> Self {
+        Point {
+            x: F::one(),
+            y: F::one(),
+            z: F::zero(),
+        }
+    }
+
+    /// Lifts an affine point.
+    pub fn from_affine(a: &Affine<F>) -> Self {
+        match a {
+            Affine::Infinity => Point::infinity(),
+            Affine::Coords { x, y } => Point {
+                x: *x,
+                y: *y,
+                z: F::one(),
+            },
+        }
+    }
+
+    /// True for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Normalizes to affine coordinates.
+    pub fn to_affine(&self) -> Affine<F> {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let zinv = self.z.inverse().expect("nonzero z");
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Affine::Coords {
+            x: self.x.mul(&zinv2),
+            y: self.y.mul(&zinv3),
+        }
+    }
+
+    /// Point doubling (`a = 0` formulas).
+    pub fn double(&self) -> Self {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::infinity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let mut d = self.x.add(&b).square().sub(&a).sub(&c);
+        d = d.double();
+        let e = a.double().add(&a); // 3A
+        let f = e.square();
+        let x3 = f.sub(&d.double());
+        let c8 = c.double().double().double();
+        let y3 = e.mul(&d.sub(&x3)).sub(&c8);
+        let z3 = self.y.mul(&self.z).double();
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&other.z).mul(&z2z2);
+        let s2 = other.y.mul(&self.z).mul(&z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::infinity();
+        }
+        let h = u2.sub(&u1);
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Additive inverse.
+    pub fn negate(&self) -> Self {
+        Point {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication by little-endian limbs (double-and-add).
+    pub fn mul_limbs(&self, scalar: &[u64]) -> Self {
+        let mut acc = Point::infinity();
+        for &limb in scalar.iter().rev() {
+            for bit in (0..64).rev() {
+                acc = acc.double();
+                if (limb >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by a [`Nat`].
+    pub fn mul_nat(&self, scalar: &Nat) -> Self {
+        self.mul_limbs(scalar.limbs())
+    }
+
+    /// Scalar multiplication by a small integer (used for multiplicities).
+    pub fn mul_u64(&self, k: u64) -> Self {
+        self.mul_limbs(&[k])
+    }
+
+    /// Checks `y^2 = x^3 + b` (affine check after normalization).
+    pub fn is_on_curve(&self, b: &F) -> bool {
+        match self.to_affine() {
+            Affine::Infinity => true,
+            Affine::Coords { x, y } => y.square() == x.square().mul(&x).add(b),
+        }
+    }
+
+    /// Group-element equality (compares affine forms).
+    pub fn eq_point(&self, other: &Self) -> bool {
+        self.to_affine() == other.to_affine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{Fp, Fp2};
+    use crate::g1;
+    use crate::params::curve_params;
+
+    #[test]
+    fn infinity_is_identity() {
+        let g = g1::generator();
+        assert!(g.add(&Point::infinity()).eq_point(&g));
+        assert!(Point::<Fp>::infinity().add(&g).eq_point(&g));
+        assert!(g.add(&g.negate()).is_infinity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let g = g1::generator();
+        assert!(g.double().eq_point(&g.add(&g)));
+        let g4a = g.double().double();
+        let g4b = g.add(&g).add(&g).add(&g);
+        assert!(g4a.eq_point(&g4b));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = g1::generator();
+        let a = g.mul_u64(13);
+        let b = g.mul_u64(29);
+        assert!(a.add(&b).eq_point(&g.mul_u64(42)));
+    }
+
+    #[test]
+    fn order_annihilates_generator() {
+        let g = g1::generator();
+        assert!(g.mul_nat(&curve_params().r).is_infinity());
+    }
+
+    #[test]
+    fn mixed_field_instantiation_compiles() {
+        // The same code must work over Fp2 (used for G2).
+        let p: Point<Fp2> = Point::infinity();
+        assert!(p.is_infinity());
+    }
+}

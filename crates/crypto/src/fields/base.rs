@@ -1,0 +1,203 @@
+//! The base field `Fp` (381-bit) and scalar field `Fr` (255-bit).
+
+use super::mont::mont_field;
+use super::Field;
+use crate::params::{fp_params, fr_params};
+
+mont_field!(
+    /// An element of the BLS12-381 base field `Fp` (Montgomery form).
+    Fp,
+    6,
+    fp_params
+);
+
+mont_field!(
+    /// An element of the BLS12-381 scalar field `Fr` (Montgomery form).
+    Fr,
+    4,
+    fr_params
+);
+
+impl Field for Fp {
+    fn zero() -> Self {
+        Fp::zero()
+    }
+    fn one() -> Self {
+        Fp::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        Fp::add(self, other)
+    }
+    fn sub(&self, other: &Self) -> Self {
+        Fp::sub(self, other)
+    }
+    fn neg(&self) -> Self {
+        Fp::neg(self)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Fp::mul(self, other)
+    }
+    fn inverse(&self) -> Option<Self> {
+        Fp::inverse(self)
+    }
+    fn is_zero(&self) -> bool {
+        Fp::is_zero(self)
+    }
+    fn from_u64(v: u64) -> Self {
+        Fp::from_u64(v)
+    }
+}
+
+impl Field for Fr {
+    fn zero() -> Self {
+        Fr::zero()
+    }
+    fn one() -> Self {
+        Fr::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        Fr::add(self, other)
+    }
+    fn sub(&self, other: &Self) -> Self {
+        Fr::sub(self, other)
+    }
+    fn neg(&self) -> Self {
+        Fr::neg(self)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Fr::mul(self, other)
+    }
+    fn inverse(&self) -> Option<Self> {
+        Fr::inverse(self)
+    }
+    fn is_zero(&self) -> bool {
+        Fr::is_zero(self)
+    }
+    fn from_u64(v: u64) -> Self {
+        Fr::from_u64(v)
+    }
+}
+
+impl Fr {
+    /// Derives a scalar from 64 uniform bytes (e.g. hash output), reducing
+    /// mod `r`. The 2^512 domain makes the reduction bias negligible.
+    pub fn from_wide_bytes(bytes: &[u8; 64]) -> Self {
+        Self::from_be_bytes_reduced(bytes)
+    }
+
+    /// The canonical little-endian limb representation of the scalar value
+    /// (not Montgomery form), for use as an exponent / scalar multiplier.
+    pub fn to_scalar_limbs(&self) -> [u64; 4] {
+        self.to_nat().to_limbs(4).try_into().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::Nat;
+    use proptest::prelude::*;
+
+    fn arb_fp() -> impl Strategy<Value = Fp> {
+        proptest::array::uniform6(any::<u64>())
+            .prop_map(|l| Fp::from_nat(&Nat::from_limbs(&l)))
+    }
+
+    fn arb_fr() -> impl Strategy<Value = Fr> {
+        proptest::array::uniform4(any::<u64>())
+            .prop_map(|l| Fr::from_nat(&Nat::from_limbs(&l)))
+    }
+
+    #[test]
+    fn fp_basic_identities() {
+        let a = Fp::from_u64(7);
+        let b = Fp::from_u64(11);
+        assert_eq!(a.mul(&b), Fp::from_u64(77));
+        assert_eq!(a.add(&b), Fp::from_u64(18));
+        assert_eq!(b.sub(&a), Fp::from_u64(4));
+        assert_eq!(a.sub(&b).add(&b), a);
+        assert_eq!(Fp::from_u64(0), Fp::zero());
+        assert!(Fp::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn fp_to_nat_roundtrip() {
+        let a = Fp::from_u64(123_456_789);
+        assert_eq!(a.to_nat(), Nat::from_u64(123_456_789));
+        assert_eq!(Fp::from_nat(&a.to_nat()), a);
+    }
+
+    #[test]
+    fn fp_sqrt_of_squares() {
+        for v in [2u64, 3, 4, 5, 1_000_003] {
+            let a = Fp::from_u64(v);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn fp_legendre_consistency() {
+        // Squares are residues.
+        let a = Fp::from_u64(987_654_321);
+        assert_eq!(a.square().legendre(), 1);
+        assert_eq!(Fp::zero().legendre(), 0);
+    }
+
+    #[test]
+    fn fr_scalar_limbs_roundtrip() {
+        let s = Fr::from_u64(0xdeadbeef);
+        assert_eq!(s.to_scalar_limbs(), [0xdeadbeef, 0, 0, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fp_mul_commutes(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn fp_mul_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn fp_distributes(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn fp_inverse_inverts(a in arb_fp()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.inverse().unwrap()), Fp::one());
+        }
+
+        #[test]
+        fn fp_pow_matches_repeated_mul(a in arb_fp(), e in 0u64..64) {
+            let mut expect = Fp::one();
+            for _ in 0..e {
+                expect = expect.mul(&a);
+            }
+            prop_assert_eq!(a.pow(&[e]), expect);
+        }
+
+        #[test]
+        fn fr_inverse_inverts(a in arb_fr()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.inverse().unwrap()), Fr::one());
+        }
+
+        #[test]
+        fn fp_add_neg_is_zero(a in arb_fp()) {
+            prop_assert_eq!(a.add(&a.neg()), Fp::zero());
+        }
+
+        #[test]
+        fn fp_bytes_roundtrip(a in arb_fp()) {
+            prop_assert_eq!(Fp::from_be_bytes_reduced(&a.to_be_bytes()), a);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Quadratic extension `Fp12 = Fp6[w] / (w^2 - v)`.
+//!
+//! This is the target group field of the BLS12-381 pairing. The conjugation
+//! map `a + b·w -> a - b·w` equals the Frobenius power `x -> x^(p^6)`, which
+//! the final exponentiation's "easy part" relies on.
+
+use super::{Field, Fp2, Fp6};
+
+/// An element `c0 + c1·w` of `Fp12`, where `w^2 = v`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fp12 {
+    /// Coefficient of `1`.
+    pub c0: Fp6,
+    /// Coefficient of `w`.
+    pub c1: Fp6,
+}
+
+impl Fp12 {
+    /// Constructs `c0 + c1·w`.
+    pub fn new(c0: Fp6, c1: Fp6) -> Self {
+        Fp12 { c0, c1 }
+    }
+
+    /// Embeds an `Fp6` element.
+    pub fn from_fp6(c0: Fp6) -> Self {
+        Fp12 {
+            c0,
+            c1: Fp6::zero(),
+        }
+    }
+
+    /// Embeds an `Fp2` element.
+    pub fn from_fp2(c: Fp2) -> Self {
+        Fp12::from_fp6(Fp6::from_fp2(c))
+    }
+
+    /// The generator `w` with `w^2 = v`.
+    pub fn w() -> Self {
+        Fp12 {
+            c0: Fp6::zero(),
+            c1: Fp6::one(),
+        }
+    }
+
+    /// Conjugation `c0 - c1·w`, equal to the Frobenius map `x -> x^(p^6)`.
+    pub fn conjugate(&self) -> Self {
+        Fp12 {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
+    }
+}
+
+impl Field for Fp12 {
+    fn zero() -> Self {
+        Fp12::new(Fp6::zero(), Fp6::zero())
+    }
+    fn one() -> Self {
+        Fp12::new(Fp6::one(), Fp6::zero())
+    }
+    fn add(&self, o: &Self) -> Self {
+        Fp12::new(self.c0.add(&o.c0), self.c1.add(&o.c1))
+    }
+    fn sub(&self, o: &Self) -> Self {
+        Fp12::new(self.c0.sub(&o.c0), self.c1.sub(&o.c1))
+    }
+    fn neg(&self) -> Self {
+        Fp12::new(self.c0.neg(), self.c1.neg())
+    }
+    fn mul(&self, o: &Self) -> Self {
+        // Karatsuba with w^2 = v.
+        let v0 = self.c0.mul(&o.c0);
+        let v1 = self.c1.mul(&o.c1);
+        let s = self.c0.add(&self.c1);
+        let t = o.c0.add(&o.c1);
+        Fp12 {
+            c0: v0.add(&v1.mul_by_v()),
+            c1: s.mul(&t).sub(&v0).sub(&v1),
+        }
+    }
+    fn square(&self) -> Self {
+        // (a + bw)^2 = a^2 + v b^2 + 2ab w, via Karatsuba-like shortcut.
+        let ab = self.c0.mul(&self.c1);
+        let s = self.c0.add(&self.c1);
+        let t = self.c0.add(&self.c1.mul_by_v());
+        let c0 = s.mul(&t).sub(&ab).sub(&ab.mul_by_v());
+        Fp12 {
+            c0,
+            c1: ab.double(),
+        }
+    }
+    fn inverse(&self) -> Option<Self> {
+        // (a + bw)^{-1} = (a - bw) / (a^2 - v b^2).
+        let denom = self.c0.square().sub(&self.c1.square().mul_by_v());
+        let dinv = denom.inverse()?;
+        Some(Fp12 {
+            c0: self.c0.mul(&dinv),
+            c1: self.c1.mul(&dinv).neg(),
+        })
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+    fn from_u64(v: u64) -> Self {
+        Fp12::from_fp6(Fp6::from_u64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fp;
+    use proptest::prelude::*;
+
+    fn arb_fp6() -> impl Strategy<Value = Fp6> {
+        proptest::array::uniform6(any::<u64>()).prop_map(|v| {
+            Fp6::new(
+                Fp2::new(Fp::from_u64(v[0]).square(), Fp::from_u64(v[1]).square()),
+                Fp2::new(Fp::from_u64(v[2]).square(), Fp::from_u64(v[3]).square()),
+                Fp2::new(Fp::from_u64(v[4]).square(), Fp::from_u64(v[5]).square()),
+            )
+        })
+    }
+
+    fn arb_fp12() -> impl Strategy<Value = Fp12> {
+        (arb_fp6(), arb_fp6()).prop_map(|(a, b)| Fp12::new(a, b))
+    }
+
+    #[test]
+    fn w_squared_is_v() {
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        assert_eq!(Fp12::w().square(), Fp12::from_fp6(v));
+    }
+
+    #[test]
+    fn conjugate_fixes_fp6_subfield() {
+        let a = Fp12::from_fp6(Fp6::from_u64(42));
+        assert_eq!(a.conjugate(), a);
+    }
+
+    #[test]
+    fn conjugate_is_multiplicative() {
+        let a = Fp12::new(Fp6::from_u64(3), Fp6::from_u64(7));
+        let b = Fp12::new(Fp6::from_u64(11), Fp6::from_u64(13));
+        assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn fp12_inverse_inverts(a in arb_fp12()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.inverse().unwrap()), Fp12::one());
+        }
+
+        #[test]
+        fn fp12_square_matches_mul(a in arb_fp12()) {
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+
+        #[test]
+        fn fp12_mul_associates(a in arb_fp12(), b in arb_fp12(), c in arb_fp12()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Quadratic extension `Fp2 = Fp[u] / (u^2 + 1)`.
+
+use super::{Field, Fp};
+use crate::nat::Nat;
+use crate::params::curve_params;
+use std::sync::OnceLock;
+
+/// An element `c0 + c1·u` of `Fp2`, where `u^2 = -1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fp2 {
+    /// Coefficient of `1`.
+    pub c0: Fp,
+    /// Coefficient of `u`.
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// Constructs `c0 + c1·u`.
+    pub fn new(c0: Fp, c1: Fp) -> Self {
+        Fp2 { c0, c1 }
+    }
+
+    /// Embeds an `Fp` element.
+    pub fn from_fp(c0: Fp) -> Self {
+        Fp2 {
+            c0,
+            c1: Fp::zero(),
+        }
+    }
+
+    /// The distinguished non-residue `ξ = 1 + u` used to build `Fp6`.
+    pub fn xi() -> Self {
+        Fp2::new(Fp::one(), Fp::one())
+    }
+
+    /// Multiplies by `ξ = 1 + u`: `(c0 - c1) + (c0 + c1)·u`.
+    pub fn mul_by_xi(&self) -> Self {
+        Fp2 {
+            c0: self.c0.sub(&self.c1),
+            c1: self.c0.add(&self.c1),
+        }
+    }
+
+    /// Complex conjugate `c0 - c1·u` (this is the Frobenius map `x -> x^p`).
+    pub fn conjugate(&self) -> Self {
+        Fp2 {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
+    }
+
+    /// Scales both coefficients by an `Fp` element.
+    pub fn scale(&self, k: &Fp) -> Self {
+        Fp2 {
+            c0: self.c0.mul(k),
+            c1: self.c1.mul(k),
+        }
+    }
+
+    /// Norm `c0^2 + c1^2 ∈ Fp` (since `u^2 = -1`).
+    pub fn norm(&self) -> Fp {
+        self.c0.square().add(&self.c1.square())
+    }
+
+    /// Square root via Tonelli–Shanks over `Fp2` (`q = p^2`, `q ≡ 1 mod 4`).
+    ///
+    /// Returns `None` if `self` is a non-residue.
+    pub fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        let ts = tonelli_shanks_params();
+        // Check residuosity: self^((q-1)/2) must be 1.
+        if self.pow_nat(&ts.q_minus_1_half) != Fp2::one() {
+            return None;
+        }
+        // Tonelli–Shanks.
+        let mut m = ts.s;
+        let mut c = ts.z_t; // nonresidue^t
+        let mut t = self.pow_nat(&ts.t_exp);
+        let mut res = self.pow_nat(&ts.t_plus_1_half);
+        while t != Fp2::one() {
+            // Find least i in (0, m) with t^(2^i) = 1.
+            let mut i = 0u32;
+            let mut t2 = t;
+            while t2 != Fp2::one() {
+                t2 = t2.square();
+                i += 1;
+                if i == m {
+                    return None; // not a residue (defensive; filtered above)
+                }
+            }
+            let mut b = c;
+            for _ in 0..(m - i - 1) {
+                b = b.square();
+            }
+            m = i;
+            c = b.square();
+            t = t.mul(&c);
+            res = res.mul(&b);
+        }
+        debug_assert_eq!(res.square(), *self);
+        Some(res)
+    }
+}
+
+struct TsParams {
+    /// `(q - 1) / 2` with `q = p^2`.
+    q_minus_1_half: Nat,
+    /// `s` where `q - 1 = 2^s * t`, `t` odd.
+    s: u32,
+    /// `t` (odd part of `q - 1`).
+    t_exp: Nat,
+    /// `(t + 1) / 2`.
+    t_plus_1_half: Nat,
+    /// `n^t` for a fixed quadratic non-residue `n` of `Fp2`.
+    z_t: Fp2,
+}
+
+fn tonelli_shanks_params() -> &'static TsParams {
+    static TS: OnceLock<TsParams> = OnceLock::new();
+    TS.get_or_init(|| {
+        let q = curve_params().p_squared.clone();
+        let q_minus_1 = q.sub(&Nat::one());
+        let q_minus_1_half = q_minus_1.shr1();
+        let mut t = q_minus_1.clone();
+        let mut s = 0u32;
+        while !t.bit(0) {
+            t = t.shr1();
+            s += 1;
+        }
+        let t_plus_1_half = t.add(&Nat::one()).shr1();
+        // Find a quadratic non-residue by scanning small elements c + u.
+        let mut z_t = None;
+        for c in 0u64..64 {
+            let cand = Fp2::new(Fp::from_u64(c), Fp::one());
+            if cand.pow_nat(&q_minus_1_half) != Fp2::one() {
+                z_t = Some(cand.pow_nat(&t));
+                break;
+            }
+        }
+        TsParams {
+            q_minus_1_half,
+            s,
+            t_exp: t,
+            t_plus_1_half,
+            z_t: z_t.expect("no quadratic non-residue found among small elements"),
+        }
+    })
+}
+
+impl Field for Fp2 {
+    fn zero() -> Self {
+        Fp2::new(Fp::zero(), Fp::zero())
+    }
+    fn one() -> Self {
+        Fp2::new(Fp::one(), Fp::zero())
+    }
+    fn add(&self, o: &Self) -> Self {
+        Fp2::new(self.c0.add(&o.c0), self.c1.add(&o.c1))
+    }
+    fn sub(&self, o: &Self) -> Self {
+        Fp2::new(self.c0.sub(&o.c0), self.c1.sub(&o.c1))
+    }
+    fn neg(&self) -> Self {
+        Fp2::new(self.c0.neg(), self.c1.neg())
+    }
+    fn mul(&self, o: &Self) -> Self {
+        // Karatsuba: (a0 + a1 u)(b0 + b1 u) with u^2 = -1.
+        let v0 = self.c0.mul(&o.c0);
+        let v1 = self.c1.mul(&o.c1);
+        let s = self.c0.add(&self.c1);
+        let t = o.c0.add(&o.c1);
+        Fp2 {
+            c0: v0.sub(&v1),
+            c1: s.mul(&t).sub(&v0).sub(&v1),
+        }
+    }
+    fn square(&self) -> Self {
+        // (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u.
+        let p = self.c0.add(&self.c1);
+        let m = self.c0.sub(&self.c1);
+        let d = self.c0.mul(&self.c1);
+        Fp2 {
+            c0: p.mul(&m),
+            c1: d.double(),
+        }
+    }
+    fn inverse(&self) -> Option<Self> {
+        let n = self.norm();
+        let ninv = n.inverse()?;
+        Some(Fp2 {
+            c0: self.c0.mul(&ninv),
+            c1: self.c1.mul(&ninv).neg(),
+        })
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+    fn from_u64(v: u64) -> Self {
+        Fp2::from_fp(Fp::from_u64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_fp2() -> impl Strategy<Value = Fp2> {
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+            let c0 = Fp::from_u64(a).mul(&Fp::from_u64(b).add(&Fp::from_u64(1)));
+            let c1 = Fp::from_u64(c).mul(&Fp::from_u64(d).add(&Fp::from_u64(1)));
+            Fp2::new(c0, c1)
+        })
+    }
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        let u = Fp2::new(Fp::zero(), Fp::one());
+        assert_eq!(u.square(), Fp2::one().neg());
+    }
+
+    #[test]
+    fn xi_is_nonresidue_cube_and_square() {
+        // ξ = 1+u must be neither a square nor a cube in Fp2 for the tower
+        // to be a field; verify it is at least not a square.
+        assert!(Fp2::xi().sqrt().is_none());
+    }
+
+    #[test]
+    fn mul_by_xi_matches_generic_mul() {
+        let a = Fp2::new(Fp::from_u64(123), Fp::from_u64(456));
+        assert_eq!(a.mul_by_xi(), a.mul(&Fp2::xi()));
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let a = Fp2::new(Fp::from_u64(7), Fp::from_u64(13));
+        let sq = a.square();
+        let root = sq.sqrt().expect("square has a root");
+        assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn conjugate_is_involution_and_multiplicative() {
+        let a = Fp2::new(Fp::from_u64(3), Fp::from_u64(5));
+        let b = Fp2::new(Fp::from_u64(11), Fp::from_u64(17));
+        assert_eq!(a.conjugate().conjugate(), a);
+        assert_eq!(a.mul(&b).conjugate(), a.conjugate().mul(&b.conjugate()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn fp2_inverse_inverts(a in arb_fp2()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.inverse().unwrap()), Fp2::one());
+        }
+
+        #[test]
+        fn fp2_square_matches_mul(a in arb_fp2()) {
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+
+        #[test]
+        fn fp2_mul_associates(a in arb_fp2(), b in arb_fp2(), c in arb_fp2()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn fp2_sqrt_of_square_exists(a in arb_fp2()) {
+            let sq = a.square();
+            let r = sq.sqrt().expect("squares have roots");
+            prop_assert!(r == a || r == a.neg());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cubic extension `Fp6 = Fp2[v] / (v^3 - ξ)` with `ξ = 1 + u`.
+
+use super::{Field, Fp2};
+
+/// An element `c0 + c1·v + c2·v^2` of `Fp6`, where `v^3 = ξ`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fp6 {
+    /// Coefficient of `1`.
+    pub c0: Fp2,
+    /// Coefficient of `v`.
+    pub c1: Fp2,
+    /// Coefficient of `v^2`.
+    pub c2: Fp2,
+}
+
+impl Fp6 {
+    /// Constructs `c0 + c1·v + c2·v^2`.
+    pub fn new(c0: Fp2, c1: Fp2, c2: Fp2) -> Self {
+        Fp6 { c0, c1, c2 }
+    }
+
+    /// Embeds an `Fp2` element.
+    pub fn from_fp2(c0: Fp2) -> Self {
+        Fp6 {
+            c0,
+            c1: Fp2::zero(),
+            c2: Fp2::zero(),
+        }
+    }
+
+    /// Multiplies by `v`: `(c0, c1, c2) -> (ξ·c2, c0, c1)`.
+    pub fn mul_by_v(&self) -> Self {
+        Fp6 {
+            c0: self.c2.mul_by_xi(),
+            c1: self.c0,
+            c2: self.c1,
+        }
+    }
+
+    /// Scales every coefficient by an `Fp2` element.
+    pub fn scale(&self, k: &Fp2) -> Self {
+        Fp6 {
+            c0: self.c0.mul(k),
+            c1: self.c1.mul(k),
+            c2: self.c2.mul(k),
+        }
+    }
+}
+
+impl Field for Fp6 {
+    fn zero() -> Self {
+        Fp6::new(Fp2::zero(), Fp2::zero(), Fp2::zero())
+    }
+    fn one() -> Self {
+        Fp6::new(Fp2::one(), Fp2::zero(), Fp2::zero())
+    }
+    fn add(&self, o: &Self) -> Self {
+        Fp6::new(
+            self.c0.add(&o.c0),
+            self.c1.add(&o.c1),
+            self.c2.add(&o.c2),
+        )
+    }
+    fn sub(&self, o: &Self) -> Self {
+        Fp6::new(
+            self.c0.sub(&o.c0),
+            self.c1.sub(&o.c1),
+            self.c2.sub(&o.c2),
+        )
+    }
+    fn neg(&self) -> Self {
+        Fp6::new(self.c0.neg(), self.c1.neg(), self.c2.neg())
+    }
+    fn mul(&self, o: &Self) -> Self {
+        // Schoolbook with v^3 = ξ reduction.
+        let a = (self.c0, self.c1, self.c2);
+        let b = (o.c0, o.c1, o.c2);
+        let v0 = a.0.mul(&b.0);
+        let v1 = a.1.mul(&b.1);
+        let v2 = a.2.mul(&b.2);
+        // c0 = v0 + ξ((a1+a2)(b1+b2) - v1 - v2)
+        let c0 = a
+            .1
+            .add(&a.2)
+            .mul(&b.1.add(&b.2))
+            .sub(&v1)
+            .sub(&v2)
+            .mul_by_xi()
+            .add(&v0);
+        // c1 = (a0+a1)(b0+b1) - v0 - v1 + ξ v2
+        let c1 = a
+            .0
+            .add(&a.1)
+            .mul(&b.0.add(&b.1))
+            .sub(&v0)
+            .sub(&v1)
+            .add(&v2.mul_by_xi());
+        // c2 = (a0+a2)(b0+b2) - v0 - v2 + v1
+        let c2 = a
+            .0
+            .add(&a.2)
+            .mul(&b.0.add(&b.2))
+            .sub(&v0)
+            .sub(&v2)
+            .add(&v1);
+        Fp6::new(c0, c1, c2)
+    }
+    fn inverse(&self) -> Option<Self> {
+        // Standard cubic-extension inversion.
+        let t0 = self.c0.square().sub(&self.c1.mul(&self.c2).mul_by_xi());
+        let t1 = self.c2.square().mul_by_xi().sub(&self.c0.mul(&self.c1));
+        let t2 = self.c1.square().sub(&self.c0.mul(&self.c2));
+        let denom = self
+            .c0
+            .mul(&t0)
+            .add(&self.c2.mul(&t1).mul_by_xi())
+            .add(&self.c1.mul(&t2).mul_by_xi());
+        let dinv = denom.inverse()?;
+        Some(Fp6 {
+            c0: t0.mul(&dinv),
+            c1: t1.mul(&dinv),
+            c2: t2.mul(&dinv),
+        })
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+    fn from_u64(v: u64) -> Self {
+        Fp6::from_fp2(Fp2::from_u64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fp;
+    use proptest::prelude::*;
+
+    fn arb_fp2() -> impl Strategy<Value = Fp2> {
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(a, b)| Fp2::new(Fp::from_u64(a).square(), Fp::from_u64(b).square()))
+    }
+
+    fn arb_fp6() -> impl Strategy<Value = Fp6> {
+        (arb_fp2(), arb_fp2(), arb_fp2()).prop_map(|(a, b, c)| Fp6::new(a, b, c))
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        assert_eq!(
+            v.mul(&v).mul(&v),
+            Fp6::from_fp2(Fp2::xi())
+        );
+    }
+
+    #[test]
+    fn mul_by_v_matches_generic() {
+        let a = Fp6::new(
+            Fp2::new(Fp::from_u64(1), Fp::from_u64(2)),
+            Fp2::new(Fp::from_u64(3), Fp::from_u64(4)),
+            Fp2::new(Fp::from_u64(5), Fp::from_u64(6)),
+        );
+        let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
+        assert_eq!(a.mul_by_v(), a.mul(&v));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn fp6_inverse_inverts(a in arb_fp6()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.inverse().unwrap()), Fp6::one());
+        }
+
+        #[test]
+        fn fp6_mul_commutes(a in arb_fp6(), b in arb_fp6()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn fp6_mul_associates(a in arb_fp6(), b in arb_fp6(), c in arb_fp6()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn fp6_distributes(a in arb_fp6(), b in arb_fp6(), c in arb_fp6()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Field towers for BLS12-381: `Fp`, `Fr`, `Fp2`, `Fp6`, `Fp12`.
+//!
+//! The tower follows the standard construction:
+//!
+//! * `Fp2  = Fp[u]  / (u^2 + 1)`
+//! * `Fp6  = Fp2[v] / (v^3 - ξ)` with `ξ = 1 + u`
+//! * `Fp12 = Fp6[w] / (w^2 - v)`
+
+pub mod mont;
+
+mod base;
+mod fp12;
+mod fp2;
+mod fp6;
+
+pub use base::{Fp, Fr};
+pub use fp12::Fp12;
+pub use fp2::Fp2;
+pub use fp6::Fp6;
+
+/// Common interface for all field types in the tower, used by the generic
+/// curve arithmetic and the pairing.
+pub trait Field: Copy + Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self - other`.
+    fn sub(&self, other: &Self) -> Self;
+    /// `-self`.
+    fn neg(&self) -> Self;
+    /// `self * other`.
+    fn mul(&self, other: &Self) -> Self;
+    /// `self^2`.
+    fn square(&self) -> Self {
+        self.mul(self)
+    }
+    /// `2 * self`.
+    fn double(&self) -> Self {
+        self.add(self)
+    }
+    /// Multiplicative inverse, `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+    /// True for the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Embeds a small integer.
+    fn from_u64(v: u64) -> Self;
+
+    /// Exponentiation by little-endian 64-bit limbs.
+    fn pow_limbs(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for &limb in exp.iter().rev() {
+            for bit in (0..64).rev() {
+                if started {
+                    res = res.square();
+                }
+                if (limb >> bit) & 1 == 1 {
+                    if started {
+                        res = res.mul(self);
+                    } else {
+                        res = *self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        if started {
+            res
+        } else {
+            Self::one()
+        }
+    }
+
+    /// Exponentiation by a [`crate::nat::Nat`].
+    fn pow_nat(&self, exp: &crate::nat::Nat) -> Self {
+        self.pow_limbs(exp.limbs())
+    }
+}

@@ -1,0 +1,160 @@
+//! The G1 group: order-`r` subgroup of `E(Fp): y^2 = x^3 + 4`.
+//!
+//! Provides the derived generator, hash-to-curve (simplified
+//! try-and-increment; see crate docs for the substitution rationale),
+//! cofactor clearing, subgroup checks and 96-byte uncompressed
+//! zcash-format serialization (compatible with `blst`).
+
+use crate::curve::{Affine, Point};
+use crate::fields::Fp;
+use crate::nat::Nat;
+use crate::params::curve_params;
+use crate::sha256::sha256_many;
+use std::sync::OnceLock;
+
+/// A G1 group element.
+pub type G1 = Point<Fp>;
+
+/// The curve coefficient `b = 4`.
+pub fn b() -> Fp {
+    Fp::from_u64(4)
+}
+
+/// A fixed generator of the order-`r` subgroup, derived deterministically by
+/// hashing a domain tag to the curve and clearing the cofactor.
+///
+/// Note: this is *a* generator, not the standards-track generator point; the
+/// Iniva protocol only needs some fixed common-knowledge generator. Tests
+/// cross-check group laws against `blst` using deserialized blst points.
+pub fn generator() -> G1 {
+    static GEN: OnceLock<G1> = OnceLock::new();
+    *GEN.get_or_init(|| {
+        let p = hash_to_curve(b"INIVA-V1-G1-GENERATOR");
+        assert!(!p.is_infinity());
+        assert!(p.mul_nat(&curve_params().r).is_infinity());
+        p
+    })
+}
+
+/// Maps arbitrary bytes to a point of the order-`r` subgroup.
+///
+/// Uses hash-and-check ("try-and-increment") with SHA-256 followed by
+/// cofactor clearing. Production systems use the constant-time SSWU map of
+/// RFC 9380; both realize a random-oracle-style map into G1, which is all
+/// the protocol analysis requires.
+pub fn hash_to_curve(msg: &[u8]) -> G1 {
+    for ctr in 0u32..=u32::MAX {
+        let h1 = sha256_many(&[b"iniva-g1-h2c", &ctr.to_be_bytes(), b"/0", msg]);
+        let h2 = sha256_many(&[b"iniva-g1-h2c", &ctr.to_be_bytes(), b"/1", msg]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&h1);
+        wide[32..].copy_from_slice(&h2);
+        let x = Fp::from_nat(&Nat::from_be_bytes(&wide));
+        let rhs = x.square().mul(&x).add(&b());
+        if let Some(mut y) = rhs.sqrt() {
+            // Deterministic sign choice from the hash.
+            if h1[31] & 1 == 1 {
+                y = y.neg();
+            }
+            let p = Point::from_affine(&Affine::Coords { x, y });
+            let cleared = p.mul_nat(&curve_params().h1);
+            if !cleared.is_infinity() {
+                return cleared;
+            }
+        }
+    }
+    unreachable!("hash_to_curve exhausted the counter space")
+}
+
+/// True if the point lies on the curve and in the order-`r` subgroup.
+pub fn in_subgroup(p: &G1) -> bool {
+    p.is_on_curve(&b()) && p.mul_nat(&curve_params().r).is_infinity()
+}
+
+/// Serializes to the 96-byte uncompressed zcash/blst format
+/// (big-endian `x || y`; infinity sets the second-MSB flag of byte 0).
+pub fn serialize(p: &G1) -> [u8; 96] {
+    let mut out = [0u8; 96];
+    match p.to_affine() {
+        Affine::Infinity => {
+            out[0] = 0x40;
+        }
+        Affine::Coords { x, y } => {
+            out[..48].copy_from_slice(&x.to_be_bytes());
+            out[48..].copy_from_slice(&y.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes the 96-byte uncompressed format. Returns `None` for
+/// malformed encodings, off-curve points, or points outside the subgroup.
+pub fn deserialize(bytes: &[u8; 96]) -> Option<G1> {
+    if bytes[0] & 0x80 != 0 {
+        return None; // compressed form not supported here
+    }
+    if bytes[0] & 0x40 != 0 {
+        let rest_zero = bytes[1..].iter().all(|&b| b == 0) && bytes[0] == 0x40;
+        return rest_zero.then(Point::infinity);
+    }
+    let x_nat = Nat::from_be_bytes(&bytes[..48]);
+    let y_nat = Nat::from_be_bytes(&bytes[48..]);
+    let p_mod = &curve_params().p;
+    if &x_nat >= p_mod || &y_nat >= p_mod {
+        return None;
+    }
+    let x = Fp::from_nat(&x_nat);
+    let y = Fp::from_nat(&y_nat);
+    let pt = Point::from_affine(&Affine::Coords { x, y });
+    in_subgroup(&pt).then_some(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_in_subgroup() {
+        assert!(in_subgroup(&generator()));
+    }
+
+    #[test]
+    fn hash_to_curve_deterministic_and_distinct() {
+        let a = hash_to_curve(b"hello");
+        let b1 = hash_to_curve(b"hello");
+        let c = hash_to_curve(b"world");
+        assert!(a.eq_point(&b1));
+        assert!(!a.eq_point(&c));
+        assert!(in_subgroup(&a));
+        assert!(in_subgroup(&c));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let p = generator().mul_u64(12345);
+        let bytes = serialize(&p);
+        let q = deserialize(&bytes).expect("valid encoding");
+        assert!(p.eq_point(&q));
+    }
+
+    #[test]
+    fn serialization_roundtrip_infinity() {
+        let bytes = serialize(&Point::infinity());
+        let q = deserialize(&bytes).expect("valid encoding");
+        assert!(q.is_infinity());
+    }
+
+    #[test]
+    fn deserialize_rejects_off_curve() {
+        let mut bytes = serialize(&generator());
+        bytes[95] ^= 1; // corrupt y
+        assert!(deserialize(&bytes).is_none());
+    }
+
+    #[test]
+    fn deserialize_rejects_compressed_flag() {
+        let mut bytes = serialize(&generator());
+        bytes[0] |= 0x80;
+        assert!(deserialize(&bytes).is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! The G2 group: order-`r` subgroup of the sextic twist
+//! `E'(Fp2): y^2 = x^3 + 4(1 + u)`.
+
+use crate::curve::{Affine, Point};
+use crate::fields::{Field, Fp, Fp2};
+use crate::nat::Nat;
+use crate::params::curve_params;
+use crate::sha256::sha256_many;
+use std::sync::OnceLock;
+
+/// A G2 group element.
+pub type G2 = Point<Fp2>;
+
+/// The twist coefficient `b' = 4(1 + u)`.
+pub fn b() -> Fp2 {
+    Fp2::new(Fp::from_u64(4), Fp::from_u64(4))
+}
+
+/// A fixed generator of the order-`r` subgroup of the twist, derived
+/// deterministically (see [`crate::g1::generator`] for the rationale).
+pub fn generator() -> G2 {
+    static GEN: OnceLock<G2> = OnceLock::new();
+    *GEN.get_or_init(|| {
+        let p = hash_to_curve(b"INIVA-V1-G2-GENERATOR");
+        assert!(!p.is_infinity());
+        assert!(p.mul_nat(&curve_params().r).is_infinity());
+        p
+    })
+}
+
+/// Maps bytes to the order-`r` subgroup of `E'(Fp2)` by try-and-increment
+/// plus cofactor clearing (`h2` is large, so this is comparatively slow and
+/// intended for generator/testing use; signatures hash to G1).
+pub fn hash_to_curve(msg: &[u8]) -> G2 {
+    for ctr in 0u32..=u32::MAX {
+        let coord = |tag: &[u8]| -> Fp {
+            let h1 = sha256_many(&[b"iniva-g2-h2c", &ctr.to_be_bytes(), tag, b"/0", msg]);
+            let h2 = sha256_many(&[b"iniva-g2-h2c", &ctr.to_be_bytes(), tag, b"/1", msg]);
+            let mut wide = [0u8; 64];
+            wide[..32].copy_from_slice(&h1);
+            wide[32..].copy_from_slice(&h2);
+            Fp::from_nat(&Nat::from_be_bytes(&wide))
+        };
+        let x = Fp2::new(coord(b"c0"), coord(b"c1"));
+        let rhs = x.square().mul(&x).add(&b());
+        if let Some(y) = rhs.sqrt() {
+            let p = Point::from_affine(&Affine::Coords { x, y });
+            let cleared = p.mul_nat(&curve_params().h2);
+            if !cleared.is_infinity() {
+                return cleared;
+            }
+        }
+    }
+    unreachable!("hash_to_curve exhausted the counter space")
+}
+
+/// True if the point lies on the twist and in the order-`r` subgroup.
+pub fn in_subgroup(p: &G2) -> bool {
+    p.is_on_curve(&b()) && p.mul_nat(&curve_params().r).is_infinity()
+}
+
+/// Serializes to the 192-byte uncompressed zcash/blst format:
+/// big-endian `x.c1 || x.c0 || y.c1 || y.c0`.
+pub fn serialize(p: &G2) -> [u8; 192] {
+    let mut out = [0u8; 192];
+    match p.to_affine() {
+        Affine::Infinity => {
+            out[0] = 0x40;
+        }
+        Affine::Coords { x, y } => {
+            out[..48].copy_from_slice(&x.c1.to_be_bytes());
+            out[48..96].copy_from_slice(&x.c0.to_be_bytes());
+            out[96..144].copy_from_slice(&y.c1.to_be_bytes());
+            out[144..].copy_from_slice(&y.c0.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes the 192-byte uncompressed format with full validation.
+pub fn deserialize(bytes: &[u8; 192]) -> Option<G2> {
+    if bytes[0] & 0x80 != 0 {
+        return None;
+    }
+    if bytes[0] & 0x40 != 0 {
+        let rest_zero = bytes[1..].iter().all(|&b| b == 0) && bytes[0] == 0x40;
+        return rest_zero.then(Point::infinity);
+    }
+    let p_mod = &curve_params().p;
+    let fp_at = |range: std::ops::Range<usize>| -> Option<Fp> {
+        let n = Nat::from_be_bytes(&bytes[range]);
+        (&n < p_mod).then(|| Fp::from_nat(&n))
+    };
+    let x = Fp2::new(fp_at(48..96)?, fp_at(0..48)?);
+    let y = Fp2::new(fp_at(144..192)?, fp_at(96..144)?);
+    let pt = Point::from_affine(&Affine::Coords { x, y });
+    in_subgroup(&pt).then_some(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_in_subgroup() {
+        assert!(in_subgroup(&generator()));
+    }
+
+    #[test]
+    fn group_law_on_twist() {
+        let g = generator();
+        assert!(g.double().eq_point(&g.add(&g)));
+        assert!(g.mul_u64(5).eq_point(&g.double().double().add(&g)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let p = generator().mul_u64(987);
+        let q = deserialize(&serialize(&p)).expect("valid encoding");
+        assert!(p.eq_point(&q));
+    }
+
+    #[test]
+    fn deserialize_rejects_non_subgroup_point() {
+        // A random twist point before cofactor clearing is (overwhelmingly)
+        // outside the r-subgroup: construct one by perturbing x until we hit
+        // the curve, then check the deserializer's subgroup check fires.
+        let mut x = Fp2::new(Fp::from_u64(1), Fp::from_u64(2));
+        loop {
+            let rhs = x.square().mul(&x).add(&b());
+            if let Some(y) = rhs.sqrt() {
+                let pt = Point::from_affine(&Affine::Coords { x, y });
+                if !pt.mul_nat(&curve_params().r).is_infinity() {
+                    let bytes = serialize(&pt);
+                    assert!(deserialize(&bytes).is_none());
+                    return;
+                }
+            }
+            x = x.add(&Fp2::one());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # iniva-crypto
+//!
+//! Cryptographic substrate for the Iniva reproduction (DSN 2024,
+//! arXiv:2404.04948), built from scratch:
+//!
+//! * [`nat`] — arbitrary-precision naturals (parameter derivation only).
+//! * [`sha256`] — SHA-256 with derived round constants.
+//! * [`fields`] — `Fp`/`Fr` Montgomery arithmetic and the
+//!   `Fp2`/`Fp6`/`Fp12` tower for BLS12-381.
+//! * [`curve`], [`g1`], [`g2`] — generic Jacobian curve arithmetic and the
+//!   two pairing groups.
+//! * [`pairing`] — the optimal ate pairing, correctness-first.
+//! * [`bls`] — BLS multi-signatures with multiplicities (the paper's
+//!   indivisible aggregation scheme).
+//! * [`sim_scheme`] — a fast protocol-faithful stand-in for Monte-Carlo
+//!   experiments.
+//! * [`multisig`] — the [`multisig::VoteScheme`] abstraction both implement.
+//! * [`shuffle`] — deterministic per-round role shuffling (VRF substitute).
+//!
+//! Every BLS12-381 constant is *derived* at startup from the curve
+//! parameter `z = 0xd201_0000_0001_0000` (see [`params`]); tests compare the
+//! derived values against the published constants and cross-validate curve
+//! and pairing behaviour against the `blst` oracle (dev-dependency only).
+//!
+//! ## Example
+//! ```
+//! use iniva_crypto::bls::BlsScheme;
+//! use iniva_crypto::multisig::VoteScheme;
+//!
+//! let committee = BlsScheme::new(4, b"example");
+//! let msg = b"block #1";
+//! // An internal node aggregates two children twice and itself three times
+//! // (paper Eq. 1): agg(sigma_1^2, sigma_2^2, sigma_0^3).
+//! let agg = committee.combine(
+//!     &committee.combine(
+//!         &committee.scale(&committee.sign(1, msg), 2),
+//!         &committee.scale(&committee.sign(2, msg), 2),
+//!     ),
+//!     &committee.scale(&committee.sign(0, msg), 3),
+//! );
+//! assert!(committee.verify(msg, &agg));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bls;
+pub mod curve;
+pub mod fields;
+pub mod g1;
+pub mod g2;
+pub mod multisig;
+pub mod nat;
+pub mod pairing;
+pub mod params;
+pub mod sha256;
+pub mod shuffle;
+pub mod sim_scheme;
+
+pub use multisig::{Multiplicities, SignerId, VoteScheme};
+pub use shuffle::Assignment;

@@ -1,0 +1,185 @@
+//! Indivisible multi-signatures with multiplicities.
+//!
+//! The Iniva protocol relies on two properties of its signature scheme,
+//! abstracted here as the [`VoteScheme`] trait:
+//!
+//! * **Indivisibility** — given an aggregate, no party can recover or remove
+//!   a constituent signature (Boneh et al.'s k-element aggregate extraction
+//!   assumption; proven equivalent to Diffie–Hellman for BLS by
+//!   Coron–Naccache). The API never exposes decomposition.
+//! * **Multiplicity** — the same signature may be folded in more than once
+//!   (`agg(σ1^2, σ2^2, σi^3)`), and verification checks the exact
+//!   multiplicity vector. Iniva uses multiplicities to prove *how* a vote
+//!   was collected (tree aggregation vs 2ND-CHANCE fallback).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identity of a committee member (index into the committee; roles
+/// and tree positions are reshuffled every view, identities are not).
+pub type SignerId = u32;
+
+/// A multiset of signers: who is inside an aggregate, and how many times.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Multiplicities(BTreeMap<SignerId, u64>);
+
+impl Multiplicities {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Multiplicities(BTreeMap::new())
+    }
+
+    /// A singleton multiset `{signer: 1}`.
+    pub fn singleton(signer: SignerId) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(signer, 1);
+        Multiplicities(m)
+    }
+
+    /// Adds `count` occurrences of `signer`.
+    pub fn add(&mut self, signer: SignerId, count: u64) {
+        if count > 0 {
+            *self.0.entry(signer).or_insert(0) += count;
+        }
+    }
+
+    /// Pointwise sum of two multisets.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (&s, &c) in &other.0 {
+            out.add(s, c);
+        }
+        out
+    }
+
+    /// Scales every multiplicity by `k`.
+    pub fn scale(&self, k: u64) -> Self {
+        if k == 0 {
+            return Multiplicities::new();
+        }
+        Multiplicities(self.0.iter().map(|(&s, &c)| (s, c * k)).collect())
+    }
+
+    /// Multiplicity of `signer` (0 if absent).
+    pub fn get(&self, signer: SignerId) -> u64 {
+        self.0.get(&signer).copied().unwrap_or(0)
+    }
+
+    /// True if `signer` appears at least once.
+    pub fn contains(&self, signer: SignerId) -> bool {
+        self.get(signer) > 0
+    }
+
+    /// Number of distinct signers.
+    pub fn distinct(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Sum of all multiplicities.
+    pub fn total(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// Iterates `(signer, multiplicity)` in signer order.
+    pub fn iter(&self) -> impl Iterator<Item = (SignerId, u64)> + '_ {
+        self.0.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// The distinct signers, in order.
+    pub fn signers(&self) -> impl Iterator<Item = SignerId> + '_ {
+        self.0.keys().copied()
+    }
+
+    /// True when no signer is present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl FromIterator<(SignerId, u64)> for Multiplicities {
+    fn from_iter<T: IntoIterator<Item = (SignerId, u64)>>(iter: T) -> Self {
+        let mut m = Multiplicities::new();
+        for (s, c) in iter {
+            m.add(s, c);
+        }
+        m
+    }
+}
+
+impl fmt::Display for Multiplicities {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (s, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}^{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An indivisible multi-signature scheme with multiplicity-aware
+/// aggregation, as assumed by the Iniva protocol (Section III of the paper).
+///
+/// A scheme value holds the whole committee's key material — a *simulation
+/// keyring*. In a deployment each node would own only its secret; the
+/// protocol logic in the `iniva` crate only ever signs with the local node's
+/// id, so the abstraction does not leak authority into the protocol.
+pub trait VoteScheme {
+    /// An aggregate signature (also represents a single vote: an aggregate
+    /// with one signer of multiplicity 1).
+    type Aggregate: Clone + fmt::Debug;
+
+    /// Signs `msg` as `signer`, producing a multiplicity-1 aggregate.
+    fn sign(&self, signer: SignerId, msg: &[u8]) -> Self::Aggregate;
+
+    /// Aggregates two aggregates (multiplicities add; indivisible result).
+    fn combine(&self, a: &Self::Aggregate, b: &Self::Aggregate) -> Self::Aggregate;
+
+    /// Folds an aggregate in `k` times (`k >= 1`).
+    fn scale(&self, a: &Self::Aggregate, k: u64) -> Self::Aggregate;
+
+    /// Verifies the aggregate against `msg` and its claimed multiplicities.
+    fn verify(&self, msg: &[u8], agg: &Self::Aggregate) -> bool;
+
+    /// The claimed signer multiset of an aggregate.
+    fn multiplicities<'a>(&self, agg: &'a Self::Aggregate) -> &'a Multiplicities;
+
+    /// Committee size.
+    fn committee_size(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicity_merge_and_scale() {
+        let a = Multiplicities::from_iter([(1, 2), (2, 2)]);
+        let b = Multiplicities::from_iter([(2, 1), (3, 4)]);
+        let m = a.merge(&b);
+        assert_eq!(m.get(1), 2);
+        assert_eq!(m.get(2), 3);
+        assert_eq!(m.get(3), 4);
+        assert_eq!(m.total(), 9);
+        assert_eq!(m.distinct(), 3);
+        let s = a.scale(3);
+        assert_eq!(s.get(1), 6);
+        assert_eq!(s.scale(0).total(), 0);
+    }
+
+    #[test]
+    fn zero_counts_not_stored() {
+        let mut m = Multiplicities::new();
+        m.add(5, 0);
+        assert!(m.is_empty());
+        assert!(!m.contains(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Multiplicities::from_iter([(1, 2), (7, 3)]);
+        assert_eq!(m.to_string(), "{1^2, 7^3}");
+    }
+}

@@ -1,0 +1,292 @@
+//! SHA-256, implemented from the FIPS 180-4 specification.
+//!
+//! The round constants (fractional parts of the cube roots of the first 64
+//! primes) and initial hash values (fractional parts of the square roots of
+//! the first 8 primes) are *derived at first use* with exact integer
+//! arithmetic rather than transcribed, and the whole construction is checked
+//! against the well-known test vectors for `""` and `"abc"`.
+
+use std::sync::OnceLock;
+
+/// Streaming SHA-256 hasher.
+///
+/// # Examples
+/// ```
+/// use iniva_crypto::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(digest[0], 0xba);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+struct Constants {
+    h0: [u32; 8],
+    k: [u32; 64],
+}
+
+fn constants() -> &'static Constants {
+    static CONSTS: OnceLock<Constants> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in primes.iter().enumerate() {
+            k[i] = frac_root(p, 3);
+        }
+        let mut h0 = [0u32; 8];
+        for (i, &p) in primes.iter().take(8).enumerate() {
+            h0[i] = frac_root(p, 2);
+        }
+        Constants { h0, k }
+    })
+}
+
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|&p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+/// First 32 bits of the fractional part of the `root`-th root of `p`,
+/// computed exactly: `floor(p^(1/root) * 2^32) mod 2^32` via integer binary
+/// search on `x^root <= p * 2^(32*root)`.
+fn frac_root(p: u64, root: u32) -> u32 {
+    // Search x in [0, 2^48): p < 64 so p^(1/3)*2^32 < 4*2^32 and
+    // p^(1/2)*2^32 < 8*2^32; x fits easily in u64, x^3 fits in u128 for
+    // x < 2^42. Use checked bounds.
+    let target = (p as u128) << (32 * root);
+    let mut lo = 0u128;
+    let mut hi = 1u128 << 36;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let mut pow = 1u128;
+        let mut overflow = false;
+        for _ in 0..root {
+            match pow.checked_mul(mid) {
+                Some(v) => pow = v,
+                None => {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if !overflow && pow <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: constants().h0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // NB: the 0x80 update mutated total_len; only bit_len matters now.
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = &constants().k;
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+///
+/// # Examples
+/// ```
+/// let d = iniva_crypto::sha256::sha256(b"");
+/// assert_eq!(d[..4], [0xe3, 0xb0, 0xc4, 0x42]);
+/// ```
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// SHA-256 over the concatenation of several byte slices.
+pub fn sha256_many(parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        // 448-bit message "abcdbcde..." from FIPS 180-4 appendix.
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(
+            hex(&sha256(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn derived_constants_spot_check() {
+        // First round constant is frac(cbrt(2)) = 0x428a2f98; first IV word
+        // is frac(sqrt(2)) = 0x6a09e667.
+        let c = constants();
+        assert_eq!(c.k[0], 0x428a2f98);
+        assert_eq!(c.k[63], 0xc67178f2);
+        assert_eq!(c.h0[0], 0x6a09e667);
+        assert_eq!(c.h0[7], 0x5be0cd19);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn incremental_lengths_cross_block_boundaries() {
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), sha256(&data), "len {len}");
+        }
+    }
+}

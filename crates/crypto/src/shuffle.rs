@@ -1,0 +1,135 @@
+//! Deterministic per-round committee shuffling.
+//!
+//! The paper assumes an unpredictable deterministic shuffle (e.g. VRF-based)
+//! that reassigns tree positions every round. We substitute a seeded
+//! Fisher–Yates keyed by `SHA-256(seed, round)`: identical on every correct
+//! process, uniform over permutations, and — in the closed world of the
+//! simulations — as unpredictable as a VRF, since the analyses only require
+//! that role assignment be uniformly random and common knowledge per round.
+
+use crate::sha256::sha256_many;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic assignment of committee members to tree positions.
+///
+/// `position_to_member[pos] = member` and `member_to_position` is its
+/// inverse. "Position" is the slot in the aggregation overlay (position 0 is
+/// the tree root, i.e. the next leader); "member" is the stable identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    position_to_member: Vec<u32>,
+    member_to_position: Vec<u32>,
+}
+
+impl Assignment {
+    /// Shuffles `n` members for `round` with the given 32-byte epoch seed.
+    pub fn shuffle(n: usize, seed: &[u8; 32], round: u64) -> Self {
+        let digest = sha256_many(&[b"iniva-shuffle", seed, &round.to_be_bytes()]);
+        let mut rng = StdRng::from_seed(digest);
+        let mut position_to_member: Vec<u32> = (0..n as u32).collect();
+        position_to_member.shuffle(&mut rng);
+        Self::from_permutation(position_to_member)
+    }
+
+    /// Builds an assignment from an explicit permutation
+    /// (`position -> member`).
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn from_permutation(perm: Vec<u32>) -> Self {
+        let n = perm.len();
+        let mut inverse = vec![u32::MAX; n];
+        for (pos, &member) in perm.iter().enumerate() {
+            assert!(
+                (member as usize) < n && inverse[member as usize] == u32::MAX,
+                "not a permutation"
+            );
+            inverse[member as usize] = pos as u32;
+        }
+        Assignment {
+            position_to_member: perm,
+            member_to_position: inverse,
+        }
+    }
+
+    /// The identity assignment (position i = member i).
+    pub fn identity(n: usize) -> Self {
+        Self::from_permutation((0..n as u32).collect())
+    }
+
+    /// Member occupying `pos`.
+    pub fn member_at(&self, pos: u32) -> u32 {
+        self.position_to_member[pos as usize]
+    }
+
+    /// Position of `member`.
+    pub fn position_of(&self, member: u32) -> u32 {
+        self.member_to_position[member as usize]
+    }
+
+    /// Committee size.
+    pub fn len(&self) -> usize {
+        self.position_to_member.len()
+    }
+
+    /// True if the committee is empty.
+    pub fn is_empty(&self) -> bool {
+        self.position_to_member.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let seed = [7u8; 32];
+        assert_eq!(Assignment::shuffle(20, &seed, 3), Assignment::shuffle(20, &seed, 3));
+    }
+
+    #[test]
+    fn different_rounds_differ() {
+        let seed = [7u8; 32];
+        assert_ne!(Assignment::shuffle(20, &seed, 3), Assignment::shuffle(20, &seed, 4));
+    }
+
+    #[test]
+    fn inverse_is_consistent() {
+        let a = Assignment::shuffle(50, &[1u8; 32], 9);
+        for pos in 0..50u32 {
+            assert_eq!(a.position_of(a.member_at(pos)), pos);
+        }
+    }
+
+    #[test]
+    fn roles_are_roughly_uniform() {
+        // Member 0 should be root (position 0) about 1/n of the time.
+        let n = 10;
+        let seed = [3u8; 32];
+        let hits = (0..2000u64)
+            .filter(|&r| Assignment::shuffle(n, &seed, r).member_at(0) == 0)
+            .count();
+        let expected = 2000 / n;
+        assert!(
+            hits > expected / 2 && hits < expected * 2,
+            "hits = {hits}, expected ≈ {expected}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn always_a_permutation(n in 1usize..200, round in 0u64..1000) {
+            let a = Assignment::shuffle(n, &[9u8; 32], round);
+            let mut seen = vec![false; n];
+            for pos in 0..n as u32 {
+                let m = a.member_at(pos) as usize;
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! A fast, protocol-faithful *simulation* signature scheme.
+//!
+//! Monte-Carlo security experiments run millions of aggregation rounds;
+//! real pairings would make them infeasible. `SimScheme` models exactly the
+//! algebra the protocol relies on — linear aggregation with multiplicities
+//! and verification of the full multiplicity vector — using a 256-bit
+//! wrapping-additive tag derived per (signer, message) with SHA-256.
+//!
+//! It is **not** cryptographically secure (anyone holding the committee seed
+//! can forge tags); in the closed-world simulations the adversary is modeled
+//! at the protocol layer, never at the crypto layer, so this changes no
+//! experiment outcome. Indivisibility is enforced by the API (no
+//! decomposition is exposed), mirroring the cryptographic property of BLS.
+
+use crate::multisig::{Multiplicities, SignerId, VoteScheme};
+use crate::sha256::sha256_many;
+
+/// A 256-bit additive tag (two wrapping u128 lanes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Tag(pub u128, pub u128);
+
+impl Tag {
+    fn add(&self, o: &Tag) -> Tag {
+        Tag(self.0.wrapping_add(o.0), self.1.wrapping_add(o.1))
+    }
+    fn scale(&self, k: u64) -> Tag {
+        Tag(
+            self.0.wrapping_mul(k as u128),
+            self.1.wrapping_mul(k as u128),
+        )
+    }
+}
+
+/// An aggregate under [`SimScheme`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimAggregate {
+    /// The aggregated tag `Σ mult_i · t_i (mod 2^128 per lane)`.
+    pub tag: Tag,
+    /// Claimed multiset of signers.
+    pub mults: Multiplicities,
+}
+
+/// The simulation scheme: a committee seed plays the role of key material.
+#[derive(Clone, Debug)]
+pub struct SimScheme {
+    n: usize,
+    seed: [u8; 32],
+}
+
+impl SimScheme {
+    /// Creates a scheme for a committee of `n` members.
+    pub fn new(n: usize, seed: &[u8]) -> Self {
+        SimScheme {
+            n,
+            seed: sha256_many(&[b"iniva-sim-scheme", seed]),
+        }
+    }
+
+    fn share(&self, signer: SignerId, msg: &[u8]) -> Tag {
+        let d = sha256_many(&[b"share", &self.seed, &signer.to_be_bytes(), msg]);
+        let lo = u128::from_be_bytes(d[..16].try_into().unwrap());
+        let hi = u128::from_be_bytes(d[16..].try_into().unwrap());
+        Tag(lo, hi)
+    }
+}
+
+impl VoteScheme for SimScheme {
+    type Aggregate = SimAggregate;
+
+    fn sign(&self, signer: SignerId, msg: &[u8]) -> SimAggregate {
+        assert!((signer as usize) < self.n, "signer outside committee");
+        SimAggregate {
+            tag: self.share(signer, msg),
+            mults: Multiplicities::singleton(signer),
+        }
+    }
+
+    fn combine(&self, a: &SimAggregate, b: &SimAggregate) -> SimAggregate {
+        SimAggregate {
+            tag: a.tag.add(&b.tag),
+            mults: a.mults.merge(&b.mults),
+        }
+    }
+
+    fn scale(&self, a: &SimAggregate, k: u64) -> SimAggregate {
+        SimAggregate {
+            tag: a.tag.scale(k),
+            mults: a.mults.scale(k),
+        }
+    }
+
+    fn verify(&self, msg: &[u8], agg: &SimAggregate) -> bool {
+        let mut expect = Tag::default();
+        for (signer, mult) in agg.mults.iter() {
+            if signer as usize >= self.n {
+                return false;
+            }
+            expect = expect.add(&self.share(signer, msg).scale(mult));
+        }
+        expect == agg.tag
+    }
+
+    fn multiplicities<'a>(&self, agg: &'a SimAggregate) -> &'a Multiplicities {
+        &agg.mults
+    }
+
+    fn committee_size(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> SimScheme {
+        SimScheme::new(8, b"seed")
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let s = scheme();
+        let sig = s.sign(3, b"msg");
+        assert!(s.verify(b"msg", &sig));
+        assert!(!s.verify(b"other", &sig));
+    }
+
+    #[test]
+    fn aggregation_with_multiplicities() {
+        let s = scheme();
+        let m = b"block";
+        let a = s.scale(&s.sign(1, m), 2);
+        let b = s.scale(&s.sign(2, m), 2);
+        let own = s.scale(&s.sign(0, m), 3);
+        let agg = s.combine(&s.combine(&a, &b), &own);
+        assert!(s.verify(m, &agg));
+        assert_eq!(agg.mults.total(), 7);
+    }
+
+    #[test]
+    fn forged_multiplicities_rejected() {
+        let s = scheme();
+        let m = b"block";
+        let agg = s.combine(&s.sign(1, m), &s.sign(2, m));
+        let mut forged = agg.clone();
+        forged.mults = Multiplicities::singleton(1);
+        assert!(!s.verify(m, &forged));
+    }
+
+    #[test]
+    fn combine_order_irrelevant() {
+        let s = scheme();
+        let m = b"block";
+        let (a, b, c) = (s.sign(1, m), s.sign(2, m), s.sign(3, m));
+        let l = s.combine(&s.combine(&a, &b), &c);
+        let r = s.combine(&a, &s.combine(&b, &c));
+        assert_eq!(l, r);
+        assert!(s.verify(m, &l));
+    }
+
+    #[test]
+    fn matches_bls_semantics_on_protocol_operations() {
+        // The two backends must agree on multiplicity bookkeeping.
+        use crate::bls::BlsScheme;
+        let sim = SimScheme::new(3, b"x");
+        let bls = BlsScheme::new(3, b"x");
+        let m = b"semantics";
+        let sim_agg = sim.combine(&sim.scale(&sim.sign(0, m), 2), &sim.sign(1, m));
+        let bls_agg = bls.combine(&bls.scale(&bls.sign(0, m), 2), &bls.sign(1, m));
+        assert_eq!(sim_agg.mults, bls_agg.mults);
+        assert!(sim.verify(m, &sim_agg));
+        assert!(bls.verify(m, &bls_agg));
+    }
+}

@@ -1,0 +1,516 @@
+//! # iniva-net
+//!
+//! A deterministic discrete-event network simulator, substituting for the
+//! paper's 25-machine cluster (Section VIII-B: 10 Gbps switch, <1 ms
+//! latency, 12-core Xeons).
+//!
+//! Protocol code is written as [`Actor`]s driven by a virtual clock; the
+//! simulator models
+//!
+//! * **propagation latency** per message (base + seeded jitter),
+//! * **serialization/bandwidth cost** (bytes / link rate, charged to the
+//!   sender's CPU),
+//! * **CPU time** for expensive operations (signature verification etc.),
+//!   charged explicitly by actors via [`Context::charge_cpu`] with values
+//!   calibrated from the real BLS12-381 benchmarks (see [`cost`]),
+//! * **crash faults** (a crashed node receives nothing and sends nothing).
+//!
+//! Each node is a single-server queue: events execute at
+//! `max(arrival, node_available)` and expensive handlers push back later
+//! work, so CPU saturation translates into latency and throughput loss
+//! exactly as on real hardware. Virtual time makes 150-second experiments
+//! run in milliseconds and bit-identical across runs (seeded RNG).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod wire;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identity of a simulated node.
+pub type NodeId = u32;
+
+/// Virtual time in nanoseconds.
+pub type Time = u64;
+
+/// One millisecond in [`Time`] units.
+pub const MILLIS: Time = 1_000_000;
+/// One microsecond in [`Time`] units.
+pub const MICROS: Time = 1_000;
+/// One second in [`Time`] units.
+pub const SECS: Time = 1_000_000_000;
+
+/// Network parameters.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Base one-way propagation delay between any two nodes.
+    pub base_latency: Time,
+    /// Uniform jitter added on top of the base latency (`0..=jitter`).
+    pub jitter: Time,
+    /// Link bandwidth in bytes/second; serialization time `size/bandwidth`
+    /// is charged to the sender.
+    pub bandwidth_bps: u64,
+    /// RNG seed (all runs with the same seed are bit-identical).
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    /// The paper's cluster: <1 ms LAN latency, 10 Gbps TOR switch.
+    fn default() -> Self {
+        NetConfig {
+            base_latency: 300 * MICROS,
+            jitter: 200 * MICROS,
+            bandwidth_bps: 10_000_000_000 / 8,
+            seed: 42,
+        }
+    }
+}
+
+/// A protocol state machine driven by the simulator.
+pub trait Actor {
+    /// Message type exchanged between actors.
+    type Msg;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut Context<Self::Msg>) {}
+
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<Self::Msg>, _timer: u64) {}
+}
+
+/// Handler-side interface to the simulator: queued sends, timers and CPU
+/// charges are applied when the handler returns.
+#[derive(Debug)]
+pub struct Context<M> {
+    /// This node's id.
+    pub node: NodeId,
+    now: Time,
+    outbox: Vec<(NodeId, M, usize)>,
+    timers: Vec<(Time, u64)>,
+    cpu: Time,
+}
+
+impl<M> Context<M> {
+    /// Current virtual time (start of this handler's execution).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` of `wire_bytes` size to `to` (delivered after
+    /// serialization + propagation delay).
+    pub fn send(&mut self, to: NodeId, msg: M, wire_bytes: usize) {
+        self.outbox.push((to, msg, wire_bytes));
+    }
+
+    /// Schedules `on_timer(timer)` after `delay` of virtual time.
+    pub fn set_timer(&mut self, delay: Time, timer: u64) {
+        self.timers.push((delay, timer));
+    }
+
+    /// Charges `ns` of CPU time to this node: the node is busy (delaying its
+    /// later events and all messages queued by this handler) and the time is
+    /// recorded for the CPU-utilization metric.
+    pub fn charge_cpu(&mut self, ns: Time) {
+        self.cpu += ns;
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: u64 },
+}
+
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+// Ordering for the BinaryHeap (min-heap via Reverse): by (time, seq).
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Per-node statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Cumulative CPU busy time (charges + serialization).
+    pub cpu_busy: Time,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received (delivered and processed).
+    pub msgs_received: u64,
+}
+
+/// The discrete-event simulation engine.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    crashed: Vec<bool>,
+    available: Vec<Time>,
+    stats: Vec<NodeStats>,
+    queue: BinaryHeap<Reverse<Event<A::Msg>>>,
+    now: Time,
+    seq: u64,
+    config: NetConfig,
+    rng: StdRng,
+    started: bool,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over the given actors (node `i` runs
+    /// `actors[i]`).
+    pub fn new(config: NetConfig, actors: Vec<A>) -> Self {
+        let n = actors.len();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Simulation {
+            actors,
+            crashed: vec![false; n],
+            available: vec![0; n],
+            stats: vec![NodeStats::default(); n],
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            config,
+            rng,
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True when no actors exist.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Marks a node crashed: it stops processing and emitting events.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node as usize] = true;
+    }
+
+    /// True if `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node as usize]
+    }
+
+    /// Statistics for a node.
+    pub fn stats(&self, node: NodeId) -> &NodeStats {
+        &self.stats[node as usize]
+    }
+
+    /// Immutable access to an actor (for metric extraction).
+    pub fn actor(&self, node: NodeId) -> &A {
+        &self.actors[node as usize]
+    }
+
+    /// Mutable access to an actor (for test instrumentation).
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.actors[node as usize]
+    }
+
+    fn push(&mut self, at: Time, node: NodeId, kind: EventKind<A::Msg>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            node,
+            kind,
+        }));
+    }
+
+    fn start(&mut self) {
+        self.started = true;
+        for i in 0..self.actors.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let mut ctx = Context {
+                node: i as NodeId,
+                now: 0,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                cpu: 0,
+            };
+            self.actors[i].on_start(&mut ctx);
+            self.apply(i as NodeId, 0, ctx);
+        }
+    }
+
+    /// Applies a drained context: CPU charge extends the node's busy window;
+    /// messages depart after the handler (plus per-message serialization).
+    fn apply(&mut self, node: NodeId, handler_start: Time, ctx: Context<A::Msg>) {
+        let ni = node as usize;
+        let mut t = handler_start + ctx.cpu;
+        self.stats[ni].cpu_busy += ctx.cpu;
+        for (to, msg, bytes) in ctx.outbox {
+            let ser = (bytes as u128 * SECS as u128 / self.config.bandwidth_bps as u128) as Time;
+            t += ser;
+            self.stats[ni].cpu_busy += ser;
+            self.stats[ni].msgs_sent += 1;
+            self.stats[ni].bytes_sent += bytes as u64;
+            let jitter = if self.config.jitter > 0 {
+                self.rng.gen_range(0..=self.config.jitter)
+            } else {
+                0
+            };
+            let deliver_at = t + self.config.base_latency + jitter;
+            self.push(deliver_at, to, EventKind::Deliver { from: node, msg });
+        }
+        self.available[ni] = self.available[ni].max(t);
+        for (delay, id) in ctx.timers {
+            self.push(handler_start + ctx.cpu + delay, node, EventKind::Timer { id });
+        }
+    }
+
+    /// Executes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start();
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        let ni = ev.node as usize;
+        if self.crashed[ni] {
+            self.now = self.now.max(ev.at);
+            return true;
+        }
+        // Single-server queue: if the node is still busy, requeue the event
+        // for when it frees up.
+        if self.available[ni] > ev.at {
+            let at = self.available[ni];
+            self.push(at, ev.node, ev.kind);
+            return true;
+        }
+        self.now = self.now.max(ev.at);
+        let start = ev.at;
+        let mut ctx = Context {
+            node: ev.node,
+            now: start,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            cpu: 0,
+        };
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                self.stats[ni].msgs_received += 1;
+                self.actors[ni].on_message(&mut ctx, from, msg);
+            }
+            EventKind::Timer { id } => {
+                self.actors[ni].on_timer(&mut ctx, id);
+            }
+        }
+        self.apply(ev.node, start, ctx);
+        true
+    }
+
+    /// Runs until the virtual clock passes `deadline` or the event queue
+    /// drains. Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        if !self.started {
+            self.start();
+        }
+        let mut events = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            events += 1;
+        }
+        self.now = self.now.max(deadline);
+        events
+    }
+
+    /// Runs until the event queue is empty (only safe for protocols that
+    /// quiesce, e.g. single-shot aggregations).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        if !self.started {
+            self.start();
+        }
+        let mut events = 0;
+        while self.step() {
+            events += 1;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong actor: node 0 pings 1, each pong bounces back, `count`
+    /// round trips.
+    struct PingPong {
+        peer: NodeId,
+        initiator: bool,
+        remaining: u32,
+        pub completed_at: Option<Time>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if self.initiator {
+                ctx.send(self.peer, self.remaining, 100);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<u32>, from: NodeId, msg: u32) {
+            if msg == 0 {
+                self.completed_at = Some(ctx.now());
+                return;
+            }
+            ctx.send(from, msg - 1, 100);
+        }
+    }
+
+    fn net(seed: u64) -> NetConfig {
+        NetConfig {
+            base_latency: MILLIS,
+            jitter: 0,
+            bandwidth_bps: u64::MAX, // effectively free serialization
+            seed,
+        }
+    }
+
+    #[test]
+    fn ping_pong_latency_adds_up() {
+        let actors = vec![
+            PingPong { peer: 1, initiator: true, remaining: 10, completed_at: None },
+            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+        ];
+        let mut sim = Simulation::new(net(1), actors);
+        sim.run_to_quiescence();
+        // Values 10..=0 travel one hop each (11 hops, 1 ms per hop); the
+        // final "0" lands at node 1.
+        assert_eq!(sim.actor(1).completed_at, Some(11 * MILLIS));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mk = || {
+            vec![
+                PingPong { peer: 1, initiator: true, remaining: 6, completed_at: None },
+                PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+            ]
+        };
+        let mut a = Simulation::new(NetConfig { jitter: MILLIS, ..net(7) }, mk());
+        let mut b = Simulation::new(NetConfig { jitter: MILLIS, ..net(7) }, mk());
+        a.run_to_quiescence();
+        b.run_to_quiescence();
+        assert_eq!(a.actor(1).completed_at, b.actor(1).completed_at);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn crashed_node_stops_responding() {
+        let actors = vec![
+            PingPong { peer: 1, initiator: true, remaining: 10, completed_at: None },
+            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+        ];
+        let mut sim = Simulation::new(net(1), actors);
+        sim.crash(1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(1).completed_at, None);
+        assert_eq!(sim.stats(1).msgs_received, 0);
+    }
+
+    struct Burner {
+        fired: Vec<Time>,
+    }
+    impl Actor for Burner {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            ctx.set_timer(10 * MILLIS, 1);
+            ctx.set_timer(20 * MILLIS, 2);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<()>, _from: NodeId, _msg: ()) {}
+        fn on_timer(&mut self, ctx: &mut Context<()>, id: u64) {
+            self.fired.push(ctx.now());
+            if id == 1 {
+                // Burn 15 ms of CPU: the second timer (due at 20 ms) must be
+                // delayed until 25 ms by the single-server queue.
+                ctx.charge_cpu(15 * MILLIS);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_charge_delays_subsequent_events() {
+        let mut sim = Simulation::new(net(1), vec![Burner { fired: vec![] }]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(0).fired, vec![10 * MILLIS, 25 * MILLIS]);
+        assert_eq!(sim.stats(0).cpu_busy, 15 * MILLIS);
+    }
+
+    struct Sender;
+    impl Actor for Sender {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            ctx.send(1, (), 1_000_000); // 1 MB
+        }
+        fn on_message(&mut self, _ctx: &mut Context<()>, _from: NodeId, _msg: ()) {}
+    }
+
+    #[test]
+    fn serialization_time_respects_bandwidth() {
+        // 1 MB over 1 MB/s = 1 s of serialization, plus 1 ms latency.
+        let cfg = NetConfig {
+            base_latency: MILLIS,
+            jitter: 0,
+            bandwidth_bps: 1_000_000,
+            seed: 1,
+        };
+        let mut sim = Simulation::new(cfg, vec![Sender, Sender]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.now(), SECS + MILLIS);
+        assert_eq!(sim.stats(0).bytes_sent, 1_000_000);
+        assert_eq!(sim.stats(0).cpu_busy, SECS);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let actors = vec![
+            PingPong { peer: 1, initiator: true, remaining: 1000, completed_at: None },
+            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+        ];
+        let mut sim = Simulation::new(net(3), actors);
+        sim.run_until(5 * MILLIS);
+        assert_eq!(sim.now(), 5 * MILLIS);
+        assert!(sim.actor(1).completed_at.is_none());
+    }
+}

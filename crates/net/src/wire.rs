@@ -1,0 +1,255 @@
+//! A small hand-rolled binary codec for protocol messages.
+//!
+//! The simulator passes Rust values directly (wire *sizes* are modeled),
+//! but a deployment needs real encodings; this module provides the
+//! length-prefixed primitives the protocol types encode themselves with,
+//! so the modeled sizes in `iniva-consensus::types` stay honest.
+//!
+//! Format: little-endian fixed-width integers, `u32`-length-prefixed byte
+//! strings, no self-description (schemas are fixed per message type).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding buffer (newtype over `BytesMut` with the codec's primitives).
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds `u32::MAX` (not reachable for protocol
+    /// messages).
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.put_u32(u32::try_from(bytes.len()).expect("oversized field"));
+        self.buf.put_slice(bytes);
+        self
+    }
+
+    /// Appends a fixed-width array without a length prefix.
+    pub fn put_array<const N: usize>(&mut self, bytes: &[u8; N]) -> &mut Self {
+        self.buf.put_slice(bytes);
+        self
+    }
+
+    /// Finalizes into an immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the field could be read.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining buffer.
+    BadLength {
+        /// Claimed field length.
+        claimed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
+            DecodeError::BadLength { claimed, remaining } => {
+                write!(f, "length prefix {claimed} exceeds remaining {remaining} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoding cursor over an immutable buffer.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Wraps a buffer.
+    pub fn new(buf: Bytes) -> Self {
+        Decoder { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.buf.remaining() < n {
+            Err(DecodeError::UnexpectedEnd)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Bytes, DecodeError> {
+        let len = self.get_u32()? as usize;
+        if self.buf.remaining() < len {
+            return Err(DecodeError::BadLength {
+                claimed: len,
+                remaining: self.buf.remaining(),
+            });
+        }
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
+    /// Reads a fixed-width array.
+    pub fn get_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.need(N)?;
+        let mut out = [0u8; N];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// Types encodable with this codec.
+pub trait WireEncode {
+    /// Appends `self` to the encoder.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience one-shot encoding.
+    fn to_wire(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+}
+
+/// Types decodable with this codec.
+pub trait WireDecode: Sized {
+    /// Reads a value from the decoder.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7).put_u32(0xdead_beef).put_u64(u64::MAX);
+        e.put_bytes(b"hello").put_array(&[1u8, 2, 3, 4]);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(&d.get_bytes().unwrap()[..], b"hello");
+        assert_eq!(d.get_array::<4>().unwrap(), [1, 2, 3, 4]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let mut e = Encoder::new();
+        e.put_u64(42);
+        let bytes = e.finish();
+        let mut d = Decoder::new(bytes.slice(0..5));
+        assert_eq!(d.get_u64(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn bad_length_prefix_detected() {
+        let mut e = Encoder::new();
+        e.put_u32(1000); // claims 1000 bytes follow
+        e.put_u8(1);
+        let mut d = Decoder::new(e.finish());
+        match d.get_bytes() {
+            Err(DecodeError::BadLength { claimed: 1000, .. }) => {}
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_byte_string_roundtrips() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"");
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_bytes().unwrap().len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_sequences_roundtrip(
+            a in any::<u64>(),
+            b in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut e = Encoder::new();
+            e.put_u64(a).put_bytes(&payload).put_u32(b);
+            let mut d = Decoder::new(e.finish());
+            prop_assert_eq!(d.get_u64().unwrap(), a);
+            prop_assert_eq!(&d.get_bytes().unwrap()[..], &payload[..]);
+            prop_assert_eq!(d.get_u32().unwrap(), b);
+            prop_assert_eq!(d.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # iniva-sim
+//!
+//! Experiment harnesses regenerating every table and figure of the Iniva
+//! paper's evaluation:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`omission`] | Fig. 2a, Fig. 2b, Theorem 4 Monte-Carlo, Table I |
+//! | [`reward_sim`] | Fig. 2c, Fig. 2d |
+//! | [`perf`] | Fig. 3a (throughput/latency), 3b (CPU), 3c (scalability) |
+//! | [`resilience`] | Fig. 4a–d |
+//!
+//! Each module exposes plain functions returning structured rows so the
+//! `examples/paper_figures.rs` binary and the Criterion benches can print
+//! the same series the paper plots. All experiments are deterministic for a
+//! fixed seed.
+
+#![warn(missing_docs)]
+
+pub mod omission;
+pub mod perf;
+pub mod resilience;
+pub mod reward_sim;
+pub mod table1;

@@ -1,0 +1,232 @@
+//! Monte-Carlo targeted vote-omission experiments (Fig. 2a, Fig. 2b and the
+//! Theorem 4 check).
+//!
+//! Iniva's committee is the paper's `n = 111` with fan-out 10 (a full
+//! two-level tree); Gosig and the star baseline use `n = 100`.
+
+use iniva::omission::{evaluate_attack, AttackOutcome};
+use iniva_crypto::shuffle::Assignment;
+use iniva_gosig::GosigConfig;
+use iniva_tree::{Topology, TreeView};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Estimates Iniva's c-omission probability by Monte-Carlo over random role
+/// assignments (attackers, victim, previous leader, tree shuffle).
+pub fn iniva_omission_probability(
+    n: u32,
+    internal: u32,
+    m: f64,
+    max_collateral: u32,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topology = Topology::new(n, internal).expect("valid topology");
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let mut ids: Vec<u32> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        let attacker_count = (m * n as f64).round() as usize;
+        let attackers: HashSet<u32> = ids[..attacker_count].iter().copied().collect();
+        let victim = ids[attacker_count];
+        // The previous leader L_v is the root of the previous (independent)
+        // shuffle: uniform over the committee.
+        let l_v = rng.gen_range(0..n);
+        // Fresh random tree for this view.
+        let mut perm: Vec<u32> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let tree = TreeView::with_assignment(topology, Assignment::from_permutation(perm), 0);
+        if let AttackOutcome::Omitted { .. } =
+            evaluate_attack(&tree, l_v, &attackers, victim, max_collateral)
+        {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+/// The star baseline's c-omission probability: the attacker succeeds
+/// whenever it holds the (round-robin ⇒ uniform) leader.
+pub fn star_omission_probability(n: u32, m: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attacker_count = (m * n as f64).round() as u32;
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        // Leader uniform; attacker holds `attacker_count` of n identities.
+        if rng.gen_range(0..n) < attacker_count {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+/// One series of Fig. 2a/2b.
+#[derive(Debug, Clone)]
+pub struct OmissionSeries {
+    /// Display label (matches the paper's legend).
+    pub label: String,
+    /// `(x, probability)` points; `x` is `m` for Fig. 2a and the collateral
+    /// for Fig. 2b.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Fig. 2a: 0-omission probability vs attacker power `m` for Gosig
+/// (k ∈ {2,3}, with/without free-riding, greedy), the star baseline and
+/// Iniva (n = 111, fan-out 10).
+pub fn figure_2a(trials: usize, seed: u64) -> Vec<OmissionSeries> {
+    let ms = [0.05, 0.10, 0.15];
+    let gosig = |label: &str, k: usize, fr: f64, greedy: bool, salt: u64| OmissionSeries {
+        label: label.to_string(),
+        points: ms
+            .iter()
+            .map(|&m| {
+                let cfg = GosigConfig {
+                    free_riding: fr,
+                    greedy,
+                    ..GosigConfig::paper(k, m)
+                };
+                (m, iniva_gosig::omission_probability(&cfg, 0, trials, seed ^ salt))
+            })
+            .collect(),
+    };
+    vec![
+        gosig("Gosig k=2, no free-riding", 2, 0.0, false, 1),
+        gosig("Gosig k=2, free-riding", 2, 0.3, false, 2),
+        gosig("Gosig k=2, no free-riding, greedy", 2, 0.0, true, 3),
+        gosig("Gosig k=3, no free-riding", 3, 0.0, false, 4),
+        gosig("Gosig k=3, free-riding", 3, 0.3, false, 5),
+        OmissionSeries {
+            label: "Star protocol - round robin".into(),
+            points: ms
+                .iter()
+                .map(|&m| (m, star_omission_probability(100, m, trials, seed ^ 6)))
+                .collect(),
+        },
+        OmissionSeries {
+            label: "Iniva".into(),
+            points: ms
+                .iter()
+                .map(|&m| (m, iniva_omission_probability(111, 10, m, 0, trials, seed ^ 7)))
+                .collect(),
+        },
+    ]
+}
+
+/// Fig. 2b: omission probability vs collateral budget at `m = 5%`.
+pub fn figure_2b(trials: usize, seed: u64) -> Vec<OmissionSeries> {
+    let m = 0.05;
+    let collaterals: Vec<u32> = (0..=9).collect();
+    let gosig = |label: &str, k: usize, fr: f64, salt: u64| OmissionSeries {
+        label: label.to_string(),
+        points: collaterals
+            .iter()
+            .map(|&c| {
+                let cfg = GosigConfig {
+                    free_riding: fr,
+                    ..GosigConfig::paper(k, m)
+                };
+                (
+                    c as f64,
+                    iniva_gosig::omission_probability(&cfg, c, trials, seed ^ salt),
+                )
+            })
+            .collect(),
+    };
+    vec![
+        gosig("Gosig k=2, no free-riding", 2, 0.0, 11),
+        gosig("Gosig k=3, no free-riding", 3, 0.0, 12),
+        gosig("Gosig k=2, free-riding", 2, 0.3, 13),
+        gosig("Gosig k=3, free-riding", 3, 0.3, 14),
+        OmissionSeries {
+            label: "Star protocol - round robin".into(),
+            points: collaterals
+                .iter()
+                .map(|&c| (c as f64, star_omission_probability(100, m, trials, seed ^ 15)))
+                .collect(),
+        },
+        OmissionSeries {
+            label: "Iniva".into(),
+            points: collaterals
+                .iter()
+                .map(|&c| {
+                    (
+                        c as f64,
+                        iniva_omission_probability(111, 10, m, c, trials, seed ^ 16),
+                    )
+                })
+                .collect(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem4_monte_carlo_matches_m_squared() {
+        // Theorem 4: Iniva's 0-omission probability is m^2.
+        for m in [0.1, 0.2, 0.3] {
+            let p = iniva_omission_probability(111, 10, m, 0, 40_000, 99);
+            let expect = m * m;
+            assert!(
+                (p - expect).abs() < 0.015,
+                "m={m}: measured {p}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_monte_carlo_matches_m() {
+        let p = star_omission_probability(100, 0.1, 40_000, 5);
+        assert!((p - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn iniva_beats_star_by_an_order_of_magnitude_at_10pct() {
+        // Paper abstract: "for an attacker controlling 10% of the processes,
+        // the chances to omit an individual signature are reduced by a
+        // factor of 10".
+        let iniva = iniva_omission_probability(111, 10, 0.1, 0, 40_000, 3);
+        let star = star_omission_probability(111, 0.1, 40_000, 3);
+        assert!(star / iniva.max(1e-9) > 5.0, "star {star} vs iniva {iniva}");
+    }
+
+    #[test]
+    fn collateral_has_little_effect_on_iniva_below_branch_size() {
+        // Fig. 2b: with fan-out 10, collateral < 10 cannot buy a branch.
+        let p0 = iniva_omission_probability(111, 10, 0.05, 0, 20_000, 21);
+        let p9 = iniva_omission_probability(111, 10, 0.05, 9, 20_000, 21);
+        assert!((p9 - p0).abs() < 0.01, "p0={p0} p9={p9}");
+        // At collateral >= branch size the root alone suffices: probability
+        // jumps towards m.
+        let p10 = iniva_omission_probability(111, 10, 0.05, 10, 20_000, 21);
+        assert!(p10 > p9 + 0.01, "p9={p9} p10={p10}");
+    }
+
+    #[test]
+    fn figure_2a_series_have_expected_shape() {
+        let series = figure_2a(2_000, 42);
+        let find = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"))
+        };
+        let iniva = find("Iniva");
+        let star = find("Star protocol - round robin");
+        // Iniva below star everywhere.
+        for ((_, pi), (_, ps)) in iniva.points.iter().zip(&star.points) {
+            assert!(pi < ps);
+        }
+        // Free-riding above no-free-riding for k=2.
+        let fr = find("Gosig k=2, free-riding");
+        let nofr = find("Gosig k=2, no free-riding");
+        let sum_fr: f64 = fr.points.iter().map(|p| p.1).sum();
+        let sum_nofr: f64 = nofr.points.iter().map(|p| p.1).sum();
+        assert!(sum_fr > sum_nofr);
+    }
+}

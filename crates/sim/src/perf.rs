@@ -1,0 +1,297 @@
+//! Performance experiments over the discrete-event simulator
+//! (Fig. 3a throughput vs latency, Fig. 3b CPU usage, Fig. 3c scalability).
+
+use iniva::protocol::{InivaConfig, InivaReplica};
+use iniva_consensus::{LeaderPolicy, ReplicaConfig, StarReplica};
+use iniva_crypto::sim_scheme::SimScheme;
+use iniva_net::cost::CostModel;
+use iniva_net::{NetConfig, Simulation, MILLIS, SECS};
+use std::sync::Arc;
+
+/// Protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Plain HotStuff with star aggregation.
+    HotStuff,
+    /// Iniva (tree + 2ND-CHANCE, paper-faithful quorum trigger).
+    Iniva,
+    /// Iniva without 2ND-CHANCE messages (the paper's ablation).
+    InivaNo2C,
+}
+
+impl Protocol {
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::HotStuff => "HotStuff",
+            Protocol::Iniva => "Iniva",
+            Protocol::InivaNo2C => "Iniva-No2C",
+        }
+    }
+}
+
+/// Parameters of one performance run.
+#[derive(Debug, Clone)]
+pub struct PerfParams {
+    /// Protocol variant.
+    pub protocol: Protocol,
+    /// Committee size.
+    pub n: usize,
+    /// Internal aggregators (tree protocols).
+    pub internal: u32,
+    /// Payload bytes per request.
+    pub payload: u32,
+    /// Batch size.
+    pub batch: u32,
+    /// Client request rate (requests/second).
+    pub rate: u64,
+    /// Virtual run duration in seconds.
+    pub duration_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PerfParams {
+    /// The paper's base configuration: 21 replicas, 4 internal nodes.
+    pub fn base(protocol: Protocol, payload: u32, batch: u32, rate: u64) -> Self {
+        PerfParams {
+            protocol,
+            n: 21,
+            internal: 4,
+            payload,
+            batch,
+            rate,
+            duration_secs: 15,
+            seed: 42,
+        }
+    }
+}
+
+/// Measured output of one run.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Committed requests per second.
+    pub throughput: f64,
+    /// Mean request latency in milliseconds.
+    pub latency_ms: f64,
+    /// Mean CPU utilization across replicas (0..=100, %).
+    pub cpu_mean_pct: f64,
+    /// Maximum per-replica CPU utilization (%): the leader bottleneck.
+    pub cpu_max_pct: f64,
+    /// Mean QC size (distinct signers).
+    pub qc_size: f64,
+    /// Fraction of failed views.
+    pub failed_views: f64,
+}
+
+fn harvest<M>(
+    sim: &Simulation<M>,
+    metrics: &iniva_consensus::ChainMetrics,
+    duration_secs: u64,
+) -> PerfPoint
+where
+    M: iniva_net::Actor,
+{
+    let n = sim.len();
+    let wall = duration_secs * SECS;
+    let cpu: Vec<f64> = (0..n as u32)
+        .map(|i| sim.stats(i).cpu_busy as f64 / wall as f64 * 100.0)
+        .collect();
+    PerfPoint {
+        throughput: metrics.committed_reqs as f64 / duration_secs as f64,
+        latency_ms: metrics.mean_latency() / MILLIS as f64,
+        cpu_mean_pct: cpu.iter().sum::<f64>() / n as f64,
+        cpu_max_pct: cpu.iter().cloned().fold(0.0, f64::max),
+        qc_size: metrics.mean_qc_size(),
+        failed_views: metrics.failed_view_fraction(),
+    }
+}
+
+/// Runs one performance experiment and returns the measured point.
+pub fn run(params: &PerfParams) -> PerfPoint {
+    let net = NetConfig {
+        seed: params.seed,
+        ..NetConfig::default()
+    };
+    let deadline = params.duration_secs * SECS;
+    match params.protocol {
+        Protocol::HotStuff => {
+            let scheme = Arc::new(SimScheme::new(params.n, b"perf"));
+            let cfg = ReplicaConfig {
+                n: params.n,
+                max_batch: params.batch,
+                payload_per_req: params.payload,
+                request_rate: params.rate,
+                view_timeout: 500 * MILLIS,
+                leader_policy: LeaderPolicy::RoundRobin,
+                cost: CostModel::default(),
+            };
+            let replicas = (0..params.n as u32)
+                .map(|id| StarReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
+                .collect();
+            let mut sim = Simulation::new(net, replicas);
+            sim.run_until(deadline);
+            let metrics = sim.actor(0).chain.metrics.clone();
+            harvest(&sim, &metrics, params.duration_secs)
+        }
+        Protocol::Iniva | Protocol::InivaNo2C => {
+            let scheme = Arc::new(SimScheme::new(params.n, b"perf"));
+            let mut cfg = InivaConfig::for_tests(params.n, params.internal);
+            cfg.max_batch = params.batch;
+            cfg.payload_per_req = params.payload;
+            cfg.request_rate = params.rate;
+            cfg.view_timeout = 800 * MILLIS;
+            cfg.second_chance = params.protocol == Protocol::Iniva;
+            // Paper-faithful trigger: 2ND-CHANCE once a quorum is collected,
+            // then wait δ — the cost Fig. 3a attributes to the fallback.
+            cfg.sc_on_quorum = true;
+            cfg.second_chance_timer = Some(10 * MILLIS);
+            let replicas = (0..params.n as u32)
+                .map(|id| InivaReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
+                .collect();
+            let mut sim = Simulation::new(net, replicas);
+            sim.run_until(deadline);
+            let metrics = sim.actor(0).chain.metrics.clone();
+            harvest(&sim, &metrics, params.duration_secs)
+        }
+    }
+}
+
+/// A Fig. 3a series: `(throughput, latency)` for increasing client load.
+#[derive(Debug, Clone)]
+pub struct ThroughputLatencySeries {
+    /// Legend label (protocol, payload, batch).
+    pub label: String,
+    /// Points swept over client request rate.
+    pub points: Vec<PerfPoint>,
+}
+
+/// Fig. 3a: throughput vs latency for HotStuff / Iniva / Iniva-No2C at
+/// payload {64, 128} bytes and batch {100, 800}.
+pub fn figure_3a(rates: &[u64]) -> Vec<ThroughputLatencySeries> {
+    let mut out = Vec::new();
+    for proto in [Protocol::HotStuff, Protocol::Iniva, Protocol::InivaNo2C] {
+        for payload in [64u32, 128] {
+            for batch in [100u32, 800] {
+                let points = rates
+                    .iter()
+                    .map(|&rate| run(&PerfParams::base(proto, payload, batch, rate)))
+                    .collect();
+                out.push(ThroughputLatencySeries {
+                    label: format!("{} {payload}b B={batch}", proto.label()),
+                    points,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3b: CPU usage of HotStuff and Iniva at saturation load.
+pub fn figure_3b() -> Vec<(String, PerfPoint)> {
+    let mut out = Vec::new();
+    for proto in [Protocol::HotStuff, Protocol::Iniva] {
+        for payload in [64u32, 128] {
+            for batch in [100u32, 800] {
+                let p = run(&PerfParams::base(proto, payload, batch, 50_000));
+                out.push((format!("{} {payload}b B={batch}", proto.label()), p));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3c: throughput vs committee size (batch 100, payload {0, 64}).
+pub fn figure_3c(sizes: &[usize]) -> Vec<(String, Vec<(usize, f64)>)> {
+    let mut out = Vec::new();
+    for proto in [Protocol::HotStuff, Protocol::Iniva] {
+        for payload in [0u32, 64] {
+            let series: Vec<(usize, f64)> = sizes
+                .iter()
+                .map(|&n| {
+                    let internal = ((n as f64 - 1.0).sqrt().round() as u32).max(2);
+                    let params = PerfParams {
+                        n,
+                        internal,
+                        duration_secs: 10,
+                        ..PerfParams::base(proto, payload, 100, 50_000)
+                    };
+                    (n, run(&params).throughput)
+                })
+                .collect();
+            out.push((format!("{} {payload}b", proto.label()), series));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotstuff_outperforms_iniva_fault_free() {
+        // Fig. 3a headline: Iniva's throughput is ~33% below HotStuff, and
+        // No2C sits in between (about half the overhead).
+        let hs = run(&PerfParams::base(Protocol::HotStuff, 64, 100, 100_000));
+        let iniva = run(&PerfParams::base(Protocol::Iniva, 64, 100, 100_000));
+        let no2c = run(&PerfParams::base(Protocol::InivaNo2C, 64, 100, 100_000));
+        assert!(
+            hs.throughput > iniva.throughput,
+            "HotStuff {} vs Iniva {}",
+            hs.throughput,
+            iniva.throughput
+        );
+        assert!(
+            no2c.throughput >= iniva.throughput,
+            "No2C {} vs Iniva {}",
+            no2c.throughput,
+            iniva.throughput
+        );
+        assert!(iniva.throughput > hs.throughput * 0.35, "overhead too large");
+    }
+
+    #[test]
+    fn iniva_uses_less_cpu_than_hotstuff() {
+        // Fig. 3b: the tree distributes verification; with the round-based
+        // pipeline Iniva also commits less, so mean CPU drops (~48% in the
+        // paper).
+        let hs = run(&PerfParams::base(Protocol::HotStuff, 64, 100, 100_000));
+        let iniva = run(&PerfParams::base(Protocol::Iniva, 64, 100, 100_000));
+        assert!(
+            iniva.cpu_mean_pct < hs.cpu_mean_pct,
+            "Iniva CPU {} vs HotStuff {}",
+            iniva.cpu_mean_pct,
+            hs.cpu_mean_pct
+        );
+    }
+
+    #[test]
+    fn larger_batches_raise_throughput() {
+        let b100 = run(&PerfParams::base(Protocol::Iniva, 64, 100, 200_000));
+        let b800 = run(&PerfParams::base(Protocol::Iniva, 64, 800, 200_000));
+        assert!(
+            b800.throughput > b100.throughput * 1.5,
+            "batching must amortize consensus cost ({} vs {})",
+            b100.throughput,
+            b800.throughput
+        );
+    }
+
+    #[test]
+    fn throughput_degrades_gracefully_with_committee_size() {
+        let small = run(&PerfParams {
+            n: 21,
+            internal: 4,
+            ..PerfParams::base(Protocol::Iniva, 64, 100, 50_000)
+        });
+        let large = run(&PerfParams {
+            n: 81,
+            internal: 9,
+            duration_secs: 10,
+            ..PerfParams::base(Protocol::Iniva, 64, 100, 50_000)
+        });
+        assert!(large.throughput > 0.0);
+        assert!(small.throughput >= large.throughput * 0.8);
+    }
+}

@@ -1,0 +1,448 @@
+//! # iniva-tree
+//!
+//! Deterministic two-level aggregation tree overlays for Iniva
+//! (paper Section V-A).
+//!
+//! Every view, the committee is arranged into a tree of height 2:
+//!
+//! ```text
+//!                 root  (position 0 — the next leader L_{v+1})
+//!           ┌──────┼──────┐
+//!        internal … internal   (positions 1..=i)
+//!        ┌──┼──┐        ┌──┼──┐
+//!      leaf … leaf    leaf … leaf  (positions i+1..n, round-robin)
+//! ```
+//!
+//! Positions are shuffled onto committee members with the deterministic
+//! per-view shuffle from [`iniva_crypto::shuffle`], so every correct process
+//! derives the identical tree from the block's view number (the paper's
+//! `makeTree(B)`).
+
+#![warn(missing_docs)]
+
+use iniva_crypto::shuffle::Assignment;
+use std::fmt;
+
+/// Errors from tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Committee too small for the requested number of internal nodes.
+    TooSmall {
+        /// Requested committee size.
+        n: u32,
+        /// Requested internal node count.
+        internal: u32,
+    },
+    /// Zero internal nodes requested for a committee that has leaves.
+    NoInternal,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::TooSmall { n, internal } => {
+                write!(f, "committee of {n} too small for {internal} internal nodes")
+            }
+            TreeError::NoInternal => write!(f, "a tree with leaves needs internal nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A process's role in the aggregation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Tree root — the next leader `L_{v+1}`, collects the final QC.
+    Root,
+    /// Internal aggregator — collects its leaf children's signatures.
+    Internal,
+    /// Leaf — signs and sends to its parent.
+    Leaf,
+}
+
+/// The *shape* of a two-level tree: `n` positions, of which position 0 is
+/// the root, positions `1..=internal` are aggregators and the remainder are
+/// leaves assigned round-robin to aggregators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    n: u32,
+    internal: u32,
+}
+
+impl Topology {
+    /// Creates a topology with an explicit internal-node count.
+    ///
+    /// # Errors
+    /// Returns [`TreeError`] if the committee cannot host the shape.
+    pub fn new(n: u32, internal: u32) -> Result<Self, TreeError> {
+        if n == 0 || n < internal + 1 {
+            return Err(TreeError::TooSmall { n, internal });
+        }
+        if internal == 0 && n > 1 {
+            return Err(TreeError::NoInternal);
+        }
+        Ok(Topology { n, internal })
+    }
+
+    /// Creates the paper's "complete" topology: `internal = fanout`, leaves
+    /// distributed round-robin. For `n = 111, fanout = 10` this gives 1
+    /// root, 10 internal and 100 leaves (10 per aggregator).
+    pub fn with_fanout(n: u32, fanout: u32) -> Result<Self, TreeError> {
+        Self::new(n, fanout.min(n.saturating_sub(1)))
+    }
+
+    /// Picks `internal ≈ sqrt(n - 1)`, keeping height 2 as the committee
+    /// scales (paper Section VIII-C.2 increases the branching factor with
+    /// configuration size).
+    pub fn balanced(n: u32) -> Result<Self, TreeError> {
+        if n <= 1 {
+            return Self::new(n, 0);
+        }
+        let mut internal = (((n - 1) as f64).sqrt().round() as u32).max(1);
+        internal = internal.min(n - 1);
+        Self::new(n, internal)
+    }
+
+    /// Number of positions (committee size).
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// True for an empty committee (never constructible; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of internal (aggregator) positions.
+    pub fn internal_count(&self) -> u32 {
+        self.internal
+    }
+
+    /// Number of leaf positions.
+    pub fn leaf_count(&self) -> u32 {
+        self.n - 1 - self.internal
+    }
+
+    /// Role of a position.
+    ///
+    /// # Panics
+    /// Panics if `pos >= n`.
+    pub fn role_of(&self, pos: u32) -> Role {
+        assert!(pos < self.n, "position {pos} out of range");
+        if pos == 0 {
+            Role::Root
+        } else if pos <= self.internal {
+            Role::Internal
+        } else {
+            Role::Leaf
+        }
+    }
+
+    /// Parent position (`None` for the root).
+    pub fn parent(&self, pos: u32) -> Option<u32> {
+        match self.role_of(pos) {
+            Role::Root => None,
+            Role::Internal => Some(0),
+            Role::Leaf => Some((pos - self.internal - 1) % self.internal + 1),
+        }
+    }
+
+    /// Children positions of `pos` (internal children for the root, leaf
+    /// children for aggregators, empty for leaves).
+    pub fn children(&self, pos: u32) -> Vec<u32> {
+        match self.role_of(pos) {
+            Role::Root => (1..=self.internal).collect(),
+            Role::Internal => {
+                let first_leaf = self.internal + 1;
+                (first_leaf..self.n)
+                    .filter(|&leaf| (leaf - first_leaf) % self.internal + 1 == pos)
+                    .collect()
+            }
+            Role::Leaf => Vec::new(),
+        }
+    }
+
+    /// Height of a position in the tree (leaf 0, internal 1, root 2), used
+    /// for the paper's aggregation-timer heuristic `2Δ · height(p)`.
+    pub fn height_of(&self, pos: u32) -> u32 {
+        match self.role_of(pos) {
+            Role::Root => 2,
+            Role::Internal => 1,
+            Role::Leaf => 0,
+        }
+    }
+
+    /// All positions of a role.
+    pub fn positions_with_role(&self, role: Role) -> Vec<u32> {
+        (0..self.n).filter(|&p| self.role_of(p) == role).collect()
+    }
+}
+
+/// A per-view tree: a [`Topology`] plus the shuffled assignment of committee
+/// members to positions. All queries are in terms of *member* ids, which is
+/// what protocol code works with.
+#[derive(Debug, Clone)]
+pub struct TreeView {
+    topology: Topology,
+    assignment: Assignment,
+    /// The view this tree was built for.
+    pub view: u64,
+}
+
+impl TreeView {
+    /// Builds the deterministic tree for `view` (the paper's `makeTree`).
+    ///
+    /// # Errors
+    /// Propagates [`TreeError`] from the topology.
+    pub fn build(
+        n: u32,
+        internal: u32,
+        epoch_seed: &[u8; 32],
+        view: u64,
+    ) -> Result<Self, TreeError> {
+        let topology = Topology::new(n, internal)?;
+        let assignment = Assignment::shuffle(n as usize, epoch_seed, view);
+        Ok(TreeView {
+            topology,
+            assignment,
+            view,
+        })
+    }
+
+    /// Builds a tree with an explicit (unshuffled) assignment — used in
+    /// tests and attack simulations that need precise control over roles.
+    ///
+    /// # Panics
+    /// Panics if the assignment size does not match the topology.
+    pub fn with_assignment(topology: Topology, assignment: Assignment, view: u64) -> Self {
+        assert_eq!(topology.len() as usize, assignment.len());
+        TreeView {
+            topology,
+            assignment,
+            view,
+        }
+    }
+
+    /// The underlying shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Member occupying the root (the next leader `L_{v+1}`).
+    pub fn root(&self) -> u32 {
+        self.assignment.member_at(0)
+    }
+
+    /// Role of a member.
+    pub fn role_of(&self, member: u32) -> Role {
+        self.topology.role_of(self.assignment.position_of(member))
+    }
+
+    /// Parent of a member (`None` for the root).
+    pub fn parent_of(&self, member: u32) -> Option<u32> {
+        self.topology
+            .parent(self.assignment.position_of(member))
+            .map(|p| self.assignment.member_at(p))
+    }
+
+    /// Children members of a member.
+    pub fn children_of(&self, member: u32) -> Vec<u32> {
+        self.topology
+            .children(self.assignment.position_of(member))
+            .into_iter()
+            .map(|p| self.assignment.member_at(p))
+            .collect()
+    }
+
+    /// Height (leaf 0 / internal 1 / root 2) of a member.
+    pub fn height_of(&self, member: u32) -> u32 {
+        self.topology.height_of(self.assignment.position_of(member))
+    }
+
+    /// All members with a given role.
+    pub fn members_with_role(&self, role: Role) -> Vec<u32> {
+        self.topology
+            .positions_with_role(role)
+            .into_iter()
+            .map(|p| self.assignment.member_at(p))
+            .collect()
+    }
+
+    /// The whole branch under an internal member (itself plus its leaves).
+    pub fn branch_of(&self, internal_member: u32) -> Vec<u32> {
+        let mut branch = vec![internal_member];
+        branch.extend(self.children_of(internal_member));
+        branch
+    }
+
+    /// Committee size.
+    pub fn len(&self) -> u32 {
+        self.topology.len()
+    }
+
+    /// True if the committee is empty (not constructible in practice).
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_topology_111_fanout_10() {
+        let t = Topology::with_fanout(111, 10).unwrap();
+        assert_eq!(t.internal_count(), 10);
+        assert_eq!(t.leaf_count(), 100);
+        for pos in 1..=10 {
+            assert_eq!(t.children(pos).len(), 10, "internal {pos}");
+        }
+        assert_eq!(t.children(0), (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_topology_21_with_4_internal() {
+        let t = Topology::new(21, 4).unwrap();
+        assert_eq!(t.leaf_count(), 16);
+        for pos in 1..=4 {
+            assert_eq!(t.children(pos).len(), 4);
+        }
+    }
+
+    #[test]
+    fn paper_topology_109_with_4_internal() {
+        let t = Topology::new(109, 4).unwrap();
+        assert_eq!(t.leaf_count(), 104);
+        // 104 leaves round-robin over 4 internal = 26 each.
+        for pos in 1..=4 {
+            assert_eq!(t.children(pos).len(), 26);
+        }
+    }
+
+    #[test]
+    fn uneven_leaf_distribution_is_balanced() {
+        let t = Topology::new(10, 3).unwrap(); // 6 leaves over 3 internal
+        let sizes: Vec<usize> = (1..=3).map(|p| t.children(p).len()).collect();
+        assert_eq!(sizes, vec![2, 2, 2]);
+        let t = Topology::new(11, 3).unwrap(); // 7 leaves over 3 internal
+        let mut sizes: Vec<usize> = (1..=3).map(|p| t.children(p).len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let t = Topology::new(21, 4).unwrap();
+        for pos in 0..21 {
+            for c in t.children(pos) {
+                assert_eq!(t.parent(c), Some(pos));
+            }
+        }
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn heights_follow_roles() {
+        let t = Topology::new(21, 4).unwrap();
+        assert_eq!(t.height_of(0), 2);
+        assert_eq!(t.height_of(1), 1);
+        assert_eq!(t.height_of(20), 0);
+    }
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(Topology::new(3, 5).is_err());
+        assert!(Topology::new(0, 0).is_err());
+        assert!(Topology::new(5, 0).is_err());
+        assert!(Topology::new(1, 0).is_ok()); // singleton committee
+    }
+
+    #[test]
+    fn balanced_keeps_height_two() {
+        for n in [21, 41, 61, 81, 101, 121, 141] {
+            let t = Topology::balanced(n).unwrap();
+            let i = t.internal_count();
+            assert!(i >= 1);
+            // Each aggregator handles about sqrt(n) leaves.
+            let per = t.leaf_count() as f64 / i as f64;
+            assert!(per <= 2.0 * (n as f64).sqrt(), "n={n} per={per}");
+        }
+    }
+
+    #[test]
+    fn tree_view_is_deterministic_per_view() {
+        let seed = [5u8; 32];
+        let a = TreeView::build(21, 4, &seed, 7).unwrap();
+        let b = TreeView::build(21, 4, &seed, 7).unwrap();
+        let c = TreeView::build(21, 4, &seed, 8).unwrap();
+        assert_eq!(a.root(), b.root());
+        assert_eq!(
+            a.members_with_role(Role::Internal),
+            b.members_with_role(Role::Internal)
+        );
+        // Different views almost surely differ somewhere.
+        assert!(
+            a.root() != c.root()
+                || a.members_with_role(Role::Internal) != c.members_with_role(Role::Internal)
+        );
+    }
+
+    #[test]
+    fn branch_contains_internal_and_its_leaves() {
+        let tv = TreeView::build(111, 10, &[1u8; 32], 0).unwrap();
+        let internal = tv.members_with_role(Role::Internal)[3];
+        let branch = tv.branch_of(internal);
+        assert_eq!(branch.len(), 11); // internal + 10 leaves
+        for &m in &branch[1..] {
+            assert_eq!(tv.parent_of(m), Some(internal));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn member_queries_consistent(n in 2u32..200, seed in any::<[u8; 32]>(), view in 0u64..100) {
+            let internal = ((n - 1) as f64).sqrt().ceil() as u32;
+            prop_assume!(internal >= 1 && internal < n);
+            let tv = TreeView::build(n, internal, &seed, view).unwrap();
+            let root = tv.root();
+            prop_assert_eq!(tv.role_of(root), Role::Root);
+            let mut seen = 0u32;
+            for m in 0..n {
+                match tv.role_of(m) {
+                    Role::Root => { prop_assert_eq!(m, root); seen += 1; }
+                    Role::Internal => {
+                        prop_assert_eq!(tv.parent_of(m), Some(root));
+                        for c in tv.children_of(m) {
+                            prop_assert_eq!(tv.parent_of(c), Some(m));
+                            prop_assert_eq!(tv.role_of(c), Role::Leaf);
+                        }
+                        seen += 1;
+                    }
+                    Role::Leaf => {
+                        let p = tv.parent_of(m).unwrap();
+                        prop_assert!(tv.children_of(p).contains(&m));
+                        seen += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(seen, n);
+        }
+
+        #[test]
+        fn every_leaf_has_exactly_one_parent(n in 6u32..150, internal in 2u32..10) {
+            prop_assume!(internal + 1 < n);
+            let t = Topology::new(n, internal).unwrap();
+            let mut covered = std::collections::HashSet::new();
+            for i in 1..=internal {
+                for c in t.children(i) {
+                    prop_assert!(covered.insert(c), "leaf {c} claimed twice");
+                }
+            }
+            prop_assert_eq!(covered.len() as u32, t.leaf_count());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Runs the paper's 21-replica cluster under increasing crash faults and
+//! prints the Fig. 4 metrics (throughput, latency, failed views, QC size).
+//!
+//! ```sh
+//! cargo run --release --example consensus_cluster
+//! ```
+
+use iniva_sim::resilience::{run, Variant};
+
+fn main() {
+    println!("21 replicas, 4 internal aggregators, crash faults randomly placed\n");
+    for variant in [Variant::Delta5, Variant::Delta10, Variant::Carousel5] {
+        println!("== {} ==", variant.label());
+        println!(
+            "{:<8} {:>14} {:>12} {:>14} {:>10}",
+            "faults", "ops/s", "latency ms", "failed views %", "QC size"
+        );
+        for faults in 0..=4 {
+            let p = run(variant, faults, 15, 7 + faults as u64);
+            println!(
+                "{:<8} {:>14.0} {:>12.1} {:>14.1} {:>10.2}",
+                p.faults, p.throughput, p.latency_ms, p.failed_views_pct, p.qc_size
+            );
+        }
+        println!();
+    }
+    println!(
+        "Even with 4 of 21 replicas crashed, the 2ND-CHANCE fallback keeps the\n\
+         QC above 99% of the correct processes (paper Fig. 4d)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Demonstrates the targeted vote-omission attack: how often can an
+//! attacker controlling a fraction `m` of the committee exclude one chosen
+//! victim's vote, under the star protocol, Gosig and Iniva?
+//!
+//! ```sh
+//! cargo run --release --example omission_attack
+//! ```
+
+use iniva_gosig::GosigConfig;
+use iniva_sim::omission;
+
+fn main() {
+    let trials = 20_000;
+    println!("targeted vote omission, collateral 0 — {trials} Monte-Carlo trials per cell\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "m", "star", "gosig k=2", "gosig k=2+FR", "iniva", "m^2 (Thm 4)"
+    );
+    for m in [0.05, 0.10, 0.15, 0.20, 0.30] {
+        let star = omission::star_omission_probability(111, m, trials, 1);
+        let gosig = iniva_gosig::omission_probability(&GosigConfig::paper(2, m), 0, trials, 2);
+        let gosig_fr = iniva_gosig::omission_probability(
+            &GosigConfig {
+                free_riding: 0.3,
+                ..GosigConfig::paper(2, m)
+            },
+            0,
+            trials,
+            3,
+        );
+        let iniva = omission::iniva_omission_probability(111, 10, m, 0, trials, 4);
+        println!(
+            "{m:<8.2} {star:>12.4} {gosig:>12.4} {gosig_fr:>12.4} {iniva:>12.4} {:>12.4}",
+            m * m
+        );
+    }
+    println!(
+        "\nIniva reduces targeted omission from m to m² — an attacker needs to\n\
+         control two specific roles (tree root L_v+1 plus the victim's parent,\n\
+         or both consecutive leaders) in the same randomly shuffled view."
+    );
+}

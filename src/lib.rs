@@ -1,0 +1,8 @@
+//! Workspace root crate: re-exports for examples and integration tests.
+pub use iniva_consensus as consensus;
+pub use iniva_crypto as crypto;
+pub use iniva_gosig as gosig;
+pub use iniva_net as net;
+pub use iniva_sim as sim;
+pub use iniva_tree as tree;
+
