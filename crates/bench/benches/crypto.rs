@@ -20,7 +20,9 @@ fn bench_crypto(c: &mut Criterion) {
         let data = vec![0xa5u8; 1024];
         b.iter(|| sha256::sha256(black_box(&data)))
     });
-    g.bench_function("hash_to_g1", |b| b.iter(|| g1::hash_to_curve(black_box(msg))));
+    g.bench_function("hash_to_g1", |b| {
+        b.iter(|| g1::hash_to_curve(black_box(msg)))
+    });
     g.bench_function("g1_scalar_mul", |b| {
         let p = g1::generator();
         b.iter(|| black_box(&p).mul_u64(0xdead_beef_1234))

@@ -11,9 +11,7 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper-artifacts");
     g.sample_size(10);
 
-    g.bench_function("table1", |b| {
-        b.iter(|| black_box(table1::table_1(500, 42)))
-    });
+    g.bench_function("table1", |b| b.iter(|| black_box(table1::table_1(500, 42))));
     g.bench_function("fig2a_omission_collateral0", |b| {
         b.iter(|| black_box(omission::figure_2a(300, 42)))
     });

@@ -1,0 +1,69 @@
+//! Records the live-transport performance baseline: a 4-replica Iniva
+//! cluster over loopback TCP, reduced to committed throughput and latency
+//! with the shared metric definitions, written to `BENCH_transport.json`.
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin transport_baseline
+//! cargo run --release -p iniva-bench --bin transport_baseline -- out.json 8 5
+//! #                                      optional: path, n, duration_secs
+//! ```
+//!
+//! The JSON seeds the performance trajectory for future PRs: any change to
+//! the transport or the protocol hot path can be compared against the
+//! committed numbers.
+
+use iniva::protocol::InivaConfig;
+use iniva_consensus::PerfSummary;
+use iniva_transport::cluster::run_local_iniva_cluster;
+use iniva_transport::CpuMode;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_transport.json");
+    let n: usize = args.get(1).map_or(4, |v| v.parse().expect("n"));
+    let duration_secs: u64 = args.get(2).map_or(3, |v| v.parse().expect("duration_secs"));
+
+    let mut cfg = InivaConfig::for_tests(n, ((n as f64 - 1.0).sqrt().round() as u32).max(1));
+    // Below the n=4 saturation point (~2.7k committed/s), so the recorded
+    // latency is service time, not open-loop queueing backlog.
+    cfg.request_rate = 2_000;
+    let run = run_local_iniva_cluster(&cfg, Duration::from_secs(duration_secs), CpuMode::Real)
+        .expect("cluster starts");
+    let agreed = run
+        .agreed_prefix_height()
+        .expect("committed prefixes agree");
+
+    let cpu_busy: Vec<u64> = run.nodes.iter().map(|nd| nd.runtime.busy).collect();
+    let metrics = &run.nodes[0].replica.chain.metrics;
+    let point = PerfSummary::from_metrics(metrics, duration_secs as f64, &cpu_busy);
+    println!("{}", PerfSummary::table_header());
+    println!("{}", point.table_row("live-tcp"));
+
+    let frames: u64 = run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum();
+    let bytes: u64 = run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum();
+    let reconnects: u64 = run.nodes.iter().map(|nd| nd.transport.reconnects).sum();
+
+    // Hand-rolled JSON: the workspace is offline (no serde); the schema is
+    // flat numbers only.
+    let json = format!(
+        "{{\n  \"benchmark\": \"iniva-transport 4-replica loopback\",\n  \
+         \"n\": {n},\n  \"duration_secs\": {duration_secs},\n  \
+         \"offered_rate_per_sec\": {rate},\n  \
+         \"committed_throughput_per_sec\": {tp:.1},\n  \
+         \"median_latency_ms\": {med:.3},\n  \"mean_latency_ms\": {mean:.3},\n  \
+         \"agreed_prefix_blocks\": {agreed},\n  \"cpu_mean_pct\": {cpu:.2},\n  \
+         \"frames_sent\": {frames},\n  \"body_bytes_sent\": {bytes},\n  \
+         \"reconnects\": {reconnects}\n}}\n",
+        rate = cfg.request_rate,
+        tp = point.throughput,
+        med = point.median_latency_ms,
+        mean = point.latency_ms,
+        cpu = point.cpu_mean_pct,
+    );
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+}

@@ -5,6 +5,15 @@ use iniva_crypto::multisig::VoteScheme;
 use iniva_net::Time;
 use std::collections::HashMap;
 
+/// Cap on recorded per-request latency samples (for percentile metrics);
+/// past it only the running sum continues, so long simulator runs don't
+/// grow without bound while short live-cluster runs get exact percentiles.
+pub const LATENCY_SAMPLE_CAP: usize = 100_000;
+
+/// Cap on the committed-block log kept for cross-replica agreement checks;
+/// bounds memory on long runs the same way [`LATENCY_SAMPLE_CAP`] does.
+pub const COMMITTED_LOG_CAP: usize = 65_536;
+
 /// Per-chain metrics harvested by the experiment harness.
 #[derive(Debug, Clone, Default)]
 pub struct ChainMetrics {
@@ -12,6 +21,8 @@ pub struct ChainMetrics {
     pub committed_reqs: u64,
     /// Sum of request latencies (commit time − arrival time), ns.
     pub latency_sum: u128,
+    /// Per-request latency samples (ns), first [`LATENCY_SAMPLE_CAP`] only.
+    pub latency_samples: Vec<u64>,
     /// Committed blocks.
     pub committed_blocks: u64,
     /// Sum of distinct signers over all QCs formed/observed.
@@ -32,6 +43,18 @@ impl ChainMetrics {
         } else {
             self.latency_sum as f64 / self.committed_reqs as f64
         }
+    }
+
+    /// Median request latency in nanoseconds over the recorded samples
+    /// (0 if nothing committed).
+    pub fn median_latency(&self) -> f64 {
+        if self.latency_samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_samples.clone();
+        let mid = sorted.len() / 2;
+        let (_, m, _) = sorted.select_nth_unstable(mid);
+        *m as f64
     }
 
     /// Mean QC size (distinct signers).
@@ -65,6 +88,10 @@ pub struct ChainState<S: VoteScheme> {
     ns_per_req: Time,
     /// Next uncommitted request sequence number.
     next_req: u64,
+    /// Every committed block as `(height, hash)`, ascending — the chain
+    /// prefix this replica has finalized (used for cross-replica agreement
+    /// checks in the live-cluster tests).
+    committed_log: Vec<(u64, BlockHash)>,
     /// Metrics.
     pub metrics: ChainMetrics,
 }
@@ -79,12 +106,11 @@ impl<S: VoteScheme> ChainState<S> {
             blocks,
             highest_qc: None,
             committed_height: 0,
-            ns_per_req: if request_rate_per_sec == 0 {
-                0
-            } else {
-                1_000_000_000 / request_rate_per_sec
-            },
+            ns_per_req: 1_000_000_000u64
+                .checked_div(request_rate_per_sec)
+                .unwrap_or(0),
             next_req: 0,
+            committed_log: Vec::new(),
             metrics: ChainMetrics::default(),
         }
     }
@@ -117,6 +143,14 @@ impl<S: VoteScheme> ChainState<S> {
         self.committed_height
     }
 
+    /// The committed chain as `(height, hash)` pairs, ascending (first
+    /// [`COMMITTED_LOG_CAP`] commits). Safety means this is a
+    /// prefix-consistent log across correct replicas: for any height two
+    /// replicas both committed, the hashes agree.
+    pub fn committed_log(&self) -> &[(u64, BlockHash)] {
+        &self.committed_log
+    }
+
     /// Looks up a block.
     pub fn block(&self, h: &BlockHash) -> Option<&Block> {
         self.blocks.get(h)
@@ -139,9 +173,9 @@ impl<S: VoteScheme> ChainState<S> {
     ) -> Block {
         let (parent_hash, parent_height) = self.high_tip();
         let mut batch_len = 0u32;
-        if self.ns_per_req > 0 {
-            let arrived = now / self.ns_per_req + 1; // requests 0..arrived
-            let pending = arrived.saturating_sub(self.next_req);
+        if let Some(arrived) = now.checked_div(self.ns_per_req) {
+            // Requests 0..=arrived have arrived by `now`.
+            let pending = (arrived + 1).saturating_sub(self.next_req);
             batch_len = pending.min(max_batch as u64) as u32;
         }
         Block {
@@ -199,12 +233,19 @@ impl<S: VoteScheme> ChainState<S> {
             }
         }
         for b in chain.iter().rev() {
+            if self.committed_log.len() < COMMITTED_LOG_CAP {
+                self.committed_log.push((b.height, b.hash()));
+            }
             self.metrics.committed_blocks += 1;
             self.metrics.committed_reqs += b.batch_len as u64;
             if self.ns_per_req > 0 {
                 for i in 0..b.batch_len as u64 {
                     let arrival = (b.batch_start + i) * self.ns_per_req;
-                    self.metrics.latency_sum += now.saturating_sub(arrival) as u128;
+                    let latency = now.saturating_sub(arrival);
+                    self.metrics.latency_sum += latency as u128;
+                    if self.metrics.latency_samples.len() < LATENCY_SAMPLE_CAP {
+                        self.metrics.latency_samples.push(latency);
+                    }
                 }
             }
             self.next_req = self.next_req.max(b.batch_start + b.batch_len as u64);
@@ -257,6 +298,12 @@ mod tests {
         assert_eq!(chain.committed_height(), 1);
         extend(&mut chain, 4, &s);
         assert_eq!(chain.committed_height(), 2);
+        // The committed log records the prefix in order.
+        let log = chain.committed_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 1);
+        assert_eq!(log[1].0, 2);
+        assert_ne!(log[0].1, log[1].1);
     }
 
     #[test]
@@ -266,7 +313,11 @@ mod tests {
         extend(&mut chain, 1, &s);
         extend(&mut chain, 2, &s);
         extend(&mut chain, 5, &s); // gap: 2 -> 5
-        assert_eq!(chain.committed_height(), 0, "non-consecutive views must not commit");
+        assert_eq!(
+            chain.committed_height(),
+            0,
+            "non-consecutive views must not commit"
+        );
         extend(&mut chain, 6, &s);
         assert_eq!(chain.committed_height(), 0);
         extend(&mut chain, 7, &s);
@@ -277,7 +328,7 @@ mod tests {
     #[test]
     fn batching_respects_arrival_times() {
         let chain: ChainState<SimScheme> = ChainState::new(1000); // 1 req/ms
-        // At t = 10 ms, 11 requests have arrived (0..=10).
+                                                                  // At t = 10 ms, 11 requests have arrived (0..=10).
         let b = chain.draft_block(1, 0, 10_000_000, 100, 64);
         assert_eq!(b.batch_len, 11);
         // Batch cap applies.

@@ -18,10 +18,12 @@
 
 pub mod chain;
 pub mod leader;
+pub mod perf;
 pub mod star;
 pub mod types;
 
 pub use chain::{ChainMetrics, ChainState};
 pub use leader::{LeaderContext, LeaderPolicy};
+pub use perf::PerfSummary;
 pub use star::{ReplicaConfig, StarMsg, StarReplica};
 pub use types::{quorum, vote_message, Block, BlockHash, Qc};

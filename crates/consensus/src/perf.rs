@@ -1,0 +1,130 @@
+//! The shared performance-point definition.
+//!
+//! Both measurement backends — the discrete-event simulator harness
+//! (`iniva-sim::perf`) and the real-socket transport runtime
+//! (`iniva-transport`) — reduce a run to this struct with the *same*
+//! metric definitions, so simulated and live numbers are directly
+//! comparable:
+//!
+//! * throughput = committed requests / duration,
+//! * latency = mean (and median) of commit − arrival per request,
+//! * CPU% = charged busy time / wall time per node (mean and max),
+//! * QC size = mean distinct signers per certificate,
+//! * failed views = timeout-entered views / total views.
+
+use crate::chain::ChainMetrics;
+
+/// Nanoseconds per second (duplicated from `iniva-net` to keep this module
+/// usable by both backends without an extra dependency edge).
+const SECS: f64 = 1_000_000_000.0;
+const MILLIS: f64 = 1_000_000.0;
+
+/// Measured output of one run, simulated or live.
+#[derive(Debug, Clone)]
+pub struct PerfSummary {
+    /// Committed requests per second.
+    pub throughput: f64,
+    /// Mean request latency in milliseconds.
+    pub latency_ms: f64,
+    /// Median request latency in milliseconds.
+    pub median_latency_ms: f64,
+    /// Mean CPU utilization across replicas (0..=100, %).
+    pub cpu_mean_pct: f64,
+    /// Maximum per-replica CPU utilization (%): the leader bottleneck.
+    pub cpu_max_pct: f64,
+    /// Mean QC size (distinct signers).
+    pub qc_size: f64,
+    /// Fraction of failed views.
+    pub failed_views: f64,
+}
+
+impl PerfSummary {
+    /// Reduces one replica's chain metrics plus per-node CPU busy times
+    /// (nanoseconds over the same `duration_secs` window) to a summary.
+    pub fn from_metrics(metrics: &ChainMetrics, duration_secs: f64, cpu_busy_ns: &[u64]) -> Self {
+        let wall = duration_secs * SECS;
+        let cpu: Vec<f64> = cpu_busy_ns
+            .iter()
+            .map(|&busy| busy as f64 / wall * 100.0)
+            .collect();
+        let n = cpu.len().max(1) as f64;
+        PerfSummary {
+            throughput: metrics.committed_reqs as f64 / duration_secs,
+            latency_ms: metrics.mean_latency() / MILLIS,
+            median_latency_ms: metrics.median_latency() / MILLIS,
+            cpu_mean_pct: cpu.iter().sum::<f64>() / n,
+            cpu_max_pct: cpu.iter().cloned().fold(0.0, f64::max),
+            qc_size: metrics.mean_qc_size(),
+            failed_views: metrics.failed_view_fraction(),
+        }
+    }
+
+    /// Column header matching [`PerfSummary::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>8}",
+            "backend",
+            "ops/s",
+            "latency ms",
+            "median ms",
+            "cpu avg%",
+            "cpu max%",
+            "QC size",
+            "failed%"
+        )
+    }
+
+    /// One formatted row, labeled with the backend/configuration.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{:<14} {:>12.0} {:>12.2} {:>12.2} {:>9.1} {:>9.1} {:>9.2} {:>8.2}",
+            label,
+            self.throughput,
+            self.latency_ms,
+            self.median_latency_ms,
+            self.cpu_mean_pct,
+            self.cpu_max_pct,
+            self.qc_size,
+            self.failed_views * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> ChainMetrics {
+        ChainMetrics {
+            committed_reqs: 1000,
+            latency_sum: 1000 * 5_000_000, // 5 ms each
+            latency_samples: vec![5_000_000; 1000],
+            committed_blocks: 10,
+            qc_signers_sum: 40,
+            qc_count: 10,
+            failed_views: 1,
+            total_views: 10,
+        }
+    }
+
+    #[test]
+    fn definitions_match_the_simulator_harness() {
+        let s = PerfSummary::from_metrics(&metrics(), 2.0, &[1_000_000_000, 0]);
+        assert_eq!(s.throughput, 500.0);
+        assert_eq!(s.latency_ms, 5.0);
+        assert_eq!(s.median_latency_ms, 5.0);
+        assert_eq!(s.cpu_mean_pct, 25.0); // (50% + 0%) / 2
+        assert_eq!(s.cpu_max_pct, 50.0);
+        assert_eq!(s.qc_size, 4.0);
+        assert_eq!(s.failed_views, 0.1);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let s = PerfSummary::from_metrics(&metrics(), 2.0, &[0]);
+        let header = PerfSummary::table_header();
+        let row = s.table_row("simulated");
+        assert!(header.starts_with("backend"));
+        assert!(row.starts_with("simulated"));
+    }
+}

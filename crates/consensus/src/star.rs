@@ -12,6 +12,7 @@ use crate::leader::{LeaderContext, LeaderPolicy};
 use crate::types::{quorum, vote_message, Block, Qc, AGG_SIG_BYTES, PER_SIGNER_BYTES};
 use iniva_crypto::multisig::VoteScheme;
 use iniva_net::cost::CostModel;
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use iniva_net::{Actor, Context, NodeId, Time};
 use std::sync::Arc;
 
@@ -87,6 +88,49 @@ impl<S: VoteScheme> Clone for StarMsg<S> {
     }
 }
 
+impl<S: VoteScheme> WireEncode for StarMsg<S>
+where
+    S::Aggregate: WireEncode,
+{
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            StarMsg::Proposal { block, qc } => {
+                enc.put_u8(0);
+                block.encode(enc);
+                enc.put_opt(qc);
+            }
+            StarMsg::Vote { view, block, agg } => {
+                enc.put_u8(1).put_u64(*view);
+                block.encode(enc);
+                agg.encode(enc);
+            }
+        }
+    }
+}
+
+impl<S: VoteScheme> WireDecode for StarMsg<S>
+where
+    S::Aggregate: WireDecode,
+{
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(StarMsg::Proposal {
+                block: Block::decode(dec)?,
+                qc: dec.get_opt()?,
+            }),
+            1 => Ok(StarMsg::Vote {
+                view: dec.get_u64()?,
+                block: Block::decode(dec)?,
+                agg: S::Aggregate::decode(dec)?,
+            }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                context: "StarMsg",
+            }),
+        }
+    }
+}
+
 /// A star-topology HotStuff replica.
 pub struct StarReplica<S: VoteScheme> {
     /// This replica's committee id (== its simulator NodeId).
@@ -121,7 +165,9 @@ impl<S: VoteScheme> StarReplica<S> {
     }
 
     fn leader_of(&self, view: u64) -> u32 {
-        self.cfg.leader_policy.leader(view, self.cfg.n, &self.leader_ctx)
+        self.cfg
+            .leader_policy
+            .leader(view, self.cfg.n, &self.leader_ctx)
     }
 
     fn qc_wire(&self, qc: &Option<Qc<S>>) -> usize {
@@ -167,12 +213,7 @@ impl<S: VoteScheme> StarReplica<S> {
         ctx.set_timer(self.cfg.view_timeout, view);
     }
 
-    fn handle_proposal(
-        &mut self,
-        ctx: &mut Context<StarMsg<S>>,
-        block: Block,
-        qc: Option<Qc<S>>,
-    ) {
+    fn handle_proposal(&mut self, ctx: &mut Context<StarMsg<S>>, block: Block, qc: Option<Qc<S>>) {
         let cost = self.cfg.cost.clone();
         // Validate the justifying QC.
         match &qc {
@@ -207,7 +248,9 @@ impl<S: VoteScheme> StarReplica<S> {
         }
         self.last_voted_view = block.view;
         ctx.charge_cpu(cost.sign);
-        let sig = self.scheme.sign(self.id, &vote_message(&block.hash(), block.view));
+        let sig = self
+            .scheme
+            .sign(self.id, &vote_message(&block.hash(), block.view));
         let next_leader = self.leader_of(block.view + 1);
         let vote = StarMsg::Vote {
             view: block.view,
@@ -345,7 +388,9 @@ mod tests {
     fn all_replicas_agree_on_committed_prefix() {
         let mut sim = build(4, 10_000);
         sim.run_until(2 * SECS);
-        let heights: Vec<u64> = (0..4).map(|i| sim.actor(i).chain.committed_height()).collect();
+        let heights: Vec<u64> = (0..4)
+            .map(|i| sim.actor(i).chain.committed_height())
+            .collect();
         let min = *heights.iter().min().unwrap();
         let max = *heights.iter().max().unwrap();
         assert!(min > 0);
@@ -371,7 +416,10 @@ mod tests {
         sim.crash(2);
         sim.run_until(6 * SECS);
         let m = &sim.actor(0).chain.metrics;
-        assert!(m.failed_views > 0, "round-robin must hit the crashed leader");
+        assert!(
+            m.failed_views > 0,
+            "round-robin must hit the crashed leader"
+        );
         assert!(
             sim.actor(0).chain.committed_height() > 3,
             "liveness must persist with 1 crash of 7 (got {})",
@@ -399,5 +447,58 @@ mod tests {
         // check the total is dominated by verify costs.
         let total: u64 = (0..7).map(|i| sim.stats(i).cpu_busy).sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn star_messages_roundtrip_on_the_wire() {
+        use crate::types::GENESIS_HASH;
+        use iniva_net::wire::Codec;
+        let s = SimScheme::new(4, b"star-wire");
+        let block = Block {
+            view: 2,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 4,
+            payload_per_req: 64,
+        };
+        let msg = vote_message(&block.hash(), block.view);
+        let qc = Qc::<SimScheme> {
+            block_hash: block.hash(),
+            view: 2,
+            height: 1,
+            agg: s.combine(&s.sign(0, &msg), &s.sign(1, &msg)),
+        };
+        let variants: Vec<StarMsg<SimScheme>> = vec![
+            StarMsg::Proposal {
+                block: block.clone(),
+                qc: Some(qc.clone()),
+            },
+            StarMsg::Proposal {
+                block: block.clone(),
+                qc: None,
+            },
+            StarMsg::Vote {
+                view: 2,
+                block,
+                agg: s.sign(3, &msg),
+            },
+        ];
+        for m in &variants {
+            let frame = m.to_frame();
+            let back: StarMsg<SimScheme> = Codec::from_frame(frame.clone()).unwrap();
+            // No PartialEq on scheme aggregates: compare canonical bytes.
+            assert_eq!(&back.to_frame()[..], &frame[..]);
+            // Every strict prefix fails cleanly.
+            for cut in 0..frame.len() {
+                assert!(StarMsg::<SimScheme>::from_frame(frame.slice(0..cut)).is_err());
+            }
+        }
+        // The QC itself roundtrips and still verifies.
+        let back = Qc::<SimScheme>::from_frame(qc.to_frame()).unwrap();
+        assert_eq!(back.block_hash, qc.block_hash);
+        assert_eq!(back.signer_count(&s), 2);
+        assert!(s.verify(&msg, &back.agg));
     }
 }

@@ -138,6 +138,32 @@ impl<S: VoteScheme> Clone for Qc<S> {
     }
 }
 
+impl<S: VoteScheme> WireEncode for Qc<S>
+where
+    S::Aggregate: WireEncode,
+{
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_array(&self.block_hash)
+            .put_u64(self.view)
+            .put_u64(self.height);
+        self.agg.encode(enc);
+    }
+}
+
+impl<S: VoteScheme> WireDecode for Qc<S>
+where
+    S::Aggregate: WireDecode,
+{
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(Qc {
+            block_hash: dec.get_array()?,
+            view: dec.get_u64()?,
+            height: dec.get_u64()?,
+            agg: S::Aggregate::decode(dec)?,
+        })
+    }
+}
+
 impl<S: VoteScheme> Qc<S> {
     /// Modeled wire size of the QC.
     pub fn wire_bytes(&self, scheme: &S) -> usize {

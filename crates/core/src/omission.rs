@@ -125,9 +125,15 @@ mod tests {
             AttackOutcome::Omitted { collateral: 0 }
         );
         // Parent alone is not enough (2ND-CHANCE re-adds the victim).
-        assert_eq!(evaluate_attack(&t, 5, &set(&[1]), 3, 9), AttackOutcome::Failed);
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[1]), 3, 9),
+            AttackOutcome::Failed
+        );
         // Root alone with zero collateral fails (branch drop needs budget).
-        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 3, 0), AttackOutcome::Failed);
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0]), 3, 0),
+            AttackOutcome::Failed
+        );
     }
 
     #[test]
@@ -139,7 +145,10 @@ mod tests {
             evaluate_attack(&t, 5, &set(&[0]), 3, 2),
             AttackOutcome::Omitted { collateral: 2 }
         );
-        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 3, 1), AttackOutcome::Failed);
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0]), 3, 1),
+            AttackOutcome::Failed
+        );
     }
 
     #[test]
@@ -155,7 +164,10 @@ mod tests {
             evaluate_attack(&t, 5, &set(&[0]), 1, 2),
             AttackOutcome::Omitted { collateral: 2 }
         );
-        assert_eq!(evaluate_attack(&t, 5, &set(&[0]), 1, 1), AttackOutcome::Failed);
+        assert_eq!(
+            evaluate_attack(&t, 5, &set(&[0]), 1, 1),
+            AttackOutcome::Failed
+        );
     }
 
     #[test]

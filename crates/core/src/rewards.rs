@@ -250,11 +250,7 @@ mod tests {
     /// n = 7, 2 internal, identity assignment:
     /// root = 0, internal = {1, 2}, leaves = {3, 5} -> 1, {4, 6} -> 2.
     fn tree() -> TreeView {
-        TreeView::with_assignment(
-            Topology::new(7, 2).unwrap(),
-            Assignment::identity(7),
-            0,
-        )
+        TreeView::with_assignment(Topology::new(7, 2).unwrap(), Assignment::identity(7), 0)
     }
 
     /// The fault-free QC: every leaf mult 2, internals mult 3, root mult 1.
@@ -301,9 +297,24 @@ mod tests {
             (4, 1), // 2ND-CHANCE leaf
         ]);
         let inc = classify_inclusions(&t, &m);
-        assert_eq!(inc[0], Inclusion::Tree { aggregated_children: 0 });
-        assert_eq!(inc[1], Inclusion::Tree { aggregated_children: 1 });
-        assert_eq!(inc[3], Inclusion::Tree { aggregated_children: 0 });
+        assert_eq!(
+            inc[0],
+            Inclusion::Tree {
+                aggregated_children: 0
+            }
+        );
+        assert_eq!(
+            inc[1],
+            Inclusion::Tree {
+                aggregated_children: 1
+            }
+        );
+        assert_eq!(
+            inc[3],
+            Inclusion::Tree {
+                aggregated_children: 0
+            }
+        );
         assert_eq!(inc[5], Inclusion::SecondChance);
         assert_eq!(inc[4], Inclusion::SecondChance);
         assert_eq!(inc[2], Inclusion::Absent);
@@ -369,7 +380,10 @@ mod tests {
         m = Multiplicities::from_iter(m.iter().filter(|(s, _)| *s != 6));
         let d = distribute(&t, &m, &params, 1.0);
         assert!(d.shares[6] < d.shares[3]);
-        assert!(d.shares[6] > 0.0, "residual redistribution reaches everyone");
+        assert!(
+            d.shares[6] > 0.0,
+            "residual redistribution reaches everyone"
+        );
     }
 
     #[test]
@@ -377,8 +391,7 @@ mod tests {
         let t = tree();
         let params = RewardParams::default();
         // Quorum-only QC (5 of 7) vs full QC.
-        let quorum_only =
-            Multiplicities::from_iter([(0, 1), (1, 3), (3, 2), (5, 2), (2, 1)]);
+        let quorum_only = Multiplicities::from_iter([(0, 1), (1, 3), (3, 2), (5, 2), (2, 1)]);
         let d_q = distribute(&t, &quorum_only, &params, 1.0);
         let d_full = distribute(&t, &full_mults(), &params, 1.0);
         assert!(
@@ -392,10 +405,22 @@ mod tests {
         let t = tree();
         let params = RewardParams::default();
         let d = distribute(&t, &full_mults(), &params, 1.0);
-        assert!(verify_distribution(&t, &full_mults(), &params, 1.0, &d.shares));
+        assert!(verify_distribution(
+            &t,
+            &full_mults(),
+            &params,
+            1.0,
+            &d.shares
+        ));
         let mut forged = d.shares.clone();
         forged[0] += 0.01;
         forged[3] -= 0.01;
-        assert!(!verify_distribution(&t, &full_mults(), &params, 1.0, &forged));
+        assert!(!verify_distribution(
+            &t,
+            &full_mults(),
+            &params,
+            1.0,
+            &forged
+        ));
     }
 }

@@ -121,7 +121,10 @@ fn second_chances_fire_only_under_faults() {
         .map(|i| faulty.actor(i).agg_metrics.second_chances_sent)
         .sum();
 
-    assert_eq!(clean_sc, 0, "fallback paths must stay dormant when fault-free");
+    assert_eq!(
+        clean_sc, 0,
+        "fallback paths must stay dormant when fault-free"
+    );
     assert!(faulty_sc > 0, "crashes must trigger 2ND-CHANCE");
 }
 
@@ -170,5 +173,8 @@ fn iniva_round_latency_exceeds_star_but_stays_bounded() {
     let mut sim = build(21, 4, |_| {});
     sim.run_until(5 * SECS);
     let blocks = sim.actor(0).chain.metrics.committed_blocks;
-    assert!(blocks >= 25, "expected steady block flow, got {blocks} in 5s");
+    assert!(
+        blocks >= 25,
+        "expected steady block flow, got {blocks} in 5s"
+    );
 }

@@ -99,13 +99,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn arb_fp() -> impl Strategy<Value = Fp> {
-        proptest::array::uniform6(any::<u64>())
-            .prop_map(|l| Fp::from_nat(&Nat::from_limbs(&l)))
+        proptest::array::uniform6(any::<u64>()).prop_map(|l| Fp::from_nat(&Nat::from_limbs(&l)))
     }
 
     fn arb_fr() -> impl Strategy<Value = Fr> {
-        proptest::array::uniform4(any::<u64>())
-            .prop_map(|l| Fr::from_nat(&Nat::from_limbs(&l)))
+        proptest::array::uniform4(any::<u64>()).prop_map(|l| Fr::from_nat(&Nat::from_limbs(&l)))
     }
 
     #[test]

@@ -55,18 +55,10 @@ impl Field for Fp6 {
         Fp6::new(Fp2::one(), Fp2::zero(), Fp2::zero())
     }
     fn add(&self, o: &Self) -> Self {
-        Fp6::new(
-            self.c0.add(&o.c0),
-            self.c1.add(&o.c1),
-            self.c2.add(&o.c2),
-        )
+        Fp6::new(self.c0.add(&o.c0), self.c1.add(&o.c1), self.c2.add(&o.c2))
     }
     fn sub(&self, o: &Self) -> Self {
-        Fp6::new(
-            self.c0.sub(&o.c0),
-            self.c1.sub(&o.c1),
-            self.c2.sub(&o.c2),
-        )
+        Fp6::new(self.c0.sub(&o.c0), self.c1.sub(&o.c1), self.c2.sub(&o.c2))
     }
     fn neg(&self) -> Self {
         Fp6::new(self.c0.neg(), self.c1.neg(), self.c2.neg())
@@ -79,30 +71,22 @@ impl Field for Fp6 {
         let v1 = a.1.mul(&b.1);
         let v2 = a.2.mul(&b.2);
         // c0 = v0 + ξ((a1+a2)(b1+b2) - v1 - v2)
-        let c0 = a
-            .1
-            .add(&a.2)
-            .mul(&b.1.add(&b.2))
-            .sub(&v1)
-            .sub(&v2)
-            .mul_by_xi()
-            .add(&v0);
+        let c0 =
+            a.1.add(&a.2)
+                .mul(&b.1.add(&b.2))
+                .sub(&v1)
+                .sub(&v2)
+                .mul_by_xi()
+                .add(&v0);
         // c1 = (a0+a1)(b0+b1) - v0 - v1 + ξ v2
-        let c1 = a
-            .0
-            .add(&a.1)
-            .mul(&b.0.add(&b.1))
-            .sub(&v0)
-            .sub(&v1)
-            .add(&v2.mul_by_xi());
+        let c1 =
+            a.0.add(&a.1)
+                .mul(&b.0.add(&b.1))
+                .sub(&v0)
+                .sub(&v1)
+                .add(&v2.mul_by_xi());
         // c2 = (a0+a2)(b0+b2) - v0 - v2 + v1
-        let c2 = a
-            .0
-            .add(&a.2)
-            .mul(&b.0.add(&b.2))
-            .sub(&v0)
-            .sub(&v2)
-            .add(&v1);
+        let c2 = a.0.add(&a.2).mul(&b.0.add(&b.2)).sub(&v0).sub(&v2).add(&v1);
         Fp6::new(c0, c1, c2)
     }
     fn inverse(&self) -> Option<Self> {
@@ -148,10 +132,7 @@ mod tests {
     #[test]
     fn v_cubed_is_xi() {
         let v = Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero());
-        assert_eq!(
-            v.mul(&v).mul(&v),
-            Fp6::from_fp2(Fp2::xi())
-        );
+        assert_eq!(v.mul(&v).mul(&v), Fp6::from_fp2(Fp2::xi()));
     }
 
     #[test]

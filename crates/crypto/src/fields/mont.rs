@@ -126,21 +126,16 @@ pub fn sub_noborrow<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
 
 /// Montgomery multiplication `a * b * R^{-1} mod m` (CIOS).
 #[inline]
-pub fn mont_mul<const N: usize>(
-    a: &[u64; N],
-    b: &[u64; N],
-    m: &[u64; N],
-    inv: u64,
-) -> [u64; N] {
+pub fn mont_mul<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N], inv: u64) -> [u64; N] {
     let mut t = [0u64; N];
     let mut t_hi = 0u64; // word N
     #[allow(unused_assignments)]
     let mut t_top = 0u64; // word N+1 (at most 1)
-    for i in 0..N {
-        // t += a * b[i]
+    for &bi in b.iter() {
+        // t += a * bi
         let mut carry = 0u64;
         for j in 0..N {
-            let (lo, hi) = mac(t[j], a[j], b[i], carry);
+            let (lo, hi) = mac(t[j], a[j], bi, carry);
             t[j] = lo;
             carry = hi;
         }
@@ -199,8 +194,8 @@ pub fn mod_sub<const N: usize>(a: &[u64; N], b: &[u64; N], m: &[u64; N]) -> [u64
         sub_noborrow(a, b)
     } else {
         let t = mod_add_raw(a, m); // a + m, no reduction (fits: a < m so a+m < 2m < 2^(64N+1))
-        // a + m may carry past N limbs only if m's top bit region is full;
-        // for our 381/255-bit moduli in 384/256-bit limbs it never does.
+                                   // a + m may carry past N limbs only if m's top bit region is full;
+                                   // for our 381/255-bit moduli in 384/256-bit limbs it never does.
         sub_noborrow(&t, b)
     }
 }
@@ -214,7 +209,10 @@ fn mod_add_raw<const N: usize>(a: &[u64; N], b: &[u64; N]) -> [u64; N] {
         out[i] = s;
         carry = c;
     }
-    debug_assert_eq!(carry, 0, "mod_add_raw overflow: modulus too wide for N limbs");
+    debug_assert_eq!(
+        carry, 0,
+        "mod_add_raw overflow: modulus too wide for N limbs"
+    );
     out
 }
 

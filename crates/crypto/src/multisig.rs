@@ -12,6 +12,7 @@
 //!   multiplicity vector. Iniva uses multiplicities to prove *how* a vote
 //!   was collected (tree aggregation vs 2ND-CHANCE fallback).
 
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -106,6 +107,40 @@ impl FromIterator<(SignerId, u64)> for Multiplicities {
     }
 }
 
+impl WireEncode for Multiplicities {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0.len() as u32);
+        for (&signer, &count) in &self.0 {
+            enc.put_u32(signer).put_u64(count);
+        }
+    }
+}
+
+impl WireDecode for Multiplicities {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        let n = dec.get_u32()?;
+        let mut m = Multiplicities::new();
+        let mut prev: Option<SignerId> = None;
+        for _ in 0..n {
+            let signer = dec.get_u32()?;
+            let count = dec.get_u64()?;
+            // The encoder emits strictly ascending signers with nonzero
+            // counts; reject anything else so decode(encode(m)) == m is the
+            // *only* accepted byte representation (canonical form — callers
+            // compare aggregates by their encodings).
+            if count == 0 || prev.is_some_and(|p| signer <= p) {
+                return Err(DecodeError::Malformed {
+                    context:
+                        "non-canonical Multiplicities entry (unsorted, duplicate or zero count)",
+                });
+            }
+            prev = Some(signer);
+            m.add(signer, count);
+        }
+        Ok(m)
+    }
+}
+
 impl fmt::Display for Multiplicities {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -181,5 +216,57 @@ mod tests {
     fn display_is_compact() {
         let m = Multiplicities::from_iter([(1, 2), (7, 3)]);
         assert_eq!(m.to_string(), "{1^2, 7^3}");
+    }
+
+    #[test]
+    fn wire_roundtrip_including_empty() {
+        use iniva_net::wire::Codec;
+        for m in [
+            Multiplicities::new(),
+            Multiplicities::singleton(3),
+            Multiplicities::from_iter([(0, 1), (4, 2), (90, 7)]),
+        ] {
+            assert_eq!(Multiplicities::from_frame(m.to_frame()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_non_canonical_entries() {
+        use iniva_net::wire::Codec;
+        // Duplicate signer.
+        let mut enc = Encoder::new();
+        enc.put_u32(2);
+        enc.put_u32(5).put_u64(1);
+        enc.put_u32(5).put_u64(2);
+        assert!(matches!(
+            Multiplicities::from_frame(enc.finish()),
+            Err(DecodeError::Malformed { .. })
+        ));
+        // Zero count.
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        enc.put_u32(5).put_u64(0);
+        assert!(matches!(
+            Multiplicities::from_frame(enc.finish()),
+            Err(DecodeError::Malformed { .. })
+        ));
+        // Unsorted entries: would decode to a value whose re-encoding
+        // differs from the input bytes, breaking canonical-form equality.
+        let mut enc = Encoder::new();
+        enc.put_u32(2);
+        enc.put_u32(7).put_u64(1);
+        enc.put_u32(5).put_u64(1);
+        assert!(matches!(
+            Multiplicities::from_frame(enc.finish()),
+            Err(DecodeError::Malformed { .. })
+        ));
+        // Truncated entry list.
+        let mut enc = Encoder::new();
+        enc.put_u32(3);
+        enc.put_u32(5).put_u64(1);
+        assert_eq!(
+            Multiplicities::from_frame(enc.finish()),
+            Err(DecodeError::UnexpectedEnd)
+        );
     }
 }

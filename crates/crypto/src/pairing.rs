@@ -93,7 +93,10 @@ fn line_and_step(t: &Ep12, other: Option<&Ep12>, px: &Fp12, py: &Fp12) -> (Fp12,
         Some(q) => {
             let num = q.y.sub(&t.y);
             let den = q.x.sub(&t.x);
-            num.mul(&den.inverse().expect("T = ±Q degenerate addition in Miller loop"))
+            num.mul(
+                &den.inverse()
+                    .expect("T = ±Q degenerate addition in Miller loop"),
+            )
         }
     };
     let line = py.sub(&t.y).sub(&lambda.mul(&px.sub(&t.x)));
@@ -119,7 +122,10 @@ fn miller_loop(p: &G1, q: &G2) -> Fp12 {
     let q_hat = untwist_with(consts, q);
     let (px, py) = match p.to_affine() {
         Affine::Infinity => unreachable!("caller filters infinity"),
-        Affine::Coords { x, y } => (Fp12::from_fp2(Fp2::from_fp(x)), Fp12::from_fp2(Fp2::from_fp(y))),
+        Affine::Coords { x, y } => (
+            Fp12::from_fp2(Fp2::from_fp(x)),
+            Fp12::from_fp2(Fp2::from_fp(y)),
+        ),
     };
     let mut f = Fp12::one();
     let mut t = q_hat;
@@ -137,7 +143,8 @@ fn miller_loop(p: &G1, q: &G2) -> Fp12 {
     }
     // x < 0: f_{x} = 1 / f_{|x|} (vertical-line factors vanish in the final
     // exponentiation).
-    f.inverse().expect("Miller value is never zero for valid inputs")
+    f.inverse()
+        .expect("Miller value is never zero for valid inputs")
 }
 
 /// The final exponentiation `f -> f^((p^12 - 1)/r)`.

@@ -92,10 +92,7 @@ pub fn curve_params() -> &'static CurveParams {
             candidates.push(q1.sub(&half));
             candidates.push(q1.add(&half));
         }
-        let orders: Vec<&Nat> = candidates
-            .iter()
-            .filter(|n| n.rem(&r).is_zero())
-            .collect();
+        let orders: Vec<&Nat> = candidates.iter().filter(|n| n.rem(&r).is_zero()).collect();
         assert_eq!(
             orders.len(),
             1,

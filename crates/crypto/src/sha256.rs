@@ -51,7 +51,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut cand = 2u64;
     while primes.len() < n {
-        if primes.iter().all(|&p| cand % p != 0) {
+        if primes.iter().all(|&p| !cand.is_multiple_of(p)) {
             primes.push(cand);
         }
         cand += 1;

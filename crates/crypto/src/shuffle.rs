@@ -88,13 +88,19 @@ mod tests {
     #[test]
     fn deterministic_across_calls() {
         let seed = [7u8; 32];
-        assert_eq!(Assignment::shuffle(20, &seed, 3), Assignment::shuffle(20, &seed, 3));
+        assert_eq!(
+            Assignment::shuffle(20, &seed, 3),
+            Assignment::shuffle(20, &seed, 3)
+        );
     }
 
     #[test]
     fn different_rounds_differ() {
         let seed = [7u8; 32];
-        assert_ne!(Assignment::shuffle(20, &seed, 3), Assignment::shuffle(20, &seed, 4));
+        assert_ne!(
+            Assignment::shuffle(20, &seed, 3),
+            Assignment::shuffle(20, &seed, 4)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::multisig::{Multiplicities, SignerId, VoteScheme};
 use crate::sha256::sha256_many;
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 
 /// A 256-bit additive tag (two wrapping u128 lanes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -38,6 +39,21 @@ pub struct SimAggregate {
     pub tag: Tag,
     /// Claimed multiset of signers.
     pub mults: Multiplicities,
+}
+
+impl WireEncode for SimAggregate {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(self.tag.0).put_u128(self.tag.1);
+        self.mults.encode(enc);
+    }
+}
+
+impl WireDecode for SimAggregate {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        let tag = Tag(dec.get_u128()?, dec.get_u128()?);
+        let mults = Multiplicities::decode(dec)?;
+        Ok(SimAggregate { tag, mults })
+    }
 }
 
 /// The simulation scheme: a committee seed plays the role of key material.
@@ -156,6 +172,22 @@ mod tests {
         let r = s.combine(&a, &s.combine(&b, &c));
         assert_eq!(l, r);
         assert!(s.verify(m, &l));
+    }
+
+    #[test]
+    fn aggregate_wire_roundtrip() {
+        use iniva_net::wire::Codec;
+        let s = scheme();
+        let m = b"wire";
+        let agg = s.combine(&s.scale(&s.sign(1, m), 2), &s.sign(5, m));
+        let back = SimAggregate::from_frame(agg.to_frame()).unwrap();
+        assert_eq!(back, agg);
+        assert!(s.verify(m, &back));
+        // Truncated inputs fail explicitly.
+        let frame = agg.to_frame();
+        for cut in [0, 5, frame.len() - 1] {
+            assert!(SimAggregate::from_frame(frame.slice(0..cut)).is_err());
+        }
     }
 
     #[test]

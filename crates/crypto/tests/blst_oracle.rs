@@ -1,3 +1,5 @@
+#![cfg(feature = "blst-oracle")]
+
 //! Cross-validation of the from-scratch BLS12-381 implementation against the
 //! `blst` production library (dev-dependency oracle only — the library
 //! itself never links blst).

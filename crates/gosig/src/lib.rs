@@ -24,10 +24,51 @@
 
 #![warn(missing_docs)]
 
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+
+/// One gossip message on the wire: the sender's best current aggregate for
+/// an aggregation instance, as an indivisible parcel of signer bits (the
+/// `u128`-bitmask model used throughout this crate). The simulator passes
+/// parcels as plain values; a socket deployment ships this encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipShare {
+    /// Consensus view (aggregation instance) the parcel belongs to.
+    pub view: u64,
+    /// Gossip round within the instance.
+    pub round: u32,
+    /// Signer-set bitmask of the parcel.
+    pub parcel: u128,
+}
+
+impl WireEncode for GossipShare {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.view)
+            .put_u32(self.round)
+            .put_u128(self.parcel);
+    }
+}
+
+impl WireDecode for GossipShare {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        let share = GossipShare {
+            view: dec.get_u64()?,
+            round: dec.get_u32()?,
+            parcel: dec.get_u128()?,
+        };
+        if share.parcel == 0 {
+            // A parcel with no signers is never gossiped (processes always
+            // hold at least their own signature).
+            return Err(DecodeError::Malformed {
+                context: "empty GossipShare parcel",
+            });
+        }
+        Ok(share)
+    }
+}
 
 /// Behaviour of a process in the gossip rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,16 +202,16 @@ pub fn simulate(cfg: &GosigConfig, rng: &mut StdRng) -> RoundOutcome {
         }
         // Compute what each process sends this round.
         let mut sends: Vec<(usize, u128)> = Vec::with_capacity(n * cfg.k);
-        for p in 0..n {
+        for (p, pool) in pools.iter().enumerate() {
             let share = match behaviour(p) {
                 Behaviour::Honest => {
-                    let parcels: Vec<u128> = pools[p].iter().copied().collect();
+                    let parcels: Vec<u128> = pool.iter().copied().collect();
                     union_all(&parcels)
                 }
                 Behaviour::FreeRider => 1u128 << p,
                 Behaviour::Attacker => {
                     // Forward the best aggregate that excludes the victim.
-                    let parcels: Vec<u128> = pools[p].iter().copied().collect();
+                    let parcels: Vec<u128> = pool.iter().copied().collect();
                     union_all(
                         &parcels
                             .iter()
@@ -226,8 +267,7 @@ pub fn simulate(cfg: &GosigConfig, rng: &mut StdRng) -> RoundOutcome {
     let reachable_count = reachable.count_ones() as usize;
     let excluded_on_purpose = reachable_count - covered;
     let victim_reachable = reachable & victim_bit != 0;
-    let collateral =
-        excluded_on_purpose as u32 - u32::from(victim_omitted && victim_reachable);
+    let collateral = excluded_on_purpose as u32 - u32::from(victim_omitted && victim_reachable);
     RoundOutcome {
         victim_omitted,
         collateral,
@@ -279,6 +319,27 @@ mod tests {
     }
 
     #[test]
+    fn gossip_share_wire_roundtrip() {
+        use iniva_net::wire::Codec;
+        let s = GossipShare {
+            view: 12,
+            round: 3,
+            parcel: (1 << 127) | 0b1011,
+        };
+        assert_eq!(GossipShare::from_frame(s.to_frame()).unwrap(), s);
+        assert!(GossipShare::from_frame(s.to_frame().slice(0..10)).is_err());
+        let empty = GossipShare {
+            view: 1,
+            round: 0,
+            parcel: 0,
+        };
+        assert!(matches!(
+            GossipShare::from_frame(empty.to_frame()),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
     fn union_combines_everything() {
         let parcels = [0b0011u128, 0b1100, 0b0110, 0b1_0000];
         assert_eq!(union_all(&parcels), 0b1_1111);
@@ -291,7 +352,10 @@ mod tests {
         // Section IV-D), but with grace rounds it should be rare to miss.
         let cfg = small(3, 0.0);
         let p = omission_probability(&cfg, 200, 400, 1);
-        assert!(p < 0.08, "honest gossip should usually include the victim (p = {p})");
+        assert!(
+            p < 0.08,
+            "honest gossip should usually include the victim (p = {p})"
+        );
     }
 
     #[test]
@@ -325,7 +389,10 @@ mod tests {
     fn larger_k_reduces_unbounded_omission() {
         let k2 = omission_probability(&small(2, 0.1), 200, 400, 9);
         let k4 = omission_probability(&small(4, 0.1), 200, 400, 9);
-        assert!(k4 <= k2 + 0.02, "more redundancy cannot hurt ({k2} vs {k4})");
+        assert!(
+            k4 <= k2 + 0.02,
+            "more redundancy cannot hurt ({k2} vs {k4})"
+        );
     }
 
     #[test]

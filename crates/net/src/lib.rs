@@ -120,6 +120,42 @@ impl<M> Context<M> {
     pub fn charge_cpu(&mut self, ns: Time) {
         self.cpu += ns;
     }
+
+    /// Creates a context for an external runtime (e.g. the real-socket
+    /// transport in `iniva-transport`), which drives [`Actor`]s outside the
+    /// discrete-event simulator. `now` is the runtime's own clock reading in
+    /// nanoseconds.
+    pub fn external(node: NodeId, now: Time) -> Self {
+        Context {
+            node,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            cpu: 0,
+        }
+    }
+
+    /// Consumes the context, handing the queued effects to an external
+    /// runtime to apply (sends to ship, timers to schedule, CPU to charge).
+    pub fn into_effects(self) -> ContextEffects<M> {
+        ContextEffects {
+            outbox: self.outbox,
+            timers: self.timers,
+            cpu: self.cpu,
+        }
+    }
+}
+
+/// The effects an [`Actor`] handler queued on its [`Context`], drained via
+/// [`Context::into_effects`] by runtimes other than [`Simulation`].
+#[derive(Debug)]
+pub struct ContextEffects<M> {
+    /// Queued sends: `(destination, message, modeled wire bytes)`.
+    pub outbox: Vec<(NodeId, M, usize)>,
+    /// Queued timers: `(delay from handler start, timer id)`.
+    pub timers: Vec<(Time, u64)>,
+    /// CPU time the handler charged.
+    pub cpu: Time,
 }
 
 enum EventKind<M> {
@@ -289,7 +325,11 @@ impl<A: Actor> Simulation<A> {
         }
         self.available[ni] = self.available[ni].max(t);
         for (delay, id) in ctx.timers {
-            self.push(handler_start + ctx.cpu + delay, node, EventKind::Timer { id });
+            self.push(
+                handler_start + ctx.cpu + delay,
+                node,
+                EventKind::Timer { id },
+            );
         }
     }
 
@@ -410,8 +450,18 @@ mod tests {
     #[test]
     fn ping_pong_latency_adds_up() {
         let actors = vec![
-            PingPong { peer: 1, initiator: true, remaining: 10, completed_at: None },
-            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+            PingPong {
+                peer: 1,
+                initiator: true,
+                remaining: 10,
+                completed_at: None,
+            },
+            PingPong {
+                peer: 0,
+                initiator: false,
+                remaining: 0,
+                completed_at: None,
+            },
         ];
         let mut sim = Simulation::new(net(1), actors);
         sim.run_to_quiescence();
@@ -424,12 +474,34 @@ mod tests {
     fn deterministic_with_same_seed() {
         let mk = || {
             vec![
-                PingPong { peer: 1, initiator: true, remaining: 6, completed_at: None },
-                PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+                PingPong {
+                    peer: 1,
+                    initiator: true,
+                    remaining: 6,
+                    completed_at: None,
+                },
+                PingPong {
+                    peer: 0,
+                    initiator: false,
+                    remaining: 0,
+                    completed_at: None,
+                },
             ]
         };
-        let mut a = Simulation::new(NetConfig { jitter: MILLIS, ..net(7) }, mk());
-        let mut b = Simulation::new(NetConfig { jitter: MILLIS, ..net(7) }, mk());
+        let mut a = Simulation::new(
+            NetConfig {
+                jitter: MILLIS,
+                ..net(7)
+            },
+            mk(),
+        );
+        let mut b = Simulation::new(
+            NetConfig {
+                jitter: MILLIS,
+                ..net(7)
+            },
+            mk(),
+        );
         a.run_to_quiescence();
         b.run_to_quiescence();
         assert_eq!(a.actor(1).completed_at, b.actor(1).completed_at);
@@ -439,8 +511,18 @@ mod tests {
     #[test]
     fn crashed_node_stops_responding() {
         let actors = vec![
-            PingPong { peer: 1, initiator: true, remaining: 10, completed_at: None },
-            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+            PingPong {
+                peer: 1,
+                initiator: true,
+                remaining: 10,
+                completed_at: None,
+            },
+            PingPong {
+                peer: 0,
+                initiator: false,
+                remaining: 0,
+                completed_at: None,
+            },
         ];
         let mut sim = Simulation::new(net(1), actors);
         sim.crash(1);
@@ -505,8 +587,18 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let actors = vec![
-            PingPong { peer: 1, initiator: true, remaining: 1000, completed_at: None },
-            PingPong { peer: 0, initiator: false, remaining: 0, completed_at: None },
+            PingPong {
+                peer: 1,
+                initiator: true,
+                remaining: 1000,
+                completed_at: None,
+            },
+            PingPong {
+                peer: 0,
+                initiator: false,
+                remaining: 0,
+                completed_at: None,
+            },
         ];
         let mut sim = Simulation::new(net(3), actors);
         sim.run_until(5 * MILLIS);

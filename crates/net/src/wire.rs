@@ -42,6 +42,23 @@ impl Encoder {
         self
     }
 
+    /// Appends a little-endian `u128` (two `u64` limbs, low first).
+    pub fn put_u128(&mut self, v: u128) -> &mut Self {
+        self.put_u64(v as u64).put_u64((v >> 64) as u64)
+    }
+
+    /// Appends an optional value as a presence byte plus the encoding.
+    pub fn put_opt<T: WireEncode>(&mut self, v: &Option<T>) -> &mut Self {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                inner.encode(self);
+                self
+            }
+        }
+    }
+
     /// Appends a length-prefixed byte string.
     ///
     /// # Panics
@@ -87,6 +104,24 @@ pub enum DecodeError {
         /// Bytes actually remaining.
         remaining: usize,
     },
+    /// An enum discriminant byte had no corresponding variant.
+    InvalidTag {
+        /// The unrecognized discriminant.
+        tag: u8,
+        /// The type being decoded.
+        context: &'static str,
+    },
+    /// A complete message left unconsumed bytes in the buffer.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// A structurally valid encoding violated a value-level invariant
+    /// (non-canonical form, out-of-range field).
+    Malformed {
+        /// The invariant that failed.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -94,7 +129,19 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
             DecodeError::BadLength { claimed, remaining } => {
-                write!(f, "length prefix {claimed} exceeds remaining {remaining} bytes")
+                write!(
+                    f,
+                    "length prefix {claimed} exceeds remaining {remaining} bytes"
+                )
+            }
+            DecodeError::InvalidTag { tag, context } => {
+                write!(f, "invalid discriminant {tag} for {context}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete message")
+            }
+            DecodeError::Malformed { context } => {
+                write!(f, "malformed encoding: {context}")
             }
         }
     }
@@ -138,6 +185,25 @@ impl Decoder {
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
         self.need(8)?;
         Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `u128` (two `u64` limbs, low first).
+    pub fn get_u128(&mut self) -> Result<u128, DecodeError> {
+        let lo = self.get_u64()? as u128;
+        let hi = self.get_u64()? as u128;
+        Ok(lo | (hi << 64))
+    }
+
+    /// Reads an optional value written by [`Encoder::put_opt`].
+    pub fn get_opt<T: WireDecode>(&mut self) -> Result<Option<T>, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(self)?)),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                context: "Option",
+            }),
+        }
     }
 
     /// Reads a length-prefixed byte string.
@@ -188,6 +254,43 @@ pub trait WireDecode: Sized {
     fn decode(dec: &mut Decoder) -> Result<Self, DecodeError>;
 }
 
+/// A symmetric whole-message codec, shared by the discrete-event simulator
+/// (which only *models* wire sizes) and the real-socket transport (which
+/// ships the actual bytes). Blanket-implemented for every
+/// `WireEncode + WireDecode` type, so protocol message enums defined in
+/// `iniva-consensus`, `iniva` and `iniva-gosig` serialize identically for
+/// both backends.
+///
+/// The frame-level contract is strict: `from_frame(to_frame(m)) == m`, a
+/// truncated buffer fails with an explicit error (never a panic), and
+/// trailing bytes after a complete message are rejected — a frame is one
+/// message, not a stream position.
+pub trait Codec: WireEncode + WireDecode {
+    /// Encodes `self` as one complete frame body.
+    fn to_frame(&self) -> Bytes {
+        self.to_wire()
+    }
+
+    /// Decodes one complete frame body.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncated or malformed input, and
+    /// [`DecodeError::TrailingBytes`] if the buffer holds more than one
+    /// message.
+    fn from_frame(bytes: Bytes) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        if dec.remaining() > 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: dec.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+impl<T: WireEncode + WireDecode> Codec for T {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +337,69 @@ mod tests {
         e.put_bytes(b"");
         let mut d = Decoder::new(e.finish());
         assert_eq!(d.get_bytes().unwrap().len(), 0);
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Pair(u64, u8);
+
+    impl WireEncode for Pair {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0).put_u8(self.1);
+        }
+    }
+
+    impl WireDecode for Pair {
+        fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+            Ok(Pair(dec.get_u64()?, dec.get_u8()?))
+        }
+    }
+
+    #[test]
+    fn u128_roundtrips() {
+        let v = (77u128 << 64) | 0xdead_beef;
+        let mut e = Encoder::new();
+        e.put_u128(v).put_u128(u128::MAX).put_u128(0);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_u128().unwrap(), v);
+        assert_eq!(d.get_u128().unwrap(), u128::MAX);
+        assert_eq!(d.get_u128().unwrap(), 0);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn options_roundtrip_and_reject_bad_tags() {
+        let mut e = Encoder::new();
+        e.put_opt(&Some(Pair(9, 3))).put_opt::<Pair>(&None);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_opt::<Pair>().unwrap(), Some(Pair(9, 3)));
+        assert_eq!(d.get_opt::<Pair>().unwrap(), None);
+
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(
+            d.get_opt::<Pair>(),
+            Err(DecodeError::InvalidTag {
+                tag: 7,
+                context: "Option"
+            })
+        );
+    }
+
+    #[test]
+    fn codec_frames_are_exact() {
+        let m = Pair(42, 1);
+        assert_eq!(Pair::from_frame(m.to_frame()).unwrap(), m);
+        // Truncation: explicit error, no panic.
+        assert!(Pair::from_frame(m.to_frame().slice(0..5)).is_err());
+        // Trailing garbage: rejected.
+        let mut e = Encoder::new();
+        m.encode(&mut e);
+        e.put_u8(0xff);
+        assert_eq!(
+            Pair::from_frame(e.finish()),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
     }
 
     proptest! {

@@ -88,7 +88,10 @@ pub fn figure_2a(trials: usize, seed: u64) -> Vec<OmissionSeries> {
                     greedy,
                     ..GosigConfig::paper(k, m)
                 };
-                (m, iniva_gosig::omission_probability(&cfg, 0, trials, seed ^ salt))
+                (
+                    m,
+                    iniva_gosig::omission_probability(&cfg, 0, trials, seed ^ salt),
+                )
             })
             .collect(),
     };
@@ -109,7 +112,12 @@ pub fn figure_2a(trials: usize, seed: u64) -> Vec<OmissionSeries> {
             label: "Iniva".into(),
             points: ms
                 .iter()
-                .map(|&m| (m, iniva_omission_probability(111, 10, m, 0, trials, seed ^ 7)))
+                .map(|&m| {
+                    (
+                        m,
+                        iniva_omission_probability(111, 10, m, 0, trials, seed ^ 7),
+                    )
+                })
                 .collect(),
         },
     ]
@@ -144,7 +152,12 @@ pub fn figure_2b(trials: usize, seed: u64) -> Vec<OmissionSeries> {
             label: "Star protocol - round robin".into(),
             points: collaterals
                 .iter()
-                .map(|&c| (c as f64, star_omission_probability(100, m, trials, seed ^ 15)))
+                .map(|&c| {
+                    (
+                        c as f64,
+                        star_omission_probability(100, m, trials, seed ^ 15),
+                    )
+                })
                 .collect(),
         },
         OmissionSeries {

@@ -67,24 +67,13 @@ impl PerfParams {
     }
 }
 
-/// Measured output of one run.
-#[derive(Debug, Clone)]
-pub struct PerfPoint {
-    /// Committed requests per second.
-    pub throughput: f64,
-    /// Mean request latency in milliseconds.
-    pub latency_ms: f64,
-    /// Mean CPU utilization across replicas (0..=100, %).
-    pub cpu_mean_pct: f64,
-    /// Maximum per-replica CPU utilization (%): the leader bottleneck.
-    pub cpu_max_pct: f64,
-    /// Mean QC size (distinct signers).
-    pub qc_size: f64,
-    /// Fraction of failed views.
-    pub failed_views: f64,
-}
+/// Measured output of one run: the shared summary type, so simulated
+/// points and the live-transport points of `iniva-transport` use identical
+/// metric definitions (see `iniva_consensus::perf`).
+pub type PerfPoint = iniva_consensus::PerfSummary;
 
-fn harvest<M>(
+/// Reduces a finished simulation to a [`PerfPoint`].
+pub fn harvest<M>(
     sim: &Simulation<M>,
     metrics: &iniva_consensus::ChainMetrics,
     duration_secs: u64,
@@ -92,19 +81,10 @@ fn harvest<M>(
 where
     M: iniva_net::Actor,
 {
-    let n = sim.len();
-    let wall = duration_secs * SECS;
-    let cpu: Vec<f64> = (0..n as u32)
-        .map(|i| sim.stats(i).cpu_busy as f64 / wall as f64 * 100.0)
+    let cpu_busy: Vec<u64> = (0..sim.len() as u32)
+        .map(|i| sim.stats(i).cpu_busy)
         .collect();
-    PerfPoint {
-        throughput: metrics.committed_reqs as f64 / duration_secs as f64,
-        latency_ms: metrics.mean_latency() / MILLIS as f64,
-        cpu_mean_pct: cpu.iter().sum::<f64>() / n as f64,
-        cpu_max_pct: cpu.iter().cloned().fold(0.0, f64::max),
-        qc_size: metrics.mean_qc_size(),
-        failed_views: metrics.failed_view_fraction(),
-    }
+    PerfPoint::from_metrics(metrics, duration_secs as f64, &cpu_busy)
 }
 
 /// Runs one performance experiment and returns the measured point.
@@ -248,7 +228,10 @@ mod tests {
             no2c.throughput,
             iniva.throughput
         );
-        assert!(iniva.throughput > hs.throughput * 0.35, "overhead too large");
+        assert!(
+            iniva.throughput > hs.throughput * 0.35,
+            "overhead too large"
+        );
     }
 
     #[test]

@@ -152,12 +152,12 @@ fn iniva_round_mults(
             }
             Role::Leaf => {
                 let parent = tree.parent_of(member).unwrap();
-                let parent_dead = omitted.contains(&parent)
-                    || (deny_votes && attackers.contains(&parent));
-                let parent_skips =
-                    aggregation_attacks && attackers.contains(&parent) && !attackers.contains(&member);
-                let leaf_denies_aggregation =
-                    aggregation_attacks && attackers.contains(&member);
+                let parent_dead =
+                    omitted.contains(&parent) || (deny_votes && attackers.contains(&parent));
+                let parent_skips = aggregation_attacks
+                    && attackers.contains(&parent)
+                    && !attackers.contains(&member);
+                let leaf_denies_aggregation = aggregation_attacks && attackers.contains(&member);
                 if parent_dead || parent_skips || leaf_denies_aggregation {
                     // Collected individually via 2ND-CHANCE (multiplicity 1).
                     mults.add(member, 1);
@@ -249,9 +249,7 @@ pub fn star_rewards(
         let deny = matches!(attack, Attack::VoteDenial | Attack::All);
         let omit = matches!(attack, Attack::VoteOmission { .. } | Attack::All)
             && attackers.contains(&leader);
-        let mut included: Vec<bool> = (0..n)
-            .map(|p| !(deny && attackers.contains(&p)))
-            .collect();
+        let mut included: Vec<bool> = (0..n).map(|p| !(deny && attackers.contains(&p))).collect();
         if omit {
             included[victim as usize] = false;
         }
@@ -306,7 +304,10 @@ pub fn figure_2c(trials: usize, seed: u64) -> Vec<Fig2cRow> {
     let ms = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
     let mut rows = Vec::new();
     let configs: [(&str, Attack); 3] = [
-        ("Attack vote omission", Attack::VoteOmission { max_collateral: 0 }),
+        (
+            "Attack vote omission",
+            Attack::VoteOmission { max_collateral: 0 },
+        ),
         ("Attack no vote", Attack::VoteDenial),
         ("All attacks", Attack::All),
     ];
@@ -413,7 +414,11 @@ mod tests {
         let attack = Attack::VoteOmission { max_collateral: 0 };
         let iniva = iniva_rewards(111, 10, 0.3, attack, &params, 4_000, 7);
         let star = star_rewards(111, 0.3, attack, &params, 4_000, 7);
-        assert!(star.victim_deviation() < -0.15, "star {}", star.victim_deviation());
+        assert!(
+            star.victim_deviation() < -0.15,
+            "star {}",
+            star.victim_deviation()
+        );
         assert!(
             iniva.victim_deviation() > star.victim_deviation() * 0.6,
             "iniva {} star {}",
@@ -448,7 +453,10 @@ mod tests {
         let f4 = get("Iniva (fanout = 4)", 0.10);
         let f10 = get("Iniva (fanout = 10)", 0.10);
         let star = get("Star", 0.10);
-        assert!(f4 > f10, "fanout-4 loss {f4} must exceed fanout-10 loss {f10}");
+        assert!(
+            f4 > f10,
+            "fanout-4 loss {f4} must exceed fanout-10 loss {f10}"
+        );
         assert!(f10 > star, "iniva loss {f10} must exceed star loss {star}");
     }
 

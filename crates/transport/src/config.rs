@@ -1,0 +1,315 @@
+//! TOML-style cluster configuration for multi-process deployments.
+//!
+//! A minimal, dependency-free parser for the subset of TOML the cluster
+//! needs — one optional `[cluster]` table of scalar settings and one
+//! `[[peers]]` array-of-tables entry per replica:
+//!
+//! ```toml
+//! [cluster]
+//! internal = 2          # aggregators per tree
+//! batch = 100           # max requests per block
+//! payload = 64          # bytes per request
+//! rate = 10000          # open-loop client requests/second
+//! duration_secs = 10    # load duration
+//!
+//! [[peers]]
+//! id = 0
+//! addr = "127.0.0.1:7100"
+//!
+//! [[peers]]
+//! id = 1
+//! addr = "127.0.0.1:7101"
+//! ```
+//!
+//! Comments (`# ...`), blank lines, integer and quoted-string values are
+//! supported; anything else is rejected with a line-numbered error.
+
+use std::fmt;
+use std::net::SocketAddr;
+
+/// One replica endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// Committee id (must be `0..n`, unique).
+    pub id: u32,
+    /// Listen/dial address.
+    pub addr: SocketAddr,
+}
+
+/// A parsed cluster configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// The committee, sorted by id (`peers.len()` is `n`).
+    pub peers: Vec<Peer>,
+    /// Internal aggregators per tree.
+    pub internal: u32,
+    /// Max requests batched per block.
+    pub max_batch: u32,
+    /// Payload bytes per request.
+    pub payload_per_req: u32,
+    /// Open-loop client request rate (requests/second).
+    pub request_rate: u64,
+    /// Load duration in seconds.
+    pub duration_secs: u64,
+}
+
+impl ClusterConfig {
+    /// Committee size.
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The peer list as `(id, addr)` pairs for [`crate::Transport`].
+    pub fn peer_addrs(&self) -> Vec<(u32, SocketAddr)> {
+        self.peers.iter().map(|p| (p.id, p.addr)).collect()
+    }
+
+    /// The address of peer `id`.
+    pub fn addr_of(&self, id: u32) -> Option<SocketAddr> {
+        self.peers.iter().find(|p| p.id == id).map(|p| p.addr)
+    }
+
+    /// A loopback cluster of `n` consecutive ports starting at `base_port`.
+    pub fn local(n: usize, base_port: u16) -> Self {
+        ClusterConfig {
+            peers: (0..n)
+                .map(|i| Peer {
+                    id: i as u32,
+                    addr: format!("127.0.0.1:{}", base_port + i as u16)
+                        .parse()
+                        .unwrap(),
+                })
+                .collect(),
+            ..ClusterConfig::defaults()
+        }
+    }
+
+    fn defaults() -> Self {
+        ClusterConfig {
+            peers: Vec::new(),
+            internal: 2,
+            max_batch: 100,
+            payload_per_req: 64,
+            request_rate: 10_000,
+            duration_secs: 10,
+        }
+    }
+
+    /// Parses the TOML-style format described in the module docs.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] with the offending line on malformed input,
+    /// unknown keys, duplicate or non-contiguous peer ids, or an empty
+    /// peer list.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Cluster,
+            Peer,
+        }
+        let mut cfg = ClusterConfig::defaults();
+        let mut section = Section::None;
+        let mut pending: Option<(Option<u32>, Option<SocketAddr>)> = None;
+
+        let finish_peer = |pending: &mut Option<(Option<u32>, Option<SocketAddr>)>,
+                           peers: &mut Vec<Peer>,
+                           line: usize|
+         -> Result<(), ConfigError> {
+            if let Some((id, addr)) = pending.take() {
+                match (id, addr) {
+                    (Some(id), Some(addr)) => peers.push(Peer { id, addr }),
+                    _ => return Err(ConfigError::at(line, "[[peers]] needs both id and addr")),
+                }
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[peers]]" {
+                finish_peer(&mut pending, &mut cfg.peers, lineno)?;
+                pending = Some((None, None));
+                section = Section::Peer;
+                continue;
+            }
+            if line == "[cluster]" {
+                finish_peer(&mut pending, &mut cfg.peers, lineno)?;
+                section = Section::Cluster;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError::at(lineno, "unknown section"));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::at(lineno, "expected key = value"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section {
+                Section::None => return Err(ConfigError::at(lineno, "key outside any section")),
+                Section::Cluster => match key {
+                    "internal" => cfg.internal = parse_int(value, lineno)? as u32,
+                    "batch" => cfg.max_batch = parse_int(value, lineno)? as u32,
+                    "payload" => cfg.payload_per_req = parse_int(value, lineno)? as u32,
+                    "rate" => cfg.request_rate = parse_int(value, lineno)?,
+                    "duration_secs" => cfg.duration_secs = parse_int(value, lineno)?,
+                    _ => return Err(ConfigError::at(lineno, "unknown [cluster] key")),
+                },
+                Section::Peer => {
+                    let slot = pending.as_mut().expect("inside [[peers]]");
+                    match key {
+                        "id" => slot.0 = Some(parse_int(value, lineno)? as u32),
+                        "addr" => {
+                            let s = parse_string(value, lineno)?;
+                            let addr = s.parse().map_err(|_| {
+                                ConfigError::at(lineno, "addr is not a socket address")
+                            })?;
+                            slot.1 = Some(addr);
+                        }
+                        _ => return Err(ConfigError::at(lineno, "unknown [[peers]] key")),
+                    }
+                }
+            }
+        }
+        let last = text.lines().count();
+        finish_peer(&mut pending, &mut cfg.peers, last)?;
+
+        if cfg.peers.is_empty() {
+            return Err(ConfigError::at(last, "no [[peers]] defined"));
+        }
+        cfg.peers.sort_by_key(|p| p.id);
+        for (i, p) in cfg.peers.iter().enumerate() {
+            if p.id != i as u32 {
+                return Err(ConfigError::at(
+                    last,
+                    "peer ids must be unique and contiguous from 0",
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn parse_int(value: &str, line: usize) -> Result<u64, ConfigError> {
+    value
+        .replace('_', "")
+        .parse()
+        .map_err(|_| ConfigError::at(line, "expected an integer"))
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError::at(line, "expected a quoted string"))
+    }
+}
+
+/// A config-file parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl ConfigError {
+    fn at(line: usize, message: &'static str) -> Self {
+        ConfigError { line, message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# a three-replica cluster
+[cluster]
+internal = 1
+batch = 200
+rate = 20_000
+
+[[peers]]
+id = 1
+addr = "127.0.0.1:7101"
+
+[[peers]]
+id = 0
+addr = "127.0.0.1:7100"
+
+[[peers]]
+id = 2
+addr = "127.0.0.1:7102"
+"#;
+
+    #[test]
+    fn parses_sections_settings_and_peers() {
+        let cfg = ClusterConfig::parse(EXAMPLE).unwrap();
+        assert_eq!(cfg.n(), 3);
+        assert_eq!(cfg.internal, 1);
+        assert_eq!(cfg.max_batch, 200);
+        assert_eq!(cfg.request_rate, 20_000);
+        assert_eq!(cfg.payload_per_req, 64, "unset keys keep defaults");
+        // Peers come out sorted by id regardless of file order.
+        assert_eq!(cfg.peers[0].id, 0);
+        assert_eq!(cfg.addr_of(2).unwrap().port(), 7102);
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        for (text, needle) in [
+            (
+                "[cluster]\nwhat = 1\n[[peers]]\nid = 0\naddr = \"1.2.3.4:1\"",
+                "unknown",
+            ),
+            ("[[peers]]\nid = 0", "both id and addr"),
+            ("rate = 1", "outside any section"),
+            (
+                "[cluster]\nrate = abc\n[[peers]]\nid = 0\naddr = \"1.2.3.4:1\"",
+                "integer",
+            ),
+            ("[[peers]]\nid = 0\naddr = 127.0.0.1:9", "quoted"),
+            ("[[peers]]\nid = 0\naddr = \"nonsense\"", "socket address"),
+            ("[cluster]\nrate = 5", "no [[peers]]"),
+            (
+                "[[peers]]\nid = 0\naddr = \"1.1.1.1:1\"\n[[peers]]\nid = 0\naddr = \"1.1.1.1:2\"",
+                "contiguous",
+            ),
+            ("[[peers]]\nid = 5\naddr = \"1.1.1.1:1\"", "contiguous"),
+        ] {
+            let err = ClusterConfig::parse(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?} -> {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn local_builder_counts_ports_up() {
+        let cfg = ClusterConfig::local(4, 9000);
+        assert_eq!(cfg.n(), 4);
+        assert_eq!(cfg.peers[3].addr.port(), 9003);
+        let addrs = cfg.peer_addrs();
+        assert_eq!(addrs.len(), 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! # iniva-transport
+//!
+//! A real-socket transport runtime for the Iniva protocol stack: the same
+//! [`Actor`](iniva_net::Actor) state machines that run under the
+//! deterministic discrete-event simulator (`iniva-net`) execute here over
+//! actual `std::net` TCP connections — `InivaReplica`, `StarReplica` and
+//! friends run **unmodified** in both backends.
+//!
+//! The paper's evaluation ran 25 machines behind a 10 Gbps switch; the
+//! simulator substitutes virtual time for that cluster, and this crate
+//! substitutes the cluster back: real sockets, real clocks, real CPU time.
+//!
+//! * [`frame`] — length-prefixed framing over a TCP stream, carrying
+//!   [`Codec`](iniva_net::wire::Codec)-encoded protocol messages plus a
+//!   per-sender sequence number and an identifying handshake.
+//! * [`dedup`] — a bounded seen-message cache dropping duplicate
+//!   `(sender, sequence)` deliveries (e.g. replays after a reconnect).
+//! * [`transport`] — the peer fabric: one listener with per-connection
+//!   reader threads, and a reconnecting outbound lane per peer.
+//! * [`runtime`] — the event loop implementing the simulator's `Context`
+//!   contract: queued sends go to the transport, timers to a
+//!   monotonic-clock timer wheel, and CPU charges become real elapsed time.
+//! * [`config`] — a TOML-style cluster/peer-list file format for
+//!   multi-process deployments.
+//! * [`cluster`] — convenience harness running an n-replica Iniva cluster
+//!   on loopback threads, used by the integration tests, the
+//!   `live_cluster` example and the transport benchmark baseline.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod dedup;
+pub mod frame;
+pub mod runtime;
+pub mod transport;
+
+pub use config::{ClusterConfig, ConfigError, Peer};
+pub use runtime::{CpuMode, Runtime, RuntimeStats};
+pub use transport::{Incoming, Transport, TransportSnapshot, TransportStats};

@@ -1,0 +1,357 @@
+//! The event loop driving an [`Actor`] over real sockets and a real clock.
+//!
+//! [`Runtime`] implements the contract the discrete-event simulator gives
+//! its actors, with wall-clock semantics:
+//!
+//! * `ctx.now()` is nanoseconds of monotonic time since the runtime epoch
+//!   (the simulator's virtual clock becomes a real one);
+//! * `ctx.send(..)` hands the encoded message to the TCP transport;
+//! * `ctx.set_timer(..)` schedules on a monotonic-clock timer wheel;
+//! * `ctx.charge_cpu(..)` **spends the charged time** (the handler thread
+//!   stays busy for it), so the calibrated verification costs shape the
+//!   live cluster's latency exactly as they shape the simulator's — see
+//!   [`CpuMode`] for scaling or disabling this.
+//!
+//! Messages are delivered in arrival order (the order frames drained from
+//! the sockets into the inbound queue); timers fire in deadline order and
+//! take priority over messages once due, mirroring the simulator's
+//! single-server queue per node.
+
+use crate::transport::{Incoming, Transport};
+use iniva_net::wire::Codec;
+use iniva_net::{Actor, Context, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// How `charge_cpu` translates to real time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuMode {
+    /// Spend the charged nanoseconds on the handler thread (default): the
+    /// cost model calibrated from the BLS benchmarks shapes live latency.
+    Real,
+    /// Spend a scaled fraction (e.g. `0.1` to model 10× faster CPUs).
+    Scaled(f64),
+    /// Ignore charges entirely (pure transport benchmarking).
+    Off,
+}
+
+/// Counters mirroring the simulator's per-node [`iniva_net::NodeStats`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Total CPU time charged by handlers (ns, before [`CpuMode`] scaling).
+    pub cpu_charged: Time,
+    /// Real time spent busy in handlers, including charges (ns).
+    pub busy: Time,
+    /// Messages delivered to the actor.
+    pub msgs_delivered: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+/// Drives one [`Actor`] over a [`Transport`].
+pub struct Runtime<A: Actor>
+where
+    A::Msg: Codec + Send + 'static,
+{
+    actor: A,
+    transport: Transport<A::Msg>,
+    cpu_mode: CpuMode,
+    epoch: Instant,
+    timers: BinaryHeap<Reverse<(Time, u64, u64)>>,
+    timer_seq: u64,
+    stats: RuntimeStats,
+    started: bool,
+}
+
+impl<A: Actor> Runtime<A>
+where
+    A::Msg: Codec + Send + 'static,
+{
+    /// Creates a runtime for `actor` over `transport`.
+    pub fn new(actor: A, transport: Transport<A::Msg>, cpu_mode: CpuMode) -> Self {
+        Runtime {
+            actor,
+            transport,
+            cpu_mode,
+            epoch: Instant::now(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            stats: RuntimeStats::default(),
+            started: false,
+        }
+    }
+
+    /// Nanoseconds of monotonic time since the runtime epoch.
+    pub fn now(&self) -> Time {
+        self.epoch.elapsed().as_nanos() as Time
+    }
+
+    /// The driven actor (for metric harvesting).
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Transport counters.
+    pub fn transport_stats(&self) -> &crate::transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// Runs the event loop for `wall` of real time, calling `on_start`
+    /// first if this is the first run.
+    pub fn run_for(&mut self, wall: Duration) {
+        let deadline = Instant::now() + wall;
+        if !self.started {
+            self.started = true;
+            let node = self.transport.node();
+            let ctx = Context::external(node, self.now());
+            let ctx = self.dispatch(ctx, |actor, ctx| actor.on_start(ctx));
+            self.apply(ctx);
+        }
+        while Instant::now() < deadline {
+            // Fire every due timer, in deadline order.
+            loop {
+                let due = matches!(
+                    self.timers.peek(),
+                    Some(Reverse((at, _, _))) if *at <= self.now()
+                );
+                if !due {
+                    break;
+                }
+                let Reverse((_, _, id)) = self.timers.pop().expect("peeked a due timer");
+                self.stats.timers_fired += 1;
+                let node = self.transport.node();
+                let ctx = Context::external(node, self.now());
+                let ctx = self.dispatch(ctx, |actor, ctx| actor.on_timer(ctx, id));
+                self.apply(ctx);
+            }
+            // Wait for the next message, but no longer than the next timer
+            // deadline or the run deadline.
+            let now = self.now();
+            let until_timer = self
+                .timers
+                .peek()
+                .map(|Reverse((at, _, _))| Duration::from_nanos(at.saturating_sub(now)))
+                .unwrap_or(Duration::from_millis(50));
+            let until_deadline = deadline.saturating_duration_since(Instant::now());
+            let wait = until_timer
+                .min(until_deadline)
+                .min(Duration::from_millis(50));
+            if let Some(Incoming { from, msg }) = self.transport.recv_timeout(wait) {
+                self.stats.msgs_delivered += 1;
+                let node = self.transport.node();
+                let ctx = Context::external(node, self.now());
+                let ctx = self.dispatch(ctx, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.apply(ctx);
+            }
+        }
+    }
+
+    /// Tears down the transport and returns the actor plus final counters.
+    pub fn finish(mut self) -> (A, RuntimeStats, crate::transport::TransportSnapshot) {
+        let transport = self.transport.stats().snapshot();
+        self.transport.shutdown();
+        (self.actor, self.stats, transport)
+    }
+
+    fn dispatch<F>(&mut self, mut ctx: Context<A::Msg>, f: F) -> Context<A::Msg>
+    where
+        F: FnOnce(&mut A, &mut Context<A::Msg>),
+    {
+        let start = Instant::now();
+        f(&mut self.actor, &mut ctx);
+        self.stats.busy += start.elapsed().as_nanos() as Time;
+        ctx
+    }
+
+    /// Applies drained context effects: burn charged CPU, ship sends,
+    /// schedule timers (relative to the post-charge instant, matching the
+    /// simulator's `handler_start + cpu + delay`).
+    fn apply(&mut self, ctx: Context<A::Msg>) {
+        let effects = ctx.into_effects();
+        self.stats.cpu_charged += effects.cpu;
+        let spend = match self.cpu_mode {
+            CpuMode::Real => effects.cpu,
+            CpuMode::Scaled(k) => (effects.cpu as f64 * k) as Time,
+            CpuMode::Off => 0,
+        };
+        if spend > 0 {
+            busy_spend(Duration::from_nanos(spend));
+            self.stats.busy += spend;
+        }
+        for (to, msg, _modeled_bytes) in effects.outbox {
+            self.transport.send(to, &msg);
+        }
+        let now = self.now();
+        for (delay, id) in effects.timers {
+            self.timer_seq += 1;
+            self.timers.push(Reverse((now + delay, self.timer_seq, id)));
+        }
+    }
+}
+
+/// Spends `d` of real time on this thread. Sleeps for the bulk and spins
+/// for the sub-millisecond tail, since `thread::sleep` alone overshoots
+/// short charges by scheduler quanta.
+fn busy_spend(d: Duration) {
+    let start = Instant::now();
+    if d > Duration::from_millis(2) {
+        std::thread::sleep(d - Duration::from_millis(1));
+    }
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_net::NodeId;
+    use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+
+    fn loopback(port: u16) -> SocketAddr {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port)
+    }
+
+    /// A tiny codec-capable message for transport-level tests.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) struct Num(pub u64);
+
+    impl iniva_net::wire::WireEncode for Num {
+        fn encode(&self, enc: &mut iniva_net::wire::Encoder) {
+            enc.put_u64(self.0);
+        }
+    }
+
+    impl iniva_net::wire::WireDecode for Num {
+        fn decode(
+            dec: &mut iniva_net::wire::Decoder,
+        ) -> Result<Self, iniva_net::wire::DecodeError> {
+            Ok(Num(dec.get_u64()?))
+        }
+    }
+
+    /// Echoes every received number back, decremented, until zero.
+    struct Countdown {
+        peer: NodeId,
+        initiator: bool,
+        start: u64,
+        done: bool,
+    }
+
+    impl Actor for Countdown {
+        type Msg = Num;
+
+        fn on_start(&mut self, ctx: &mut Context<Num>) {
+            if self.initiator {
+                ctx.send(self.peer, Num(self.start), 8);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<Num>, from: NodeId, msg: Num) {
+            if msg.0 == 0 {
+                self.done = true;
+            } else {
+                ctx.send(from, Num(msg.0 - 1), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn two_runtimes_ping_pong_over_tcp() {
+        let la = std::net::TcpListener::bind(loopback(0)).unwrap();
+        let lb = std::net::TcpListener::bind(loopback(0)).unwrap();
+        let peers = vec![(0, la.local_addr().unwrap()), (1, lb.local_addr().unwrap())];
+        let ta = Transport::<Num>::start(0, la, &peers).unwrap();
+        let tb = Transport::<Num>::start(1, lb, &peers).unwrap();
+
+        let a = Countdown {
+            peer: 1,
+            initiator: true,
+            start: 20,
+            done: false,
+        };
+        let b = Countdown {
+            peer: 0,
+            initiator: false,
+            start: 0,
+            done: false,
+        };
+        let mut ra = Runtime::new(a, ta, CpuMode::Off);
+        let mut rb = Runtime::new(b, tb, CpuMode::Off);
+        let ha = std::thread::spawn(move || {
+            ra.run_for(Duration::from_millis(1500));
+            ra.finish().0
+        });
+        let hb = std::thread::spawn(move || {
+            rb.run_for(Duration::from_millis(1500));
+            rb.finish().0
+        });
+        let a = ha.join().unwrap();
+        let b = hb.join().unwrap();
+        assert!(a.done || b.done, "countdown should have completed");
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_on_time() {
+        struct TimerActor {
+            fired: Vec<(u64, Time)>,
+        }
+        impl Actor for TimerActor {
+            type Msg = Num;
+            fn on_start(&mut self, ctx: &mut Context<Num>) {
+                ctx.set_timer(60 * iniva_net::MILLIS, 2);
+                ctx.set_timer(20 * iniva_net::MILLIS, 1);
+            }
+            fn on_message(&mut self, _: &mut Context<Num>, _: NodeId, _: Num) {}
+            fn on_timer(&mut self, ctx: &mut Context<Num>, id: u64) {
+                self.fired.push((id, ctx.now()));
+            }
+        }
+        let t = Transport::<Num>::bind(0, loopback(0), &[]).unwrap();
+        let mut rt = Runtime::new(TimerActor { fired: vec![] }, t, CpuMode::Real);
+        rt.run_for(Duration::from_millis(200));
+        let fired = &rt.actor().fired;
+        assert_eq!(fired.len(), 2, "both timers fire");
+        assert_eq!(fired[0].0, 1);
+        assert_eq!(fired[1].0, 2);
+        assert!(fired[0].1 >= 20 * iniva_net::MILLIS);
+        assert!(fired[1].1 >= 60 * iniva_net::MILLIS);
+        assert_eq!(rt.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn cpu_charges_become_real_elapsed_time() {
+        struct Burner;
+        impl Actor for Burner {
+            type Msg = Num;
+            fn on_start(&mut self, ctx: &mut Context<Num>) {
+                ctx.charge_cpu(30 * iniva_net::MILLIS);
+            }
+            fn on_message(&mut self, _: &mut Context<Num>, _: NodeId, _: Num) {}
+        }
+        let t = Transport::<Num>::bind(0, loopback(0), &[]).unwrap();
+        let mut rt = Runtime::new(Burner, t, CpuMode::Real);
+        let wall = Instant::now();
+        rt.run_for(Duration::from_millis(1));
+        assert!(
+            wall.elapsed() >= Duration::from_millis(30),
+            "a 30 ms charge must cost 30 ms of real time"
+        );
+        assert_eq!(rt.stats().cpu_charged, 30 * iniva_net::MILLIS);
+
+        let t = Transport::<Num>::bind(0, loopback(0), &[]).unwrap();
+        let mut rt = Runtime::new(Burner, t, CpuMode::Off);
+        let wall = Instant::now();
+        rt.run_for(Duration::from_millis(1));
+        assert!(
+            wall.elapsed() < Duration::from_millis(25),
+            "Off skips the spend"
+        );
+    }
+}

@@ -1,0 +1,480 @@
+//! The peer fabric: a listener accepting inbound connections (one reader
+//! thread per connection) and a reconnecting outbound lane per peer.
+//!
+//! Connections are asymmetric: each node *dials* every peer for its own
+//! outbound traffic and *accepts* the peers' dials for inbound traffic, so
+//! a pair of nodes shares two TCP connections and no tie-breaking is
+//! needed. Outbound lanes queue frames while the peer is unreachable and
+//! reconnect with capped exponential backoff — a replica that restarts is
+//! re-integrated without any action from the others.
+
+use crate::dedup::DedupCache;
+use crate::frame;
+use iniva_net::wire::Codec;
+use iniva_net::NodeId;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A message delivered by the transport.
+#[derive(Debug)]
+pub struct Incoming<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Decoded message.
+    pub msg: M,
+}
+
+/// Transport-level counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Frames sent (including loopback self-sends).
+    pub msgs_sent: AtomicU64,
+    /// Encoded body bytes sent.
+    pub bytes_sent: AtomicU64,
+    /// Frames delivered to the receiver.
+    pub msgs_received: AtomicU64,
+    /// Encoded body bytes received.
+    pub bytes_received: AtomicU64,
+    /// Duplicate frames dropped by the dedup cache.
+    pub dups_dropped: AtomicU64,
+    /// Outbound reconnect attempts that succeeded.
+    pub reconnects: AtomicU64,
+}
+
+/// A plain-value copy of [`TransportStats`], taken at a point in time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportSnapshot {
+    /// Frames sent (including loopback self-sends).
+    pub msgs_sent: u64,
+    /// Encoded body bytes sent.
+    pub bytes_sent: u64,
+    /// Frames delivered to the receiver.
+    pub msgs_received: u64,
+    /// Encoded body bytes received.
+    pub bytes_received: u64,
+    /// Duplicate frames dropped by the dedup cache.
+    pub dups_dropped: u64,
+    /// Outbound reconnect attempts that succeeded.
+    pub reconnects: u64,
+}
+
+impl TransportStats {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            dups_dropped: self.dups_dropped.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How many `(sender, seq)` pairs the duplicate filter remembers.
+const DEDUP_CAPACITY: usize = 4096;
+
+/// Backoff bounds for outbound reconnects.
+const BACKOFF_START: Duration = Duration::from_millis(10);
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Read timeout on inbound connections; bounds how long a reader thread
+/// takes to observe shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Idle gap after which an outbound lane probes its connection for a dead
+/// peer before the next write (a busy lane learns from write errors
+/// instead, keeping the hot path probe-free).
+const PROBE_AFTER_IDLE: Duration = Duration::from_millis(50);
+
+enum Outbound {
+    Frame(Vec<u8>),
+    Stop,
+}
+
+struct PeerLane {
+    tx: Sender<Outbound>,
+    handle: JoinHandle<()>,
+}
+
+/// The TCP message fabric for one node.
+pub struct Transport<M> {
+    node: NodeId,
+    local_addr: SocketAddr,
+    lanes: HashMap<NodeId, PeerLane>,
+    /// Loopback: self-sends skip the socket layer entirely.
+    incoming_tx: Sender<Incoming<M>>,
+    incoming_rx: Receiver<Incoming<M>>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+    listener_handle: Option<JoinHandle<()>>,
+    seq: u64,
+}
+
+impl<M: Codec + Send + 'static> Transport<M> {
+    /// Binds a listener on `listen` (use port 0 for an ephemeral port) and
+    /// starts outbound lanes towards every peer in `peers` (entries whose
+    /// id equals `node` are ignored, so a full cluster map can be passed).
+    pub fn bind(
+        node: NodeId,
+        listen: SocketAddr,
+        peers: &[(NodeId, SocketAddr)],
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        Self::start(node, listener, peers)
+    }
+
+    /// Starts the fabric over an already-bound listener. Useful when a
+    /// whole cluster binds ephemeral ports first and exchanges the actual
+    /// addresses afterwards (see [`crate::cluster`]).
+    pub fn start(
+        node: NodeId,
+        listener: TcpListener,
+        peers: &[(NodeId, SocketAddr)],
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let (incoming_tx, incoming_rx) = mpsc::channel();
+        let stats = Arc::new(TransportStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let listener_handle = {
+            let tx = incoming_tx.clone();
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            listener.set_nonblocking(true)?;
+            thread::Builder::new()
+                .name(format!("iniva-accept-{node}"))
+                .spawn(move || accept_loop(listener, tx, stats, shutdown))
+                .expect("spawn accept thread")
+        };
+
+        let mut lanes = HashMap::new();
+        for &(peer, addr) in peers {
+            if peer == node {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let handle = thread::Builder::new()
+                .name(format!("iniva-out-{node}-to-{peer}"))
+                .spawn(move || outbound_loop(node, addr, rx, stats, shutdown))
+                .expect("spawn outbound thread");
+            lanes.insert(peer, PeerLane { tx, handle });
+        }
+
+        Ok(Transport {
+            node,
+            local_addr,
+            lanes,
+            incoming_tx,
+            incoming_rx,
+            stats,
+            shutdown,
+            listener_handle: Some(listener_handle),
+            seq: 0,
+        })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The listener's actual address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Sends `msg` to `to`. Self-sends are delivered directly; unknown
+    /// destinations and oversized messages are dropped (matching the
+    /// simulator, where a send to a crashed node vanishes). Never blocks:
+    /// frames queue on the outbound lane until the peer is reachable.
+    pub fn send(&mut self, to: NodeId, msg: &M) {
+        let body = msg.to_frame();
+        if to == self.node {
+            TransportStats::bump(&self.stats.msgs_sent, 1);
+            TransportStats::bump(&self.stats.bytes_sent, body.len() as u64);
+            TransportStats::bump(&self.stats.msgs_received, 1);
+            TransportStats::bump(&self.stats.bytes_received, body.len() as u64);
+            // Re-decode instead of cloning: M need not be Clone, and the
+            // loopback path then exercises the same codec as the sockets.
+            if let Ok(decoded) = M::from_frame(body) {
+                let _ = self.incoming_tx.send(Incoming {
+                    from: to,
+                    msg: decoded,
+                });
+            }
+            return;
+        }
+        let Some(lane) = self.lanes.get(&to) else {
+            return;
+        };
+        // Enforce the same bound the receiver's parser enforces: a frame it
+        // would reject as corrupt must never be queued (the lane would
+        // reconnect and replay it forever).
+        let Ok(len) = u32::try_from(body.len() + 8) else {
+            return;
+        };
+        if len > frame::MAX_FRAME_BYTES {
+            return;
+        }
+        TransportStats::bump(&self.stats.msgs_sent, 1);
+        TransportStats::bump(&self.stats.bytes_sent, body.len() as u64);
+        self.seq += 1;
+        let mut framed = Vec::with_capacity(12 + body.len());
+        framed.extend_from_slice(&len.to_le_bytes());
+        framed.extend_from_slice(&self.seq.to_le_bytes());
+        framed.extend_from_slice(&body);
+        let _ = lane.tx.send(Outbound::Frame(framed));
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>> {
+        self.incoming_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receives without waiting.
+    pub fn try_recv(&self) -> Option<Incoming<M>> {
+        self.incoming_rx.try_recv().ok()
+    }
+
+    /// Stops all threads and closes the listener. Called by `Drop`; exposed
+    /// for explicit, joined shutdown in tests.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, lane) in self.lanes.drain() {
+            let _ = lane.tx.send(Outbound::Stop);
+            let _ = lane.handle.join();
+        }
+        if let Some(h) = self.listener_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> Drop for Transport<M> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, lane) in self.lanes.drain() {
+            let _ = lane.tx.send(Outbound::Stop);
+            let _ = lane.handle.join();
+        }
+        if let Some(h) = self.listener_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop<M: Codec + Send + 'static>(
+    listener: TcpListener,
+    tx: Sender<Incoming<M>>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    // One duplicate filter for the whole node, shared across connections:
+    // a frame replayed on a *new* connection after a reconnect must still
+    // be recognized as already delivered.
+    let dedup = Arc::new(Mutex::new(DedupCache::new(DEDUP_CAPACITY)));
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                let dedup = Arc::clone(&dedup);
+                let reader = thread::Builder::new()
+                    .name("iniva-reader".into())
+                    .spawn(move || reader_loop(stream, tx, stats, shutdown, dedup))
+                    .expect("spawn reader thread");
+                readers.push(reader);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+fn reader_loop<M: Codec>(
+    mut stream: TcpStream,
+    tx: Sender<Incoming<M>>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+    dedup: Arc<Mutex<DedupCache>>,
+) {
+    // The accept loop may hand over a non-blocking socket; readers block
+    // with a timeout instead so they can observe shutdown. Reads append to
+    // a buffer and frames are parsed incrementally, so a timeout landing
+    // mid-frame never loses stream position.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 64 * 1024];
+    let mut from: Option<NodeId> = None;
+    while !shutdown.load(Ordering::SeqCst) {
+        // Drain every complete unit currently buffered.
+        loop {
+            if from.is_none() {
+                match frame::parse_handshake(&buf) {
+                    Ok(Some((consumed, peer))) => {
+                        buf.drain(..consumed);
+                        from = Some(peer);
+                        continue;
+                    }
+                    Ok(None) => break,
+                    Err(_) => return,
+                }
+            }
+            match frame::parse_frame(&buf) {
+                Ok(frame::FrameParse::Incomplete) => break,
+                Ok(frame::FrameParse::Complete {
+                    consumed,
+                    seq,
+                    body,
+                }) => {
+                    let sender = from.expect("handshake complete");
+                    let decoded = M::from_frame(bytes::Bytes::from(buf[body].to_vec()));
+                    buf.drain(..consumed);
+                    let Ok(msg) = decoded else {
+                        return; // undecodable body: drop the connection
+                    };
+                    let fresh = dedup.lock().expect("dedup lock").insert(sender, seq);
+                    if !fresh {
+                        TransportStats::bump(&stats.dups_dropped, 1);
+                        continue;
+                    }
+                    TransportStats::bump(&stats.msgs_received, 1);
+                    TransportStats::bump(&stats.bytes_received, (consumed - 12) as u64);
+                    if tx.send(Incoming { from: sender, msg }).is_err() {
+                        return; // receiver gone
+                    }
+                }
+                Err(_) => return, // corrupt framing: the peer will redial
+            }
+        }
+        match io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if would_block(&e) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Probes an outbound (write-only) connection for peer shutdown: lanes
+/// never expect inbound data, so a successful zero-byte read means EOF and
+/// a reset means the peer is gone. Unexpected data is discarded.
+fn conn_is_dead(stream: &mut TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 256];
+    let dead = match io::Read::read(stream, &mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if would_block(&e) => false,
+        Err(_) => true,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return true;
+    }
+    dead
+}
+
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+fn outbound_loop(
+    node: NodeId,
+    addr: SocketAddr,
+    rx: Receiver<Outbound>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut backoff = BACKOFF_START;
+    let mut last_write = Instant::now();
+    'main: while !shutdown.load(Ordering::SeqCst) {
+        let framed = match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(Outbound::Frame(f)) => f,
+            Ok(Outbound::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => continue,
+        };
+        // Deliver this frame, reconnecting as often as needed.
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if conn.is_none() {
+                if let Ok(mut stream) =
+                    TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                {
+                    if stream.set_nodelay(true).is_ok()
+                        && frame::write_handshake(&mut stream, node).is_ok()
+                    {
+                        TransportStats::bump(&stats.reconnects, 1);
+                        conn = Some(stream);
+                        backoff = BACKOFF_START;
+                    }
+                }
+                if conn.is_none() {
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    continue;
+                }
+            }
+            let stream = conn.as_mut().expect("connected");
+            // A dead peer turns writes into silent local-buffer successes
+            // until the RST arrives. Probe for EOF before writing — but
+            // only after an idle gap: on a busy lane the previous write
+            // would have surfaced the error, and probing every frame costs
+            // three syscalls on the hot path.
+            if last_write.elapsed() >= PROBE_AFTER_IDLE && conn_is_dead(stream) {
+                conn = None;
+                continue;
+            }
+            let stream = conn.as_mut().expect("connected");
+            match std::io::Write::write_all(stream, &framed) {
+                Ok(()) => {
+                    last_write = Instant::now();
+                    continue 'main;
+                }
+                Err(_) => {
+                    // Connection died mid-write: reconnect and resend this
+                    // frame. The receiver's dedup cache absorbs the case
+                    // where the write had actually gone through.
+                    conn = None;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Live-cluster integration tests: real Iniva replicas over real TCP.
+
+use iniva::protocol::InivaConfig;
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
+use iniva_net::{Actor, Context, NodeId};
+use iniva_transport::cluster::run_local_iniva_cluster;
+use iniva_transport::{CpuMode, Runtime, Transport};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A 4-replica Iniva cluster on loopback TCP must commit at least 10
+/// blocks and agree on the committed prefix — consensus safety and
+/// liveness, demonstrated over sockets instead of the simulator.
+#[test]
+fn four_replica_cluster_commits_and_agrees() {
+    let mut cfg = InivaConfig::for_tests(4, 1);
+    cfg.request_rate = 20_000;
+    let mut run = None;
+    // Real clocks make the run timing-sensitive; retry once on a slow CI
+    // machine before declaring the liveness property broken.
+    for attempt in 0..2 {
+        let r = run_local_iniva_cluster(&cfg, Duration::from_secs(2), CpuMode::Real)
+            .expect("cluster starts");
+        let committed = r
+            .nodes
+            .iter()
+            .map(|n| n.replica.chain.committed_height())
+            .min()
+            .unwrap();
+        if committed >= 10 || attempt == 1 {
+            run = Some(r);
+            break;
+        }
+    }
+    let run = run.unwrap();
+
+    // Liveness: ≥ 10 blocks committed by every replica.
+    for (id, node) in run.nodes.iter().enumerate() {
+        assert!(
+            node.replica.chain.committed_height() >= 10,
+            "replica {id} committed only {} blocks",
+            node.replica.chain.committed_height()
+        );
+    }
+
+    // Safety: all replicas agree on the committed prefix.
+    let agreed = run.agreed_prefix_height().expect("no divergence");
+    assert!(agreed >= 10);
+
+    // The run exercised the actual sockets: every replica sent and
+    // received frames.
+    for node in &run.nodes {
+        assert!(node.transport.msgs_sent > 0);
+        assert!(node.transport.msgs_received > 0);
+        assert!(node.runtime.msgs_delivered > 0);
+    }
+
+    // Requests were committed and latency accounted, so the perf metrics
+    // downstream of this harness are non-degenerate.
+    let m = &run.nodes[0].replica.chain.metrics;
+    assert!(m.committed_reqs > 0);
+    assert!(m.mean_latency() > 0.0);
+}
+
+/// Two clusters in sequence must not interfere (ports are ephemeral and
+/// sockets are torn down by `finish`).
+#[test]
+fn clusters_tear_down_cleanly() {
+    let cfg = InivaConfig::for_tests(4, 1);
+    for _ in 0..2 {
+        let run = run_local_iniva_cluster(&cfg, Duration::from_millis(400), CpuMode::Scaled(0.2))
+            .expect("cluster starts");
+        assert!(run.agreed_prefix_height().is_ok());
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Num(u64);
+
+impl WireEncode for Num {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+
+impl WireDecode for Num {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(Num(dec.get_u64()?))
+    }
+}
+
+/// Records every received number.
+struct Sink {
+    got: Vec<u64>,
+}
+
+impl Actor for Sink {
+    type Msg = Num;
+    fn on_message(&mut self, _ctx: &mut Context<Num>, _from: NodeId, msg: Num) {
+        self.got.push(msg.0);
+    }
+}
+
+fn wait_for(rt: &mut Runtime<Sink>, count: usize, limit: Duration) {
+    let deadline = Instant::now() + limit;
+    while rt.actor().got.len() < count && Instant::now() < deadline {
+        rt.run_for(Duration::from_millis(50));
+    }
+}
+
+/// A frame replayed on a *new* connection (what a reconnecting lane does
+/// when it cannot know whether its last write landed) must be dropped by
+/// the transport-wide duplicate filter, not delivered twice.
+#[test]
+fn duplicate_frames_across_reconnects_are_dropped() {
+    use iniva_net::wire::Codec;
+    use iniva_transport::frame;
+    use std::net::TcpStream;
+
+    let loopback = "127.0.0.1:0".to_socket_addrs().unwrap().next().unwrap();
+    let listener = TcpListener::bind(loopback).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let tb = Transport::<Num>::start(1, listener, &[]).unwrap();
+    let mut rb = Runtime::new(Sink { got: vec![] }, tb, CpuMode::Off);
+
+    // First connection: frame seq=1.
+    let mut c1 = TcpStream::connect(addr).unwrap();
+    frame::write_handshake(&mut c1, 5).unwrap();
+    frame::write_frame(&mut c1, 1, &Num(41).to_frame()).unwrap();
+    wait_for(&mut rb, 1, Duration::from_secs(5));
+    drop(c1);
+
+    // Second connection, same sender id: replay seq=1, then send seq=2.
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    frame::write_handshake(&mut c2, 5).unwrap();
+    frame::write_frame(&mut c2, 1, &Num(41).to_frame()).unwrap();
+    frame::write_frame(&mut c2, 2, &Num(42).to_frame()).unwrap();
+    wait_for(&mut rb, 2, Duration::from_secs(5));
+
+    assert_eq!(
+        rb.actor().got,
+        vec![41, 42],
+        "the replay must not re-deliver"
+    );
+    let stats = rb.transport_stats().snapshot();
+    assert_eq!(stats.dups_dropped, 1);
+}
+
+/// Killing the receiving peer's socket mid-run must not wedge the sender:
+/// when the peer comes back on the same address, the outbound lane
+/// reconnects and delivery resumes.
+#[test]
+fn outbound_lane_reconnects_after_peer_restart() {
+    let loopback = "127.0.0.1:0".to_socket_addrs().unwrap().next().unwrap();
+    // Receiver (node 1) on an ephemeral port that the restart will reuse.
+    let listener = TcpListener::bind(loopback).unwrap();
+    let b_addr = listener.local_addr().unwrap();
+    let tb = Transport::<Num>::start(1, listener, &[]).unwrap();
+    let mut rb = Runtime::new(Sink { got: vec![] }, tb, CpuMode::Off);
+
+    // Sender (node 0) drives its lane directly — no runtime needed.
+    let mut ta = Transport::<Num>::bind(0, loopback, &[(1, b_addr)]).unwrap();
+
+    // Phase 1: normal delivery.
+    for i in 0..5 {
+        ta.send(1, &Num(i));
+    }
+    wait_for(&mut rb, 5, Duration::from_secs(5));
+    assert_eq!(rb.actor().got, vec![0, 1, 2, 3, 4]);
+
+    // Phase 2: kill the receiver's sockets mid-run (listener and accepted
+    // connections all close) …
+    let (_, _, snapshot_b) = rb.finish();
+    assert_eq!(snapshot_b.msgs_received, 5);
+    // Give the FIN a moment to reach the sender, so its next write probes
+    // the connection as dead instead of racing the close.
+    std::thread::sleep(Duration::from_millis(100));
+    // … keep sending while the peer is down (frames queue on the lane) …
+    for i in 5..10 {
+        ta.send(1, &Num(i));
+    }
+    // … and restart the peer on the same address.
+    let listener = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpListener::bind(b_addr) {
+                Ok(l) => break l,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "rebind never succeeded: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    let tb2 = Transport::<Num>::start(1, listener, &[]).unwrap();
+    let mut rb2 = Runtime::new(Sink { got: vec![] }, tb2, CpuMode::Off);
+    wait_for(&mut rb2, 5, Duration::from_secs(10));
+    assert_eq!(
+        rb2.actor().got,
+        vec![5, 6, 7, 8, 9],
+        "delivery must resume after the peer restarts"
+    );
+    // The sender's lane connected at least twice (initial + after restart).
+    assert!(ta.stats().snapshot().reconnects >= 2);
+}

@@ -41,7 +41,10 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::TooSmall { n, internal } => {
-                write!(f, "committee of {n} too small for {internal} internal nodes")
+                write!(
+                    f,
+                    "committee of {n} too small for {internal} internal nodes"
+                )
             }
             TreeError::NoInternal => write!(f, "a tree with leaves needs internal nodes"),
         }

@@ -1,0 +1,180 @@
+//! Runs an Iniva cluster over **real TCP sockets** — the same replica
+//! state machines the simulator drives, now on a live wire — and prints
+//! throughput/latency with the exact metric definitions of the simulated
+//! perf harness (`iniva_consensus::PerfSummary`), side by side with a
+//! simulator run of the identical configuration.
+//!
+//! In-process cluster (threads, ephemeral loopback ports):
+//!
+//! ```sh
+//! cargo run --release --example live_cluster                  # n=7, 5 s
+//! cargo run --release --example live_cluster -- --n 13 --duration 10
+//! ```
+//!
+//! Multi-process cluster from a TOML-style peer list (one terminal per
+//! replica, like the Fast IC Consensus repo's per-terminal quickstart):
+//!
+//! ```sh
+//! cargo run --release --example live_cluster -- --write-config /tmp/cluster.toml --n 4
+//! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 0
+//! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 1
+//! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 2
+//! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 3
+//! ```
+
+use iniva::protocol::{InivaConfig, InivaReplica};
+use iniva_consensus::PerfSummary;
+use iniva_crypto::sim_scheme::SimScheme;
+use iniva_net::{NetConfig, Simulation, SECS};
+use iniva_transport::cluster::run_local_iniva_cluster;
+use iniva_transport::{ClusterConfig, CpuMode, Runtime, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn iniva_config(n: usize, internal: u32, rate: u64, batch: u32, payload: u32) -> InivaConfig {
+    let mut cfg = InivaConfig::for_tests(n, internal);
+    cfg.request_rate = rate;
+    cfg.max_batch = batch;
+    cfg.payload_per_req = payload;
+    cfg
+}
+
+/// The simulator run of the identical configuration, for the
+/// "simulated" comparison row.
+fn simulated_point(cfg: &InivaConfig, duration_secs: u64) -> PerfSummary {
+    let scheme = Arc::new(SimScheme::new(cfg.n, b"live-cluster"));
+    let replicas = (0..cfg.n as u32)
+        .map(|id| InivaReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
+        .collect();
+    let mut sim = Simulation::new(NetConfig::default(), replicas);
+    sim.run_until(duration_secs * SECS);
+    let metrics = sim.actor(0).chain.metrics.clone();
+    iniva_sim::perf::harvest(&sim, &metrics, duration_secs)
+}
+
+fn in_process(n: usize, internal: u32, rate: u64, batch: u32, payload: u32, duration_secs: u64) {
+    let cfg = iniva_config(n, internal, rate, batch, payload);
+    println!(
+        "== live Iniva cluster: n = {n}, {internal} internal aggregators, \
+         {rate} req/s offered, {duration_secs} s over loopback TCP =="
+    );
+    let run = run_local_iniva_cluster(&cfg, Duration::from_secs(duration_secs), CpuMode::Real)
+        .expect("cluster starts");
+
+    let agreed = match run.agreed_prefix_height() {
+        Ok(h) => h,
+        Err(e) => panic!("SAFETY VIOLATION: {e}"),
+    };
+    let cpu_busy: Vec<u64> = run.nodes.iter().map(|nd| nd.runtime.busy).collect();
+    let metrics = &run.nodes[0].replica.chain.metrics;
+    let live = PerfSummary::from_metrics(metrics, duration_secs as f64, &cpu_busy);
+    let sim = simulated_point(&cfg, duration_secs);
+
+    println!("{}", PerfSummary::table_header());
+    println!("{}", sim.table_row("simulated"));
+    println!("{}", live.table_row("live-tcp"));
+    println!();
+    println!("agreed committed prefix : {agreed} blocks (all {n} replicas)");
+    let sent: u64 = run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum();
+    let bytes: u64 = run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum();
+    let dups: u64 = run.nodes.iter().map(|nd| nd.transport.dups_dropped).sum();
+    println!("frames shipped          : {sent} ({bytes} body bytes, {dups} duplicates dropped)");
+}
+
+fn one_process(path: &str, id: u32) {
+    let text = std::fs::read_to_string(path).expect("read config file");
+    let cluster: ClusterConfig = ClusterConfig::parse(&text).unwrap_or_else(|e| panic!("{e}"));
+    let cfg = iniva_config(
+        cluster.n(),
+        cluster.internal,
+        cluster.request_rate,
+        cluster.max_batch,
+        cluster.payload_per_req,
+    );
+    let addr = cluster.addr_of(id).expect("id is in the peer list");
+    let duration = Duration::from_secs(cluster.duration_secs);
+    println!(
+        "replica {id} of {}: listening on {addr}, running {} s",
+        cluster.n(),
+        cluster.duration_secs
+    );
+    let transport = Transport::bind(id, addr, &cluster.peer_addrs()).expect("bind listener");
+    let scheme = Arc::new(SimScheme::new(cluster.n(), b"live-cluster"));
+    let replica = InivaReplica::new(id, cfg, scheme);
+    let mut runtime = Runtime::new(replica, transport, CpuMode::Real);
+    runtime.run_for(duration);
+    let (replica, stats, transport) = runtime.finish();
+
+    let point = PerfSummary::from_metrics(
+        &replica.chain.metrics,
+        cluster.duration_secs as f64,
+        &[stats.busy],
+    );
+    println!("{}", PerfSummary::table_header());
+    println!("{}", point.table_row(&format!("live-tcp[{id}]")));
+    println!(
+        "committed height {} | frames sent {} | received {} | reconnects {}",
+        replica.chain.committed_height(),
+        transport.msgs_sent,
+        transport.msgs_received,
+        transport.reconnects,
+    );
+}
+
+fn write_config(path: &str, n: usize) {
+    let mut text = String::from(
+        "# Iniva live cluster — one `--id` process per [[peers]] entry\n[cluster]\ninternal = 2\nbatch = 100\npayload = 64\nrate = 10000\nduration_secs = 10\n",
+    );
+    for id in 0..n {
+        text.push_str(&format!(
+            "\n[[peers]]\nid = {id}\naddr = \"127.0.0.1:{}\"\n",
+            7100 + id
+        ));
+    }
+    std::fs::write(path, &text).expect("write config file");
+    println!("wrote {path} for an n={n} cluster on 127.0.0.1:7100..");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse = |name: &str, default: u64| -> u64 {
+        flag(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} wants a number"))
+            })
+            .unwrap_or(default)
+    };
+
+    if let Some(path) = flag("--write-config") {
+        write_config(&path, parse("--n", 4) as usize);
+        return;
+    }
+    if let Some(path) = flag("--config") {
+        let id = flag("--id")
+            .expect("--config needs --id <replica id>")
+            .parse()
+            .expect("--id wants a number");
+        one_process(&path, id);
+        return;
+    }
+    let n = parse("--n", 7) as usize;
+    let default_internal = ((n as f64 - 1.0).sqrt().round() as u64).max(1);
+    in_process(
+        n,
+        parse("--internal", default_internal) as u32,
+        // Below the batch-100 saturation point (~6.7k committed/s), so the
+        // out-of-the-box run shows service latency, not queueing backlog;
+        // push --rate up to study saturation.
+        parse("--rate", 5_000),
+        parse("--batch", 100) as u32,
+        parse("--payload", 64) as u32,
+        parse("--duration", 5),
+    );
+}

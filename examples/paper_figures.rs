@@ -23,7 +23,10 @@ fn main() {
         for r in table1::table_1(40_000, 42) {
             println!(
                 "{:<16} {:>14} {:>14.4} {:>10} {:>20}",
-                r.scheme, r.omission_formula, r.measured_at_10pct, r.inclusive,
+                r.scheme,
+                r.omission_formula,
+                r.measured_at_10pct,
+                r.inclusive,
                 r.incentive_compatible
             );
         }

@@ -59,7 +59,10 @@ fn main() {
     print_share(&tree, &d.shares, internal, "internal");
     let leaf = tree.members_with_role(Role::Leaf)[0];
     print_share(&tree, &d.shares, leaf, "leaf");
-    println!("total paid            : {:.6}", d.shares.iter().sum::<f64>());
+    println!(
+        "total paid            : {:.6}",
+        d.shares.iter().sum::<f64>()
+    );
 }
 
 fn print_share(_tree: &TreeView, shares: &[f64], member: u32, label: &str) {

@@ -14,11 +14,8 @@ use iniva_tree::{Topology, TreeView};
 
 fn main() {
     // A 13-member committee: root 0, internals {1,2,3}, leaves 4..12.
-    let tree = TreeView::with_assignment(
-        Topology::new(13, 3).unwrap(),
-        Assignment::identity(13),
-        0,
-    );
+    let tree =
+        TreeView::with_assignment(Topology::new(13, 3).unwrap(), Assignment::identity(13), 0);
     let params = RewardParams::default();
 
     // A view with mixed collection paths:
@@ -79,7 +76,11 @@ fn main() {
     let dominated = incentives::find_dominating_strategy(&params, 0.3, F, 4).is_none();
     println!(
         "Theorem 3 grid check at m = 0.3: honest strategy {} (S0 = {:?})",
-        if dominated { "dominates" } else { "IS DOMINATED" },
+        if dominated {
+            "dominates"
+        } else {
+            "IS DOMINATED"
+        },
         Strategy::HONEST
     );
 }
