@@ -1,0 +1,119 @@
+//! Reruns the Fig. 4 resilience sweep cells — 21 replicas, 0–4 crash
+//! faults, round-robin vs Carousel leader policies — over **loopback TCP
+//! sockets**, replaying the *same* seeded [`FaultPlan`] the simulator
+//! replays, and writes the side-by-side numbers (plus their deltas) to
+//! `BENCH_resilience_live.json`.
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin resilience_live
+//! cargo run --release -p iniva-bench --bin resilience_live -- out.json 21 3 0.05
+//! #                     optional: path, n, duration_secs, cpu_scale
+//! ```
+//!
+//! `cpu_scale` multiplies the calibrated BLS cost model **in both
+//! backends** (the cost model lives in the shared replica config), so the
+//! comparison stays apples-to-apples on hosts with fewer cores than the
+//! paper's testbed: the simulator charges each of the n replicas its own
+//! virtual CPU, while the live cluster's n threads share this machine's
+//! real ones.
+
+use iniva_net::faults::FaultPlan;
+use iniva_sim::resilience::{self, ResiliencePoint, Variant};
+use iniva_transport::cluster::run_local_iniva_cluster_with_plan;
+use iniva_transport::CpuMode;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const VARIANTS: [Variant; 3] = [Variant::Delta5, Variant::Delta10, Variant::Carousel5];
+const SEED: u64 = 42;
+
+fn point_json(p: &ResiliencePoint) -> String {
+    format!(
+        "{{\"throughput_per_sec\": {:.1}, \"latency_ms\": {:.3}, \
+         \"failed_views_pct\": {:.2}, \"qc_size\": {:.2}}}",
+        p.throughput, p.latency_ms, p.failed_views_pct, p.qc_size
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_resilience_live.json");
+    let n: usize = args.get(1).map_or(21, |v| v.parse().expect("n"));
+    let duration_secs: u64 = args.get(2).map_or(3, |v| v.parse().expect("duration_secs"));
+    let cpu_scale: f64 = args.get(3).map_or(0.05, |v| v.parse().expect("cpu_scale"));
+
+    let mut cells = Vec::new();
+    for variant in VARIANTS {
+        // The observer is the (faults+1)-th shuffled member, so a
+        // committee of n supports at most n-1 injected crashes.
+        for faults in (0..=4usize).take_while(|&f| f < n) {
+            let mut cfg = resilience::variant_config(variant);
+            if n != resilience::FIG4_N {
+                cfg.n = n;
+                cfg.internal = ((n as f64 - 1.0).sqrt().round() as u32).max(1);
+            }
+            cfg.cost = cfg.cost.scaled(cpu_scale);
+            let seed = SEED + faults as u64;
+            let plan = FaultPlan::random_crashes(n, faults, 0, seed);
+            let observer = FaultPlan::shuffled_members(n, seed)[faults];
+
+            let sim = resilience::run_sim_plan(&cfg, &plan, faults, observer, duration_secs, seed);
+
+            let run = run_local_iniva_cluster_with_plan(
+                &cfg,
+                Duration::from_secs(duration_secs),
+                CpuMode::Real,
+                &plan,
+            )
+            .expect("cluster starts");
+            let live = resilience::measure(
+                &run.nodes[observer as usize].replica.chain.metrics,
+                faults,
+                duration_secs,
+            );
+            let policy = match variant {
+                Variant::Carousel5 => "carousel",
+                _ => "round-robin",
+            };
+            let tp_delta = if sim.throughput > 0.0 {
+                (live.throughput - sim.throughput) / sim.throughput * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:<18} faults={faults}  live {:>8.1}/s  sim {:>8.1}/s  ({tp_delta:+.1}%)  \
+                 qc {:.1}/{:.1}  failed views {:.1}%/{:.1}%",
+                variant.label(),
+                live.throughput,
+                sim.throughput,
+                live.qc_size,
+                sim.qc_size,
+                live.failed_views_pct,
+                sim.failed_views_pct,
+            );
+            cells.push(format!(
+                "    {{\"variant\": \"{}\", \"policy\": \"{policy}\", \"faults\": {faults},\n     \
+                 \"live\": {},\n     \"sim\": {},\n     \
+                 \"throughput_delta_pct\": {tp_delta:.1}}}",
+                variant.label(),
+                point_json(&live),
+                point_json(&sim),
+            ));
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(
+        json,
+        "{{\n  \"benchmark\": \"iniva resilience sweep (Fig. 4): live TCP vs simulator\",\n  \
+         \"n\": {n},\n  \"duration_secs\": {duration_secs},\n  \
+         \"cpu_scale\": {cpu_scale},\n  \"seed\": {SEED},\n  \"cells\": ["
+    );
+    let _ = writeln!(json, "{}", cells.join(",\n"));
+    let _ = writeln!(json, "  ]\n}}");
+    std::fs::write(path, &json).expect("write sweep json");
+    println!("\nwrote {path}");
+}

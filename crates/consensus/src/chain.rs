@@ -33,6 +33,13 @@ pub struct ChainMetrics {
     pub failed_views: u64,
     /// Total views entered.
     pub total_views: u64,
+    /// When the most recent commit landed (ns of run time; 0 = never).
+    /// Chaos harnesses assert on this to show a cluster resumed
+    /// committing *after* a heal, not merely that totals grew.
+    pub last_commit_time: Time,
+    /// `(time, committed height)` per commit, ascending (first
+    /// [`COMMITTED_LOG_CAP`] commits) — the chain's progress curve.
+    pub commit_points: Vec<(Time, u64)>,
 }
 
 impl ChainMetrics {
@@ -74,6 +81,15 @@ impl ChainMetrics {
             self.failed_views as f64 / self.total_views as f64
         }
     }
+
+    /// Blocks committed at or after `t` (from the recorded progress
+    /// curve) — the chaos harness's "did it resume after the heal" hook.
+    pub fn commits_since(&self, t: Time) -> u64 {
+        self.commit_points
+            .iter()
+            .filter(|&&(at, _)| at >= t)
+            .count() as u64
+    }
 }
 
 /// The replica-local chain: stores blocks, tracks the highest QC and applies
@@ -88,6 +104,20 @@ pub struct ChainState<S: VoteScheme> {
     ns_per_req: Time,
     /// Next uncommitted request sequence number.
     next_req: u64,
+    /// Proposer-side draft cursor: the end of the highest request range
+    /// seen in *any* stored block, committed or not. Drafting from
+    /// `max(next_req, draft_cursor)` keeps the 2-view commit pipeline from
+    /// re-batching ranges that are drafted but not yet committed — without
+    /// it, committed throughput exceeds the offered rate at saturation
+    /// (each request would be counted by up to three overlapping blocks).
+    ///
+    /// Deliberate trade-off: a range batched by a block whose view fails
+    /// is abandoned (≤ `max_batch` requests per disseminated-then-failed
+    /// view), modeling open-loop clients whose in-flight requests need
+    /// resubmission rather than being replayed by the protocol. The
+    /// conservative direction — committed ≤ offered — is the invariant
+    /// the metrics rely on.
+    draft_cursor: u64,
     /// Every committed block as `(height, hash)`, ascending — the chain
     /// prefix this replica has finalized (used for cross-replica agreement
     /// checks in the live-cluster tests).
@@ -110,6 +140,7 @@ impl<S: VoteScheme> ChainState<S> {
                 .checked_div(request_rate_per_sec)
                 .unwrap_or(0),
             next_req: 0,
+            draft_cursor: 0,
             committed_log: Vec::new(),
             metrics: ChainMetrics::default(),
         }
@@ -156,8 +187,11 @@ impl<S: VoteScheme> ChainState<S> {
         self.blocks.get(h)
     }
 
-    /// Inserts a block (idempotent).
+    /// Inserts a block (idempotent). Any stored block — own draft or a
+    /// validated peer proposal — advances the draft cursor past its
+    /// request range, so later drafts never re-batch it.
     pub fn insert_block(&mut self, b: Block) {
+        self.draft_cursor = self.draft_cursor.max(b.batch_start + b.batch_len as u64);
         self.blocks.entry(b.hash()).or_insert(b);
     }
 
@@ -172,10 +206,12 @@ impl<S: VoteScheme> ChainState<S> {
         payload_per_req: u32,
     ) -> Block {
         let (parent_hash, parent_height) = self.high_tip();
+        let batch_start = self.next_req.max(self.draft_cursor);
         let mut batch_len = 0u32;
         if let Some(arrived) = now.checked_div(self.ns_per_req) {
-            // Requests 0..=arrived have arrived by `now`.
-            let pending = (arrived + 1).saturating_sub(self.next_req);
+            // Requests 0..=arrived have arrived by `now`; those below the
+            // draft cursor are already claimed by in-flight blocks.
+            let pending = (arrived + 1).saturating_sub(batch_start);
             batch_len = pending.min(max_batch as u64) as u32;
         }
         Block {
@@ -183,7 +219,7 @@ impl<S: VoteScheme> ChainState<S> {
             height: parent_height + 1,
             parent: parent_hash,
             proposer,
-            batch_start: self.next_req,
+            batch_start,
             batch_len,
             payload_per_req,
         }
@@ -235,6 +271,10 @@ impl<S: VoteScheme> ChainState<S> {
         for b in chain.iter().rev() {
             if self.committed_log.len() < COMMITTED_LOG_CAP {
                 self.committed_log.push((b.height, b.hash()));
+            }
+            self.metrics.last_commit_time = now;
+            if self.metrics.commit_points.len() < COMMITTED_LOG_CAP {
+                self.metrics.commit_points.push((now, b.height));
             }
             self.metrics.committed_blocks += 1;
             self.metrics.committed_reqs += b.batch_len as u64;
@@ -334,6 +374,50 @@ mod tests {
         // Batch cap applies.
         let b = chain.draft_block(1, 0, 1_000_000_000, 100, 64);
         assert_eq!(b.batch_len, 100);
+    }
+
+    #[test]
+    fn pipelined_drafts_never_rebatch_uncommitted_ranges() {
+        let chain: &mut ChainState<SimScheme> = &mut ChainState::new(1000); // 1 req/ms
+        let s = scheme();
+        // The 2-view commit pipeline: each block is drafted with the
+        // previous one QC'd but **not yet committed** — `next_req` alone
+        // cannot see those in-flight ranges, only the draft cursor can.
+        let b1 = chain.draft_block(1, 0, 1_000_000, 100, 64);
+        assert_eq!((b1.batch_start, b1.batch_len), (0, 2));
+        chain.insert_block(b1.clone());
+        chain.on_qc(qc_for(&s, &b1), 1_500_000, &s);
+        assert_eq!(chain.committed_height(), 0, "b1 is QC'd, not committed");
+        let b2 = chain.draft_block(2, 1, 2_000_000, 100, 64);
+        assert_eq!(
+            b2.batch_start,
+            b1.batch_start + b1.batch_len as u64,
+            "draft cursor must skip the in-flight range"
+        );
+        chain.insert_block(b2.clone());
+        chain.on_qc(qc_for(&s, &b2), 2_500_000, &s);
+        // Nothing new arrived since b2's draft: an empty batch, not a
+        // replay of b1/b2's requests (the pre-cursor code re-batched here).
+        let b3 = chain.draft_block(3, 2, 2_000_000, 100, 64);
+        assert_eq!(b3.batch_len, 0);
+        chain.insert_block(b3.clone());
+        chain.on_qc(qc_for(&s, &b3), 5_000_000, &s); // commits b1
+                                                     // Two filler views flush b2 and b3 through the three-chain rule:
+                                                     // the disjoint ranges count each request exactly once.
+        let b4 = chain.draft_block(4, 0, 2_000_000, 100, 64);
+        chain.insert_block(b4.clone());
+        chain.on_qc(qc_for(&s, &b4), 5_000_000, &s); // commits b2
+        let b5 = chain.draft_block(5, 0, 2_000_000, 100, 64);
+        chain.insert_block(b5.clone());
+        chain.on_qc(qc_for(&s, &b5), 6_000_000, &s); // commits b3
+        assert_eq!(chain.committed_height(), 3, "b1..b3 committed");
+        assert_eq!(
+            chain.metrics.committed_reqs, 3,
+            "each request commits exactly once"
+        );
+        assert_eq!(chain.metrics.last_commit_time, 6_000_000);
+        assert_eq!(chain.metrics.commits_since(6_000_000), 1);
+        assert_eq!(chain.metrics.commits_since(6_000_001), 0);
     }
 
     #[test]

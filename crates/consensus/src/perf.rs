@@ -104,6 +104,7 @@ mod tests {
             qc_count: 10,
             failed_views: 1,
             total_views: 10,
+            ..ChainMetrics::default()
         }
     }
 

@@ -830,6 +830,13 @@ impl<S: VoteScheme> InivaReplica<S> {
         }
     }
 
+    /// The view this replica is currently in (progress hook for chaos
+    /// harnesses: surviving replicas must keep advancing views while a
+    /// partition stalls commits, and converge again after a heal).
+    pub fn current_view(&self) -> u64 {
+        self.current_view
+    }
+
     /// The final QC formed for the current aggregation (test/metric hook).
     pub fn current_agg_signers(&self) -> usize {
         self.agg

@@ -146,6 +146,29 @@ fn crashed_internal_nodes_recovered_via_second_chance() {
 }
 
 #[test]
+fn committed_throughput_never_exceeds_offered_rate() {
+    // Regression for the workload-accounting bug: the 2-view commit
+    // pipeline used to re-batch request ranges that were drafted but not
+    // yet committed, so committed throughput *exceeded* the offered rate
+    // at saturation (each request counted by up to three overlapping
+    // blocks). With the proposer-side draft cursor, committed requests
+    // are bounded by arrivals at every rate.
+    for rate in [2_000u64, 50_000, 500_000] {
+        let secs = 5u64;
+        let mut sim = build(7, 2, |c| c.request_rate = rate);
+        sim.run_until(secs * SECS);
+        let committed = sim.actor(0).chain.metrics.committed_reqs;
+        // Requests 0..=secs*rate have arrived by the deadline.
+        let offered = secs * rate + 1;
+        assert!(
+            committed <= offered,
+            "rate {rate}: committed {committed} exceeds offered {offered}"
+        );
+        assert!(committed > 0, "rate {rate}: nothing committed");
+    }
+}
+
+#[test]
 fn deterministic_across_runs() {
     let run = || {
         let mut sim = build(21, 4, |_| {});

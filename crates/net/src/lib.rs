@@ -24,12 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod faults;
 pub mod wire;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Identity of a simulated node.
 pub type NodeId = u32;
@@ -213,6 +214,12 @@ pub struct Simulation<A: Actor> {
     config: NetConfig,
     rng: StdRng,
     started: bool,
+    /// Directed links whose deliveries are dropped (injected partitions).
+    blocked_links: HashSet<(NodeId, NodeId)>,
+    /// Extra one-way delay injected per directed link (slow links).
+    link_delays: HashMap<(NodeId, NodeId), Time>,
+    /// Deliveries dropped by blocked links (monotonic).
+    link_drops: u64,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -232,6 +239,9 @@ impl<A: Actor> Simulation<A> {
             config,
             rng,
             started: false,
+            blocked_links: HashSet::new(),
+            link_delays: HashMap::new(),
+            link_drops: 0,
         }
     }
 
@@ -255,9 +265,49 @@ impl<A: Actor> Simulation<A> {
         self.crashed[node as usize] = true;
     }
 
+    /// Revives a crashed node. Events that came due while it was down are
+    /// gone (a crashed node neither receives nor fires timers); it resumes
+    /// inert and rejoins when the protocol next contacts it — exactly the
+    /// live runtime's heal semantics.
+    pub fn revive(&mut self, node: NodeId) {
+        self.crashed[node as usize] = false;
+    }
+
     /// True if `node` has crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.crashed[node as usize]
+    }
+
+    /// Blocks the directed link `from → to`: deliveries on it are dropped
+    /// at delivery time (messages already in flight are lost too).
+    pub fn block_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_links.insert((from, to));
+    }
+
+    /// Unblocks the directed link `from → to`.
+    pub fn unblock_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked_links.remove(&(from, to));
+    }
+
+    /// Removes every blocked link and injected link delay.
+    pub fn heal_all_links(&mut self) {
+        self.blocked_links.clear();
+        self.link_delays.clear();
+    }
+
+    /// Adds `extra` one-way delay to every message sent on `from → to`
+    /// (0 removes the injection).
+    pub fn set_link_delay(&mut self, from: NodeId, to: NodeId, extra: Time) {
+        if extra == 0 {
+            self.link_delays.remove(&(from, to));
+        } else {
+            self.link_delays.insert((from, to), extra);
+        }
+    }
+
+    /// Deliveries dropped so far by blocked links.
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
     }
 
     /// Statistics for a node.
@@ -320,7 +370,8 @@ impl<A: Actor> Simulation<A> {
             } else {
                 0
             };
-            let deliver_at = t + self.config.base_latency + jitter;
+            let extra = self.link_delays.get(&(node, to)).copied().unwrap_or(0);
+            let deliver_at = t + self.config.base_latency + jitter + extra;
             self.push(deliver_at, to, EventKind::Deliver { from: node, msg });
         }
         self.available[ni] = self.available[ni].max(t);
@@ -345,6 +396,16 @@ impl<A: Actor> Simulation<A> {
         if self.crashed[ni] {
             self.now = self.now.max(ev.at);
             return true;
+        }
+        // A partitioned link drops its deliveries at delivery time, so a
+        // partition injected while messages are in flight loses them too —
+        // matching the live transport's reader-path filter.
+        if let EventKind::Deliver { from, .. } = &ev.kind {
+            if self.blocked_links.contains(&(*from, ev.node)) {
+                self.now = self.now.max(ev.at);
+                self.link_drops += 1;
+                return true;
+            }
         }
         // Single-server queue: if the node is still busy, requeue the event
         // for when it frees up.

@@ -7,11 +7,15 @@
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_consensus::LeaderPolicy;
 use iniva_crypto::sim_scheme::SimScheme;
+use iniva_net::faults::FaultPlan;
 use iniva_net::{NetConfig, Simulation, MILLIS, SECS};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Committee size of the Fig. 4 sweeps.
+pub const FIG4_N: usize = 21;
+
+/// Internal aggregators per tree in the Fig. 4 sweeps.
+pub const FIG4_INTERNAL: u32 = 4;
 
 /// One experiment variant (a line in Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,12 +68,9 @@ pub struct ResiliencePoint {
     pub qc_size: f64,
 }
 
-/// Runs one resiliency cell: `faults` crash faults, chosen pseudo-randomly,
-/// measured over `duration_secs` of virtual time.
-pub fn run(variant: Variant, faults: usize, duration_secs: u64, seed: u64) -> ResiliencePoint {
-    let n = 21usize;
-    let scheme = Arc::new(SimScheme::new(n, b"resilience"));
-    let mut cfg = InivaConfig::for_tests(n, 4);
+/// The replica configuration of one Fig. 4 variant.
+pub fn variant_config(variant: Variant) -> InivaConfig {
+    let mut cfg = InivaConfig::for_tests(FIG4_N, FIG4_INTERNAL);
     cfg.request_rate = 50_000;
     cfg.max_batch = 100;
     cfg.payload_per_req = 64;
@@ -79,7 +80,39 @@ pub fn run(variant: Variant, faults: usize, duration_secs: u64, seed: u64) -> Re
     cfg.sc_on_quorum = true;
     cfg.leader_policy = variant.policy();
     cfg.view_timeout = 300 * MILLIS;
-    let replicas = (0..n as u32)
+    cfg
+}
+
+/// Reduces a correct replica's chain metrics to a Fig. 4 point. Shared
+/// with the live-cluster sweep driver, so both backends report identical
+/// definitions.
+pub fn measure(
+    m: &iniva_consensus::chain::ChainMetrics,
+    faults: usize,
+    duration_secs: u64,
+) -> ResiliencePoint {
+    ResiliencePoint {
+        faults,
+        throughput: m.committed_reqs as f64 / duration_secs as f64,
+        latency_ms: m.mean_latency() / MILLIS as f64,
+        failed_views_pct: m.failed_view_fraction() * 100.0,
+        qc_size: m.mean_qc_size(),
+    }
+}
+
+/// Runs `plan` against a fresh simulated cluster of `cfg`, harvesting the
+/// Fig. 4 metrics from `observer` (which must stay correct for the whole
+/// plan).
+pub fn run_sim_plan(
+    cfg: &InivaConfig,
+    plan: &FaultPlan,
+    faults: usize,
+    observer: u32,
+    duration_secs: u64,
+    seed: u64,
+) -> ResiliencePoint {
+    let scheme = Arc::new(SimScheme::new(cfg.n, b"resilience"));
+    let replicas = (0..cfg.n as u32)
         .map(|id| InivaReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
         .collect();
     let mut sim = Simulation::new(
@@ -89,22 +122,18 @@ pub fn run(variant: Variant, faults: usize, duration_secs: u64, seed: u64) -> Re
         },
         replicas,
     );
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    ids.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5eed));
-    for &f in ids.iter().take(faults) {
-        sim.crash(f);
-    }
-    sim.run_until(duration_secs * SECS);
+    plan.run_on_sim(&mut sim, duration_secs * SECS);
+    measure(&sim.actor(observer).chain.metrics, faults, duration_secs)
+}
+
+/// Runs one resiliency cell: `faults` crash faults, chosen pseudo-randomly,
+/// measured over `duration_secs` of virtual time.
+pub fn run(variant: Variant, faults: usize, duration_secs: u64, seed: u64) -> ResiliencePoint {
+    let cfg = variant_config(variant);
+    let plan = FaultPlan::random_crashes(cfg.n, faults, 0, seed);
     // Harvest from a correct replica.
-    let observer = ids[faults];
-    let m = &sim.actor(observer).chain.metrics;
-    ResiliencePoint {
-        faults,
-        throughput: m.committed_reqs as f64 / duration_secs as f64,
-        latency_ms: m.mean_latency() / MILLIS as f64,
-        failed_views_pct: m.failed_view_fraction() * 100.0,
-        qc_size: m.mean_qc_size(),
-    }
+    let observer = FaultPlan::shuffled_members(cfg.n, seed)[faults];
+    run_sim_plan(&cfg, &plan, faults, observer, duration_secs, seed)
 }
 
 /// Fig. 4: all variants × fault counts 0–4.

@@ -6,16 +6,27 @@
 //! as in a multi-host deployment, minus propagation delay. The integration
 //! tests, the `live_cluster` example and the transport benchmark baseline
 //! all run through this harness.
+//!
+//! Chaos runs use the same harness: [`ClusterFaults`] aggregates every
+//! replica's [`NodeFaults`] switch plus the shared [`LinkFaults`] filter,
+//! and [`run_local_iniva_cluster_with_plan`] replays a seeded
+//! [`FaultPlan`] — the *same* plan type the simulator replays via
+//! `FaultPlan::run_on_sim` — against the live sockets from a driver
+//! thread, so the Fig. 4 resilience sweeps compare one scenario across
+//! both backends.
 
+use crate::faults::{LinkFaults, NodeFaults};
 use crate::runtime::{CpuMode, Runtime, RuntimeStats};
-use crate::transport::{Transport, TransportSnapshot};
+use crate::transport::{Transport, TransportOptions, TransportSnapshot};
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::sim_scheme::SimScheme;
+use iniva_net::faults::{FaultEvent, FaultPlan};
+use iniva_net::NodeId;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
 use std::sync::{Arc, Barrier};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of one replica's run.
 pub struct NodeRun {
@@ -36,14 +47,18 @@ pub struct ClusterRun {
 }
 
 impl ClusterRun {
-    /// The greatest height every replica has committed (the cluster's
-    /// agreed prefix length), or an error naming the first divergence.
+    /// The greatest height every replica in `ids` has committed (the
+    /// group's agreed prefix length), or an error naming the first
+    /// divergence.
     ///
     /// Agreement is checked pairwise over the full committed logs: any two
     /// replicas that both committed a height must have the same block hash
     /// there — the safety property of the protocol, asserted over real
-    /// sockets.
-    pub fn agreed_prefix_height(&self) -> Result<u64, String> {
+    /// sockets. Chaos tests pass the *surviving* replicas as `ids`;
+    /// crashed nodes still must not have committed a conflicting block,
+    /// so their logs are checked for consistency too, but their (stalled)
+    /// heights don't drag the prefix down.
+    pub fn agreed_prefix_height_of(&self, ids: &[usize]) -> Result<u64, String> {
         use std::collections::HashMap;
         let mut canonical: HashMap<u64, ([u8; 32], usize)> = HashMap::new();
         for (id, node) in self.nodes.iter().enumerate() {
@@ -61,13 +76,141 @@ impl ClusterRun {
                 }
             }
         }
-        Ok(self
-            .nodes
+        Ok(ids
             .iter()
-            .map(|n| n.replica.chain.committed_height())
+            .map(|&i| self.nodes[i].replica.chain.committed_height())
             .min()
             .unwrap_or(0))
     }
+
+    /// [`Self::agreed_prefix_height_of`] over every replica.
+    pub fn agreed_prefix_height(&self) -> Result<u64, String> {
+        let all: Vec<usize> = (0..self.nodes.len()).collect();
+        self.agreed_prefix_height_of(&all)
+    }
+}
+
+/// Kill/heal/partition surface for one in-process cluster: every node's
+/// crash switch plus the shared link filter, addressed by committee id.
+#[derive(Clone)]
+pub struct ClusterFaults {
+    nodes: Vec<Arc<NodeFaults>>,
+    links: Arc<LinkFaults>,
+}
+
+impl ClusterFaults {
+    /// Fault handles for an `n`-replica cluster, initially all healthy.
+    pub fn new(n: usize) -> Self {
+        ClusterFaults {
+            nodes: (0..n).map(|_| Arc::new(NodeFaults::new())).collect(),
+            links: Arc::new(LinkFaults::new()),
+        }
+    }
+
+    /// The crash switch of replica `id` (shared with its transport).
+    pub fn node(&self, id: NodeId) -> Arc<NodeFaults> {
+        Arc::clone(&self.nodes[id as usize])
+    }
+
+    /// The cluster-wide link filter.
+    pub fn links(&self) -> Arc<LinkFaults> {
+        Arc::clone(&self.links)
+    }
+
+    /// Crashes replica `id`.
+    pub fn kill(&self, id: NodeId) {
+        self.nodes[id as usize].kill();
+    }
+
+    /// Heals replica `id` under a fresh incarnation epoch.
+    pub fn heal(&self, id: NodeId) {
+        self.nodes[id as usize].heal();
+    }
+
+    /// Symmetrically partitions group `a` from group `b`.
+    pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
+        self.links.partition(a, b);
+    }
+
+    /// Heals every cut link and removes every injected delay.
+    pub fn heal_all_links(&self) {
+        self.links.heal_all();
+    }
+
+    /// Injects `delay` before every frame shipped on `from → to`.
+    pub fn slow_link(&self, from: NodeId, to: NodeId, delay: Duration) {
+        self.links.slow_link(from, to, delay);
+    }
+
+    /// Injects one [`FaultPlan`] event.
+    pub fn apply(&self, fault: &FaultEvent) {
+        match fault {
+            FaultEvent::Crash(node) => self.kill(*node),
+            FaultEvent::Restart(node) => self.heal(*node),
+            FaultEvent::Partition { a, b } => self.partition(a, b),
+            FaultEvent::PartitionOneWay { from, to } => {
+                for &x in from {
+                    for &y in to {
+                        self.links.block_one_way(x, y);
+                    }
+                }
+            }
+            FaultEvent::HealAllLinks => self.heal_all_links(),
+            FaultEvent::SlowLink { from, to, extra } => {
+                self.slow_link(*from, *to, Duration::from_nanos(*extra));
+            }
+        }
+    }
+
+    /// Replays `plan` against wall time: each event fires `event.at`
+    /// nanoseconds after `start`; events scheduled past `until` are
+    /// skipped (mirroring `FaultPlan::run_on_sim`'s cutoff, so a plan
+    /// outliving the run cannot stall the harness). Runs on the calling
+    /// thread (the cluster harness dedicates a driver thread to it).
+    pub fn drive(&self, plan: &FaultPlan, start: Instant, until: Duration) {
+        for ev in plan.events() {
+            if Duration::from_nanos(ev.at) > until {
+                break;
+            }
+            let at = start + Duration::from_nanos(ev.at);
+            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                thread::sleep(wait);
+            }
+            self.apply(&ev.fault);
+        }
+    }
+}
+
+/// The canonical crash → partition → heal scenario shared by the chaos
+/// acceptance test (`crates/transport/tests/chaos.rs`) and the
+/// `live_cluster --chaos` demo, so the demo always shows exactly the
+/// scenario the test pins.
+///
+/// 7 replicas whose commit cadence is dominated by the (identical)
+/// protocol timers rather than CPU or propagation time — one node stays
+/// crashed from t=0, keeping the 2ND-CHANCE timer δ on every view's
+/// critical path, deterministic in both backends, while the scaled-down
+/// cost model keeps 7 spinning replica threads within one core. The plan:
+/// crash the seeded victim at 0, cut the survivors 3|4 (both sides below
+/// quorum(7) = 5 with the victim down, so commits stall completely) at
+/// 2 s, heal the links at 3.5 s.
+///
+/// Returns `(config, plan, victim, survivors)`.
+pub fn chaos_demo_scenario(seed: u64) -> (InivaConfig, FaultPlan, NodeId, Vec<NodeId>) {
+    use iniva_net::{MILLIS, SECS};
+    let mut cfg = InivaConfig::for_tests(7, 2);
+    cfg.request_rate = 2_000;
+    cfg.cost = cfg.cost.scaled(0.05);
+    cfg.sc_on_quorum = true;
+    cfg.second_chance_timer = Some(50 * MILLIS);
+
+    let members = FaultPlan::shuffled_members(cfg.n, seed);
+    let (victim, o) = (members[0], members[1..].to_vec());
+    let plan = FaultPlan::new()
+        .crash(0, victim)
+        .partition(2 * SECS, &[o[0], o[1], o[2]], &[o[3], o[4], o[5], victim])
+        .heal_links(3_500 * MILLIS);
+    (cfg, plan, victim, o)
 }
 
 /// Runs an `cfg.n`-replica Iniva cluster over loopback TCP for `duration`,
@@ -79,6 +222,22 @@ pub fn run_local_iniva_cluster(
     cfg: &InivaConfig,
     duration: Duration,
     cpu: CpuMode,
+) -> io::Result<ClusterRun> {
+    run_local_iniva_cluster_with_plan(cfg, duration, cpu, &FaultPlan::new())
+}
+
+/// Runs an `cfg.n`-replica Iniva cluster over loopback TCP for `duration`
+/// while a driver thread injects `plan` — crash, heal, partition and
+/// slow-link events at their scheduled wall-clock offsets — then collects
+/// every replica's final state.
+///
+/// # Errors
+/// Propagates socket setup failures (binding listeners, starting lanes).
+pub fn run_local_iniva_cluster_with_plan(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
 ) -> io::Result<ClusterRun> {
     let n = cfg.n;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
@@ -92,37 +251,77 @@ pub fn run_local_iniva_cluster(
         .collect::<io::Result<_>>()?;
 
     let scheme = Arc::new(SimScheme::new(n, b"live-cluster"));
-    // Align every runtime's epoch: replicas construct their runtime (which
-    // pins the epoch instant) only after all threads are ready.
-    let barrier = Arc::new(Barrier::new(n));
-    let mut handles = Vec::with_capacity(n);
+    let faults = ClusterFaults::new(n);
+    // Time-zero events are injected exactly once, before any replica
+    // thread starts, so a node crashed at 0 never runs `on_start` — the
+    // exact semantics of `FaultPlan::run_on_sim` on the simulator. The
+    // driver below gets only the deferred remainder: a re-applied
+    // `Restart` would bump the incarnation epoch a second time and
+    // spuriously drop frames queued under the first one.
+    for ev in plan.events().iter().filter(|ev| ev.at == 0) {
+        faults.apply(&ev.fault);
+    }
+    // Every transport is constructed *here*, before any replica thread or
+    // barrier wait: a socket setup failure (fd exhaustion on a large
+    // sweep, say) propagates as the documented io::Error instead of
+    // leaving the other threads deadlocked on a barrier that can never
+    // fill.
+    let mut transports = Vec::with_capacity(n);
     for (id, listener) in listeners.into_iter().enumerate() {
-        let peers = peers.clone();
+        transports.push(Transport::start_with(
+            id as u32,
+            listener,
+            &peers,
+            TransportOptions::default(),
+            faults.node(id as u32),
+            faults.links(),
+        )?);
+    }
+
+    // Align every runtime's epoch: replicas construct their runtime (which
+    // pins the epoch instant) only after all threads are ready. The +1 is
+    // the fault driver, so plan offsets share the same time zero.
+    let barrier = Arc::new(Barrier::new(n + 1));
+    let mut handles = Vec::with_capacity(n);
+    for (id, transport) in transports.into_iter().enumerate() {
         let cfg = cfg.clone();
         let scheme = Arc::clone(&scheme);
         let barrier = Arc::clone(&barrier);
         let handle = thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
-            .spawn(move || -> io::Result<NodeRun> {
-                let transport = Transport::start(id as u32, listener, &peers)?;
+            .spawn(move || -> NodeRun {
                 let replica = InivaReplica::new(id as u32, cfg, scheme);
                 barrier.wait();
                 let mut runtime = Runtime::new(replica, transport, cpu);
                 runtime.run_for(duration);
                 let (replica, runtime, transport) = runtime.finish();
-                Ok(NodeRun {
+                NodeRun {
                     replica,
                     runtime,
                     transport,
-                })
+                }
             })
             .expect("spawn replica thread");
         handles.push(handle);
     }
 
+    let driver = {
+        let faults = faults.clone();
+        let plan = plan.deferred();
+        let barrier = Arc::clone(&barrier);
+        thread::Builder::new()
+            .name("iniva-fault-driver".into())
+            .spawn(move || {
+                barrier.wait();
+                faults.drive(&plan, Instant::now(), duration);
+            })
+            .expect("spawn fault driver")
+    };
+
     let mut nodes = Vec::with_capacity(n);
     for handle in handles {
-        nodes.push(handle.join().expect("replica thread panicked")?);
+        nodes.push(handle.join().expect("replica thread panicked"));
     }
+    let _ = driver.join();
     Ok(ClusterRun { nodes, duration })
 }

@@ -1,10 +1,17 @@
 //! A bounded seen-message cache.
 //!
 //! Outbound lanes stamp every frame with a per-sender sequence number; the
-//! receive path records `(sender, seq)` pairs and drops duplicates. The
-//! normal point-to-point flow never repeats a pair — duplicates appear when
-//! a reconnecting peer conservatively replays its last frame, or when a
-//! future gossip layer forwards the same message along two paths.
+//! receive path records `(sender, epoch, seq)` triples and drops
+//! duplicates. The normal point-to-point flow never repeats a triple —
+//! duplicates appear when a reconnecting peer conservatively replays its
+//! last frame, or when a future gossip layer forwards the same message
+//! along two paths.
+//!
+//! The *epoch* is the sender's incarnation counter from the connection
+//! handshake: a replica healed from an injected crash restarts its
+//! sequence numbers under a bumped epoch, so its fresh `(epoch', 1)`
+//! frames are distinct from the pre-crash `(epoch, 1)` entries and are
+//! never falsely deduped.
 //!
 //! The cache is a FIFO ring over a hash set: O(1) insert/lookup, strictly
 //! bounded memory, oldest entries evicted first.
@@ -12,11 +19,14 @@
 use iniva_net::NodeId;
 use std::collections::{HashSet, VecDeque};
 
-/// Bounded `(sender, sequence)` duplicate filter.
+/// One remembered delivery: sender, sender incarnation epoch, sequence.
+type Key = (NodeId, u32, u64);
+
+/// Bounded `(sender, epoch, sequence)` duplicate filter.
 #[derive(Debug)]
 pub struct DedupCache {
-    seen: HashSet<(NodeId, u64)>,
-    order: VecDeque<(NodeId, u64)>,
+    seen: HashSet<Key>,
+    order: VecDeque<Key>,
     capacity: usize,
 }
 
@@ -34,13 +44,13 @@ impl DedupCache {
         }
     }
 
-    /// Records `(from, seq)`. Returns `true` if the pair is new (deliver)
-    /// and `false` if it was already seen (drop).
-    pub fn insert(&mut self, from: NodeId, seq: u64) -> bool {
-        if !self.seen.insert((from, seq)) {
+    /// Records `(from, epoch, seq)`. Returns `true` if the triple is new
+    /// (deliver) and `false` if it was already seen (drop).
+    pub fn insert(&mut self, from: NodeId, epoch: u32, seq: u64) -> bool {
+        if !self.seen.insert((from, epoch, seq)) {
             return false;
         }
-        self.order.push_back((from, seq));
+        self.order.push_back((from, epoch, seq));
         if self.order.len() > self.capacity {
             let oldest = self.order.pop_front().expect("ring not empty");
             self.seen.remove(&oldest);
@@ -66,23 +76,65 @@ mod tests {
     #[test]
     fn first_delivery_accepted_duplicate_dropped() {
         let mut c = DedupCache::new(8);
-        assert!(c.insert(1, 10));
-        assert!(!c.insert(1, 10));
-        assert!(c.insert(2, 10), "same seq from another sender is distinct");
-        assert!(c.insert(1, 11));
+        assert!(c.insert(1, 0, 10));
+        assert!(!c.insert(1, 0, 10));
+        assert!(
+            c.insert(2, 0, 10),
+            "same seq from another sender is distinct"
+        );
+        assert!(c.insert(1, 0, 11));
     }
 
     #[test]
     fn capacity_evicts_oldest_first() {
         let mut c = DedupCache::new(3);
         for seq in 0..3 {
-            assert!(c.insert(0, seq));
+            assert!(c.insert(0, 0, seq));
         }
-        assert!(c.insert(0, 3), "new entry");
+        assert!(c.insert(0, 0, 3), "new entry");
         assert_eq!(c.len(), 3);
         // seq 0 was evicted: a replay of it is (wrongly but boundedly)
         // accepted again, while the still-cached ones are dropped.
-        assert!(c.insert(0, 0));
-        assert!(!c.insert(0, 2));
+        assert!(c.insert(0, 0, 0));
+        assert!(!c.insert(0, 0, 2));
+    }
+
+    #[test]
+    fn cache_never_grows_past_its_bound() {
+        let mut c = DedupCache::new(16);
+        for seq in 0..10_000u64 {
+            c.insert(3, (seq % 5) as u32, seq);
+            assert!(c.len() <= 16);
+        }
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn replay_across_reconnect_same_epoch_dropped() {
+        // A reconnecting lane replays its last frame under the *same*
+        // epoch (the process did not restart): still a duplicate.
+        let mut c = DedupCache::new(64);
+        assert!(c.insert(5, 2, 41));
+        // ... connection drops, lane redials, replays seq 41 ...
+        assert!(!c.insert(5, 2, 41));
+        assert!(c.insert(5, 2, 42));
+    }
+
+    #[test]
+    fn healed_replica_with_fresh_epoch_not_falsely_deduped() {
+        let mut c = DedupCache::new(64);
+        // First incarnation sends seqs 1..=3.
+        for seq in 1..=3 {
+            assert!(c.insert(7, 0, seq));
+        }
+        // Healed incarnation restarts its sequence space under epoch 1:
+        // the same numeric seqs must be delivered, not deduped.
+        for seq in 1..=3 {
+            assert!(c.insert(7, 1, seq), "epoch 1 seq {seq} falsely deduped");
+        }
+        // But replays *within* the new epoch are still dropped.
+        assert!(!c.insert(7, 1, 2));
+        // And a late replay from the dead epoch stays dropped too.
+        assert!(!c.insert(7, 0, 3));
     }
 }

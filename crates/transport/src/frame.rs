@@ -1,7 +1,12 @@
 //! Length-prefixed message framing over a TCP stream.
 //!
 //! Stream layout: a one-shot handshake (`b"INIV"`, protocol version, sender
-//! node id), then a sequence of frames. Each frame is
+//! node id, sender *incarnation epoch*), then a sequence of frames. The
+//! epoch starts at 0 and is bumped each time the sender heals from an
+//! injected crash (see `crate::faults`): sequence numbers restart per
+//! epoch, so the receiver's duplicate filter treats a healed replica as a
+//! fresh sender instead of wrongly deduping its restarted sequence space.
+//! Each frame is
 //!
 //! ```text
 //! u32-le body length | u64-le sender sequence number | message bytes
@@ -18,25 +23,30 @@ use std::net::TcpStream;
 /// Handshake magic.
 pub const MAGIC: [u8; 4] = *b"INIV";
 
-/// Protocol version of the framing layer.
-pub const VERSION: u8 = 1;
+/// Protocol version of the framing layer (v2 added the handshake epoch).
+pub const VERSION: u8 = 2;
+
+/// Handshake length: magic + version + node id + epoch.
+pub const HANDSHAKE_BYTES: usize = 13;
 
 /// Upper bound on a frame body; a peer claiming more is treated as corrupt
 /// rather than allocated for.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Writes the connection handshake identifying `node`.
-pub fn write_handshake(stream: &mut TcpStream, node: NodeId) -> io::Result<()> {
-    let mut hello = [0u8; 9];
+/// Writes the connection handshake identifying `node` in incarnation
+/// `epoch`.
+pub fn write_handshake(stream: &mut TcpStream, node: NodeId, epoch: u32) -> io::Result<()> {
+    let mut hello = [0u8; HANDSHAKE_BYTES];
     hello[..4].copy_from_slice(&MAGIC);
     hello[4] = VERSION;
-    hello[5..].copy_from_slice(&node.to_le_bytes());
+    hello[5..9].copy_from_slice(&node.to_le_bytes());
+    hello[9..].copy_from_slice(&epoch.to_le_bytes());
     stream.write_all(&hello)
 }
 
-/// Reads and validates the handshake, returning the peer's node id.
-pub fn read_handshake(stream: &mut TcpStream) -> io::Result<NodeId> {
-    let mut hello = [0u8; 9];
+/// Reads and validates the handshake, returning `(peer id, peer epoch)`.
+pub fn read_handshake(stream: &mut TcpStream) -> io::Result<(NodeId, u32)> {
+    let mut hello = [0u8; HANDSHAKE_BYTES];
     stream.read_exact(&mut hello)?;
     if hello[..4] != MAGIC {
         return Err(io::Error::new(
@@ -50,7 +60,10 @@ pub fn read_handshake(stream: &mut TcpStream) -> io::Result<NodeId> {
             format!("unsupported frame version {}", hello[4]),
         ));
     }
-    Ok(NodeId::from_le_bytes(hello[5..].try_into().unwrap()))
+    Ok((
+        NodeId::from_le_bytes(hello[5..9].try_into().unwrap()),
+        u32::from_le_bytes(hello[9..].try_into().unwrap()),
+    ))
 }
 
 /// Writes one frame: `seq` plus the encoded message.
@@ -97,13 +110,14 @@ pub fn read_frame<M: Codec>(stream: &mut TcpStream) -> io::Result<(u64, M)> {
     Ok((u64::from_le_bytes(seq), msg))
 }
 
-/// Incremental handshake parser: `Ok(Some((consumed, peer)))` once the
-/// 9 handshake bytes are buffered, `Ok(None)` while incomplete.
+/// Incremental handshake parser: `Ok(Some((consumed, peer, epoch)))` once
+/// the [`HANDSHAKE_BYTES`] handshake bytes are buffered, `Ok(None)` while
+/// incomplete.
 ///
 /// # Errors
 /// [`io::ErrorKind::InvalidData`] on wrong magic or version.
-pub fn parse_handshake(buf: &[u8]) -> io::Result<Option<(usize, NodeId)>> {
-    if buf.len() < 9 {
+pub fn parse_handshake(buf: &[u8]) -> io::Result<Option<(usize, NodeId, u32)>> {
+    if buf.len() < HANDSHAKE_BYTES {
         return Ok(None);
     }
     if buf[..4] != MAGIC {
@@ -119,8 +133,9 @@ pub fn parse_handshake(buf: &[u8]) -> io::Result<Option<(usize, NodeId)>> {
         ));
     }
     Ok(Some((
-        9,
+        HANDSHAKE_BYTES,
         NodeId::from_le_bytes(buf[5..9].try_into().unwrap()),
+        u32::from_le_bytes(buf[9..HANDSHAKE_BYTES].try_into().unwrap()),
     )))
 }
 
@@ -202,15 +217,35 @@ mod tests {
     #[test]
     fn handshake_roundtrips() {
         let (mut a, mut b) = stream_pair();
-        write_handshake(&mut a, 42).unwrap();
-        assert_eq!(read_handshake(&mut b).unwrap(), 42);
+        write_handshake(&mut a, 42, 7).unwrap();
+        assert_eq!(read_handshake(&mut b).unwrap(), (42, 7));
     }
 
     #[test]
     fn corrupt_magic_rejected() {
         let (mut a, mut b) = stream_pair();
-        a.write_all(b"JUNKJUNKJ").unwrap();
+        a.write_all(b"JUNKJUNKJUNKJ").unwrap();
         assert!(read_handshake(&mut b).is_err());
+    }
+
+    #[test]
+    fn incremental_handshake_parses_epoch() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.extend_from_slice(&9u32.to_le_bytes());
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        for cut in 0..wire.len() {
+            assert!(parse_handshake(&wire[..cut]).unwrap().is_none());
+        }
+        assert_eq!(
+            parse_handshake(&wire).unwrap(),
+            Some((HANDSHAKE_BYTES, 9, 3))
+        );
+        // Old (v1) handshakes are rejected, not misparsed.
+        let mut v1 = wire.clone();
+        v1[4] = 1;
+        assert!(parse_handshake(&v1).is_err());
     }
 
     #[test]

@@ -20,21 +20,30 @@
 //! * [`runtime`] — the event loop implementing the simulator's `Context`
 //!   contract: queued sends go to the transport, timers to a
 //!   monotonic-clock timer wheel, and CPU charges become real elapsed time.
+//! * [`faults`] — the chaos surface: per-node crash/heal switches with
+//!   incarnation epochs ([`NodeFaults`]) and a cluster-shared link filter
+//!   for partitions and slow links ([`LinkFaults`]), filtered on the send
+//!   path, in the lanes and on the reader path.
 //! * [`config`] — a TOML-style cluster/peer-list file format for
 //!   multi-process deployments.
 //! * [`cluster`] — convenience harness running an n-replica Iniva cluster
 //!   on loopback threads, used by the integration tests, the
-//!   `live_cluster` example and the transport benchmark baseline.
+//!   `live_cluster` example and the transport benchmark baseline; its
+//!   [`ClusterFaults`](cluster::ClusterFaults) handle replays an
+//!   `iniva_net::faults::FaultPlan` against the live cluster, so the same
+//!   seeded chaos scenario runs on the simulator and on sockets.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod config;
 pub mod dedup;
+pub mod faults;
 pub mod frame;
 pub mod runtime;
 pub mod transport;
 
 pub use config::{ClusterConfig, ConfigError, Peer};
+pub use faults::{LinkFaults, NodeFaults};
 pub use runtime::{CpuMode, Runtime, RuntimeStats};
-pub use transport::{Incoming, Transport, TransportSnapshot, TransportStats};
+pub use transport::{Incoming, Transport, TransportOptions, TransportSnapshot, TransportStats};

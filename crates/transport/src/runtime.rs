@@ -17,11 +17,13 @@
 //! take priority over messages once due, mirroring the simulator's
 //! single-server queue per node.
 
+use crate::faults::NodeFaults;
 use crate::transport::{Incoming, Transport};
 use iniva_net::wire::Codec;
 use iniva_net::{Actor, Context, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How `charge_cpu` translates to real time.
@@ -102,18 +104,46 @@ where
         self.transport.stats()
     }
 
+    /// This node's crash/heal switch (shared with the transport). Killing
+    /// it silences the actor — due timers are discarded, messages dropped —
+    /// and healing resumes it under a fresh incarnation epoch, mirroring
+    /// the simulator's crash semantics (`Simulation::crash`/`revive`).
+    pub fn fault_handle(&self) -> Arc<NodeFaults> {
+        self.transport.node_faults()
+    }
+
     /// Runs the event loop for `wall` of real time, calling `on_start`
     /// first if this is the first run.
     pub fn run_for(&mut self, wall: Duration) {
         let deadline = Instant::now() + wall;
-        if !self.started {
-            self.started = true;
-            let node = self.transport.node();
-            let ctx = Context::external(node, self.now());
-            let ctx = self.dispatch(ctx, |actor, ctx| actor.on_start(ctx));
-            self.apply(ctx);
-        }
+        let faults = self.transport.node_faults();
         while Instant::now() < deadline {
+            // A killed node is inert: due timers are discarded (as the
+            // simulator discards a crashed node's events) and inbound
+            // messages drain to the floor until a heal. The start event is
+            // consumed too — a node crashed before its first dispatch
+            // never runs `on_start`, even after a heal, exactly like the
+            // simulator's crash-before-start + `revive` ("resumes inert,
+            // rejoins when the protocol next contacts it").
+            if faults.is_down() {
+                self.started = true;
+                while matches!(
+                    self.timers.peek(),
+                    Some(Reverse((at, _, _))) if *at <= self.now()
+                ) {
+                    self.timers.pop();
+                }
+                while self.transport.try_recv().is_some() {}
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            if !self.started {
+                self.started = true;
+                let node = self.transport.node();
+                let ctx = Context::external(node, self.now());
+                let ctx = self.dispatch(ctx, |actor, ctx| actor.on_start(ctx));
+                self.apply(ctx);
+            }
             // Fire every due timer, in deadline order.
             loop {
                 let due = matches!(
@@ -154,7 +184,7 @@ where
 
     /// Tears down the transport and returns the actor plus final counters.
     pub fn finish(mut self) -> (A, RuntimeStats, crate::transport::TransportSnapshot) {
-        let transport = self.transport.stats().snapshot();
+        let transport = self.transport.snapshot();
         self.transport.shutdown();
         (self.actor, self.stats, transport)
     }

@@ -7,17 +7,25 @@
 //! needed. Outbound lanes queue frames while the peer is unreachable and
 //! reconnect with capped exponential backoff — a replica that restarts is
 //! re-integrated without any action from the others.
+//!
+//! Lanes are **bounded** ([`TransportOptions::lane_capacity`], drop-oldest
+//! policy): a peer that stays partitioned or crashed for a long chaos run
+//! cannot grow the sender's memory without bound. Fault injection — crash
+//! via [`NodeFaults`], link block/delay via [`LinkFaults`] — is filtered
+//! on the send path, in the lanes and on the reader path; every injected
+//! drop is counted in [`TransportStats::faults_dropped`].
 
 use crate::dedup::DedupCache;
+use crate::faults::{LinkFaults, NodeFaults};
 use crate::frame;
 use iniva_net::wire::Codec;
 use iniva_net::NodeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -30,7 +38,26 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
-/// Transport-level counters (all monotonic).
+/// Tuning knobs for a [`Transport`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransportOptions {
+    /// Max frames queued per outbound lane; when full the **oldest**
+    /// queued frame is evicted (counted in
+    /// [`TransportStats::lane_evicted`]). Protocol traffic is dominated by
+    /// the freshest view, so shedding the stalest backlog first is the
+    /// policy that lets a healed peer catch up fastest.
+    pub lane_capacity: usize,
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        TransportOptions {
+            lane_capacity: 16_384,
+        }
+    }
+}
+
+/// Transport-level counters (monotonic except the `queue_depth` gauge).
 #[derive(Debug, Default)]
 pub struct TransportStats {
     /// Frames sent (including loopback self-sends).
@@ -45,6 +72,14 @@ pub struct TransportStats {
     pub dups_dropped: AtomicU64,
     /// Outbound reconnect attempts that succeeded.
     pub reconnects: AtomicU64,
+    /// Frames dropped by injected faults (node down, link blocked, stale
+    /// incarnation epoch) across the send path, lanes and reader path.
+    pub faults_dropped: AtomicU64,
+    /// Frames evicted from full outbound lanes (drop-oldest policy).
+    pub lane_evicted: AtomicU64,
+    /// Frames queued across all outbound lanes: a gauge, refreshed by
+    /// [`Transport::snapshot`] (the counters above are monotonic).
+    pub queue_depth: AtomicU64,
 }
 
 /// A plain-value copy of [`TransportStats`], taken at a point in time.
@@ -62,6 +97,12 @@ pub struct TransportSnapshot {
     pub dups_dropped: u64,
     /// Outbound reconnect attempts that succeeded.
     pub reconnects: u64,
+    /// Frames dropped by injected faults.
+    pub faults_dropped: u64,
+    /// Frames evicted from full outbound lanes.
+    pub lane_evicted: u64,
+    /// Frames queued across all outbound lanes at snapshot time.
+    pub queue_depth: u64,
 }
 
 impl TransportStats {
@@ -78,11 +119,14 @@ impl TransportStats {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             dups_dropped: self.dups_dropped.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            lane_evicted: self.lane_evicted.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 }
 
-/// How many `(sender, seq)` pairs the duplicate filter remembers.
+/// How many `(sender, epoch, seq)` triples the duplicate filter remembers.
 const DEDUP_CAPACITY: usize = 4096;
 
 /// Backoff bounds for outbound reconnects.
@@ -98,14 +142,103 @@ const READ_TIMEOUT: Duration = Duration::from_millis(200);
 /// instead, keeping the hot path probe-free).
 const PROBE_AFTER_IDLE: Duration = Duration::from_millis(50);
 
-enum Outbound {
-    Frame(Vec<u8>),
-    Stop,
+/// A bounded, epoch-tagged frame queue feeding one outbound lane thread.
+///
+/// Drop-oldest on overflow; closable. A hand-rolled `Mutex` + `Condvar`
+/// queue instead of `mpsc` because the bound and the eviction must happen
+/// on the *sender* side, which channels cannot do.
+struct LaneQueue {
+    state: Mutex<LaneState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct LaneState {
+    frames: VecDeque<(u32, Vec<u8>)>,
+    closed: bool,
+}
+
+enum LanePop {
+    Frame(u32, Vec<u8>),
+    Timeout,
+    Closed,
+}
+
+impl LaneQueue {
+    fn new(capacity: usize) -> Self {
+        LaneQueue {
+            state: Mutex::new(LaneState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a frame under `epoch`; returns `true` if the oldest queued
+    /// frame was evicted to make room.
+    fn push(&self, epoch: u32, framed: Vec<u8>) -> bool {
+        let mut st = self.state.lock().expect("lane lock");
+        if st.closed {
+            return false;
+        }
+        let evicted = if st.frames.len() >= self.capacity.max(1) {
+            st.frames.pop_front();
+            true
+        } else {
+            false
+        };
+        st.frames.push_back((epoch, framed));
+        drop(st);
+        self.cv.notify_one();
+        evicted
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> LanePop {
+        let mut st = self.state.lock().expect("lane lock");
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some((epoch, framed)) = st.frames.pop_front() {
+                return LanePop::Frame(epoch, framed);
+            }
+            if st.closed {
+                return LanePop::Closed;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return LanePop::Timeout;
+            }
+            let (guard, _) = self.cv.wait_timeout(st, left).expect("lane wait");
+            st = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("lane lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("lane lock").frames.len()
+    }
 }
 
 struct PeerLane {
-    tx: Sender<Outbound>,
+    queue: Arc<LaneQueue>,
     handle: JoinHandle<()>,
+}
+
+/// What a lane thread shares with its `Transport`.
+struct LaneShared {
+    node: NodeId,
+    peer: NodeId,
+    addr: SocketAddr,
+    queue: Arc<LaneQueue>,
+    stats: Arc<TransportStats>,
+    shutdown: Arc<AtomicBool>,
+    node_faults: Arc<NodeFaults>,
+    link_faults: Arc<LinkFaults>,
 }
 
 /// The TCP message fabric for one node.
@@ -119,7 +252,11 @@ pub struct Transport<M> {
     stats: Arc<TransportStats>,
     shutdown: Arc<AtomicBool>,
     listener_handle: Option<JoinHandle<()>>,
+    node_faults: Arc<NodeFaults>,
+    link_faults: Arc<LinkFaults>,
     seq: u64,
+    /// Incarnation under which `seq` counts; a heal resets the sequence.
+    sent_epoch: u32,
 }
 
 impl<M: Codec + Send + 'static> Transport<M> {
@@ -135,13 +272,35 @@ impl<M: Codec + Send + 'static> Transport<M> {
         Self::start(node, listener, peers)
     }
 
-    /// Starts the fabric over an already-bound listener. Useful when a
-    /// whole cluster binds ephemeral ports first and exchanges the actual
-    /// addresses afterwards (see [`crate::cluster`]).
+    /// Starts the fabric over an already-bound listener with default
+    /// options and a private (unshared) fault surface.
     pub fn start(
         node: NodeId,
         listener: TcpListener,
         peers: &[(NodeId, SocketAddr)],
+    ) -> io::Result<Self> {
+        Self::start_with(
+            node,
+            listener,
+            peers,
+            TransportOptions::default(),
+            Arc::new(NodeFaults::new()),
+            Arc::new(LinkFaults::new()),
+        )
+    }
+
+    /// Starts the fabric over an already-bound listener. `node_faults` is
+    /// this node's crash switch; `link_faults` is the (typically
+    /// cluster-shared) link filter. Useful when a whole cluster binds
+    /// ephemeral ports first and exchanges the actual addresses afterwards
+    /// (see [`crate::cluster`]).
+    pub fn start_with(
+        node: NodeId,
+        listener: TcpListener,
+        peers: &[(NodeId, SocketAddr)],
+        options: TransportOptions,
+        node_faults: Arc<NodeFaults>,
+        link_faults: Arc<LinkFaults>,
     ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let (incoming_tx, incoming_rx) = mpsc::channel();
@@ -152,10 +311,22 @@ impl<M: Codec + Send + 'static> Transport<M> {
             let tx = incoming_tx.clone();
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
+            let node_faults = Arc::clone(&node_faults);
+            let link_faults = Arc::clone(&link_faults);
             listener.set_nonblocking(true)?;
             thread::Builder::new()
                 .name(format!("iniva-accept-{node}"))
-                .spawn(move || accept_loop(listener, tx, stats, shutdown))
+                .spawn(move || {
+                    accept_loop(
+                        node,
+                        listener,
+                        tx,
+                        stats,
+                        shutdown,
+                        node_faults,
+                        link_faults,
+                    )
+                })
                 .expect("spawn accept thread")
         };
 
@@ -164,14 +335,22 @@ impl<M: Codec + Send + 'static> Transport<M> {
             if peer == node {
                 continue;
             }
-            let (tx, rx) = mpsc::channel();
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::new(LaneQueue::new(options.lane_capacity));
+            let shared = LaneShared {
+                node,
+                peer,
+                addr,
+                queue: Arc::clone(&queue),
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                node_faults: Arc::clone(&node_faults),
+                link_faults: Arc::clone(&link_faults),
+            };
             let handle = thread::Builder::new()
                 .name(format!("iniva-out-{node}-to-{peer}"))
-                .spawn(move || outbound_loop(node, addr, rx, stats, shutdown))
+                .spawn(move || outbound_loop(shared))
                 .expect("spawn outbound thread");
-            lanes.insert(peer, PeerLane { tx, handle });
+            lanes.insert(peer, PeerLane { queue, handle });
         }
 
         Ok(Transport {
@@ -183,7 +362,10 @@ impl<M: Codec + Send + 'static> Transport<M> {
             stats,
             shutdown,
             listener_handle: Some(listener_handle),
+            node_faults,
+            link_faults,
             seq: 0,
+            sent_epoch: 0,
         })
     }
 
@@ -202,11 +384,47 @@ impl<M: Codec + Send + 'static> Transport<M> {
         &self.stats
     }
 
+    /// A point-in-time copy of the counters with the lane-queue gauge
+    /// refreshed.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        self.stats
+            .queue_depth
+            .store(self.queue_depth() as u64, Ordering::Relaxed);
+        self.stats.snapshot()
+    }
+
+    /// Frames currently queued across all outbound lanes.
+    pub fn queue_depth(&self) -> usize {
+        self.lanes.values().map(|l| l.queue.len()).sum()
+    }
+
+    /// This node's crash/heal switch.
+    pub fn node_faults(&self) -> Arc<NodeFaults> {
+        Arc::clone(&self.node_faults)
+    }
+
+    /// The link filter this transport consults.
+    pub fn link_faults(&self) -> Arc<LinkFaults> {
+        Arc::clone(&self.link_faults)
+    }
+
     /// Sends `msg` to `to`. Self-sends are delivered directly; unknown
     /// destinations and oversized messages are dropped (matching the
     /// simulator, where a send to a crashed node vanishes). Never blocks:
-    /// frames queue on the outbound lane until the peer is reachable.
+    /// frames queue on the (bounded) outbound lane until the peer is
+    /// reachable. A crashed (killed) node or a blocked link drops the
+    /// frame instead, counted in [`TransportStats::faults_dropped`].
     pub fn send(&mut self, to: NodeId, msg: &M) {
+        if self.node_faults.is_down() {
+            TransportStats::bump(&self.stats.faults_dropped, 1);
+            return;
+        }
+        let epoch = self.node_faults.epoch();
+        if epoch != self.sent_epoch {
+            // Healed under a new incarnation: restart the sequence space.
+            self.sent_epoch = epoch;
+            self.seq = 0;
+        }
         let body = msg.to_frame();
         if to == self.node {
             TransportStats::bump(&self.stats.msgs_sent, 1);
@@ -221,6 +439,10 @@ impl<M: Codec + Send + 'static> Transport<M> {
                     msg: decoded,
                 });
             }
+            return;
+        }
+        if self.link_faults.blocked(self.node, to) {
+            TransportStats::bump(&self.stats.faults_dropped, 1);
             return;
         }
         let Some(lane) = self.lanes.get(&to) else {
@@ -242,7 +464,9 @@ impl<M: Codec + Send + 'static> Transport<M> {
         framed.extend_from_slice(&len.to_le_bytes());
         framed.extend_from_slice(&self.seq.to_le_bytes());
         framed.extend_from_slice(&body);
-        let _ = lane.tx.send(Outbound::Frame(framed));
+        if lane.queue.push(epoch, framed) {
+            TransportStats::bump(&self.stats.lane_evicted, 1);
+        }
     }
 
     /// Receives the next message, waiting up to `timeout`.
@@ -260,7 +484,7 @@ impl<M: Codec + Send + 'static> Transport<M> {
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for (_, lane) in self.lanes.drain() {
-            let _ = lane.tx.send(Outbound::Stop);
+            lane.queue.close();
             let _ = lane.handle.join();
         }
         if let Some(h) = self.listener_handle.take() {
@@ -273,7 +497,7 @@ impl<M> Drop for Transport<M> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for (_, lane) in self.lanes.drain() {
-            let _ = lane.tx.send(Outbound::Stop);
+            lane.queue.close();
             let _ = lane.handle.join();
         }
         if let Some(h) = self.listener_handle.take() {
@@ -282,11 +506,15 @@ impl<M> Drop for Transport<M> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop<M: Codec + Send + 'static>(
+    node: NodeId,
     listener: TcpListener,
     tx: Sender<Incoming<M>>,
     stats: Arc<TransportStats>,
     shutdown: Arc<AtomicBool>,
+    node_faults: Arc<NodeFaults>,
+    link_faults: Arc<LinkFaults>,
 ) {
     // One duplicate filter for the whole node, shared across connections:
     // a frame replayed on a *new* connection after a reconnect must still
@@ -300,9 +528,22 @@ fn accept_loop<M: Codec + Send + 'static>(
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
                 let dedup = Arc::clone(&dedup);
+                let node_faults = Arc::clone(&node_faults);
+                let link_faults = Arc::clone(&link_faults);
                 let reader = thread::Builder::new()
                     .name("iniva-reader".into())
-                    .spawn(move || reader_loop(stream, tx, stats, shutdown, dedup))
+                    .spawn(move || {
+                        reader_loop(
+                            node,
+                            stream,
+                            tx,
+                            stats,
+                            shutdown,
+                            dedup,
+                            node_faults,
+                            link_faults,
+                        )
+                    })
                     .expect("spawn reader thread");
                 readers.push(reader);
             }
@@ -317,12 +558,16 @@ fn accept_loop<M: Codec + Send + 'static>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reader_loop<M: Codec>(
+    node: NodeId,
     mut stream: TcpStream,
     tx: Sender<Incoming<M>>,
     stats: Arc<TransportStats>,
     shutdown: Arc<AtomicBool>,
     dedup: Arc<Mutex<DedupCache>>,
+    node_faults: Arc<NodeFaults>,
+    link_faults: Arc<LinkFaults>,
 ) {
     // The accept loop may hand over a non-blocking socket; readers block
     // with a timeout instead so they can observe shutdown. Reads append to
@@ -335,15 +580,15 @@ fn reader_loop<M: Codec>(
     }
     let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut chunk = [0u8; 64 * 1024];
-    let mut from: Option<NodeId> = None;
+    let mut from: Option<(NodeId, u32)> = None;
     while !shutdown.load(Ordering::SeqCst) {
         // Drain every complete unit currently buffered.
         loop {
             if from.is_none() {
                 match frame::parse_handshake(&buf) {
-                    Ok(Some((consumed, peer))) => {
+                    Ok(Some((consumed, peer, epoch))) => {
                         buf.drain(..consumed);
-                        from = Some(peer);
+                        from = Some((peer, epoch));
                         continue;
                     }
                     Ok(None) => break,
@@ -357,13 +602,24 @@ fn reader_loop<M: Codec>(
                     seq,
                     body,
                 }) => {
-                    let sender = from.expect("handshake complete");
+                    let (sender, sender_epoch) = from.expect("handshake complete");
+                    // Fault filter first: a frame a crashed node would
+                    // never have received, or one crossing a blocked
+                    // link, vanishes exactly as in the simulator.
+                    if node_faults.is_down() || link_faults.blocked(sender, node) {
+                        buf.drain(..consumed);
+                        TransportStats::bump(&stats.faults_dropped, 1);
+                        continue;
+                    }
                     let decoded = M::from_frame(bytes::Bytes::from(buf[body].to_vec()));
                     buf.drain(..consumed);
                     let Ok(msg) = decoded else {
                         return; // undecodable body: drop the connection
                     };
-                    let fresh = dedup.lock().expect("dedup lock").insert(sender, seq);
+                    let fresh = dedup
+                        .lock()
+                        .expect("dedup lock")
+                        .insert(sender, sender_epoch, seq);
                     if !fresh {
                         TransportStats::bump(&stats.dups_dropped, 1);
                         continue;
@@ -413,36 +669,77 @@ fn would_block(e: &io::Error) -> bool {
     )
 }
 
-fn outbound_loop(
-    node: NodeId,
-    addr: SocketAddr,
-    rx: Receiver<Outbound>,
-    stats: Arc<TransportStats>,
-    shutdown: Arc<AtomicBool>,
-) {
+fn outbound_loop(shared: LaneShared) {
+    let LaneShared {
+        node,
+        peer,
+        addr,
+        queue,
+        stats,
+        shutdown,
+        node_faults,
+        link_faults,
+    } = shared;
     let mut conn: Option<TcpStream> = None;
+    // Incarnation the current connection's handshake was written under; a
+    // frame from a newer epoch forces a re-handshake so the receiver keys
+    // its dedup entries by the fresh epoch.
+    let mut conn_epoch = 0u32;
     let mut backoff = BACKOFF_START;
     let mut last_write = Instant::now();
     'main: while !shutdown.load(Ordering::SeqCst) {
-        let framed = match rx.recv_timeout(Duration::from_millis(200)) {
-            Ok(Outbound::Frame(f)) => f,
-            Ok(Outbound::Stop) | Err(RecvTimeoutError::Disconnected) => return,
-            Err(RecvTimeoutError::Timeout) => continue,
+        let (epoch, framed) = match queue.pop_timeout(Duration::from_millis(200)) {
+            LanePop::Frame(epoch, framed) => (epoch, framed),
+            LanePop::Closed => return,
+            LanePop::Timeout => continue,
         };
         // Deliver this frame, reconnecting as often as needed.
+        let mut delayed = false;
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
+            }
+            // Injected faults: a crashed sender's backlog, a frame from a
+            // dead incarnation, or a blocked link all drop the frame.
+            if node_faults.is_down()
+                || epoch != node_faults.epoch()
+                || link_faults.blocked(node, peer)
+            {
+                TransportStats::bump(&stats.faults_dropped, 1);
+                continue 'main;
+            }
+            // Slow-link injection: once per frame (not per reconnect
+            // retry of the same frame), sliced so a pending shutdown is
+            // observed within ~20 ms instead of after the whole delay.
+            if !delayed {
+                delayed = true;
+                if let Some(delay) = link_faults.delay(node, peer) {
+                    let deadline = Instant::now() + delay;
+                    loop {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        thread::sleep(left.min(Duration::from_millis(20)));
+                    }
+                }
+            }
+            if conn.is_some() && conn_epoch != epoch {
+                conn = None; // re-handshake under the new incarnation
             }
             if conn.is_none() {
                 if let Ok(mut stream) =
                     TcpStream::connect_timeout(&addr, Duration::from_millis(500))
                 {
                     if stream.set_nodelay(true).is_ok()
-                        && frame::write_handshake(&mut stream, node).is_ok()
+                        && frame::write_handshake(&mut stream, node, epoch).is_ok()
                     {
                         TransportStats::bump(&stats.reconnects, 1);
                         conn = Some(stream);
+                        conn_epoch = epoch;
                         backoff = BACKOFF_START;
                     }
                 }

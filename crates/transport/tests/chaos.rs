@@ -1,0 +1,159 @@
+//! Chaos tests: seeded crash/partition/heal scenarios replayed against the
+//! live TCP cluster — and, from the *same* [`FaultPlan`], against the
+//! discrete-event simulator — asserting safety, recovery and backend
+//! agreement.
+
+use iniva::protocol::{InivaConfig, InivaReplica};
+use iniva_crypto::sim_scheme::SimScheme;
+use iniva_net::faults::FaultPlan;
+use iniva_net::{NetConfig, NodeId, Simulation, Time, MILLIS, SECS};
+use iniva_transport::cluster::{
+    chaos_demo_scenario, run_local_iniva_cluster_with_plan, ClusterRun,
+};
+use iniva_transport::CpuMode;
+use std::time::Duration;
+
+const SEED: u64 = 0xC4A05;
+
+fn run_plan_on_sim(
+    cfg: &InivaConfig,
+    plan: &FaultPlan,
+    until: Time,
+) -> Simulation<InivaReplica<SimScheme>> {
+    let scheme = std::sync::Arc::new(SimScheme::new(cfg.n, b"live-cluster"));
+    let replicas = (0..cfg.n as u32)
+        .map(|id| InivaReplica::new(id, cfg.clone(), std::sync::Arc::clone(&scheme)))
+        .collect();
+    let mut sim = Simulation::new(
+        NetConfig {
+            seed: SEED,
+            ..NetConfig::default()
+        },
+        replicas,
+    );
+    plan.run_on_sim(&mut sim, until);
+    sim
+}
+
+/// The acceptance criterion test: one seeded `FaultPlan` drives a live
+/// 7-replica cluster through crash → partition → heal, and
+/// (a) all surviving replicas agree on the committed prefix,
+/// (b) the cluster resumes committing after the heal,
+/// (c) the same plan replayed on the simulator commits the same number
+///     of blocks within ±10%.
+#[test]
+fn crash_partition_heal_matches_simulator_within_10pct() {
+    // The scenario definition lives in `chaos_demo_scenario`, shared with
+    // the `live_cluster --chaos` demo: crash a seeded victim at t=0, cut
+    // the survivors below quorum at 2 s, heal at 3.5 s.
+    let (cfg, plan, victim, others) = chaos_demo_scenario(SEED);
+    let others = &others[..];
+    let duration = 6u64; // seconds
+    let heal_margin = 4 * SECS; // commits at/after this prove recovery
+
+    let sim = run_plan_on_sim(&cfg, &plan, duration * SECS);
+    let sim_blocks = sim.actor(others[0]).chain.metrics.committed_blocks;
+    assert!(
+        sim.actor(others[0])
+            .chain
+            .metrics
+            .commits_since(heal_margin)
+            > 0,
+        "simulator itself must resume after the heal"
+    );
+
+    // Real clocks make the live half timing-sensitive; retry once before
+    // declaring the backends divergent.
+    let mut last = String::new();
+    for attempt in 0..2 {
+        let run = run_local_iniva_cluster_with_plan(
+            &cfg,
+            Duration::from_secs(duration),
+            CpuMode::Real,
+            &plan,
+        )
+        .expect("cluster starts");
+        match check_acceptance(&run, victim, others, heal_margin, sim_blocks) {
+            Ok(()) => return,
+            Err(e) if attempt == 0 => last = e,
+            Err(e) => panic!("{e} (first attempt: {last})"),
+        }
+    }
+}
+
+fn check_acceptance(
+    run: &ClusterRun,
+    victim: NodeId,
+    others: &[NodeId],
+    heal_margin: Time,
+    sim_blocks: u64,
+) -> Result<(), String> {
+    // (a) Safety: no two replicas (survivors *or* the crashed one) may
+    // disagree anywhere in their committed logs, and the surviving group
+    // must share a non-empty prefix.
+    let survivors: Vec<usize> = others.iter().map(|&id| id as usize).collect();
+    let agreed = run.agreed_prefix_height_of(&survivors)?;
+    if agreed == 0 {
+        return Err("survivors committed nothing".into());
+    }
+    let crashed_height = run.nodes[victim as usize].replica.chain.committed_height();
+    if crashed_height != 0 {
+        return Err(format!("crashed-at-0 victim committed {crashed_height}"));
+    }
+
+    // (b) Recovery: commits landed after the heal on every survivor.
+    for &id in others {
+        let m = &run.nodes[id as usize].replica.chain.metrics;
+        if m.commits_since(heal_margin) == 0 {
+            return Err(format!("replica {id} never committed after the heal"));
+        }
+    }
+
+    // Fault injection actually exercised the wire: injected drops were
+    // counted somewhere (send path, lanes or reader path).
+    let faults_dropped: u64 = run.nodes.iter().map(|n| n.transport.faults_dropped).sum();
+    if faults_dropped == 0 {
+        return Err("no frames were dropped by fault injection".into());
+    }
+
+    // (c) Backend agreement on committed blocks, ±10%.
+    let live_blocks = run.nodes[others[0] as usize]
+        .replica
+        .chain
+        .metrics
+        .committed_blocks;
+    let delta = (live_blocks as f64 - sim_blocks as f64).abs() / sim_blocks as f64;
+    if delta > 0.10 {
+        return Err(format!(
+            "live committed {live_blocks} blocks vs simulated {sim_blocks} ({:.1}% apart)",
+            delta * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// Kill → heal of a single replica: the healed node must rejoin under a
+/// fresh incarnation epoch — its restarted sequence numbers must not be
+/// falsely deduped by the peers — and resume committing.
+#[test]
+fn killed_replica_heals_and_rejoins() {
+    let (cfg, _, _, _) = chaos_demo_scenario(SEED);
+    let victim = FaultPlan::shuffled_members(cfg.n, SEED + 1)[0];
+    let plan = FaultPlan::new()
+        .crash(SECS, victim)
+        .restart(2_500 * MILLIS, victim);
+    let run = run_local_iniva_cluster_with_plan(&cfg, Duration::from_secs(5), CpuMode::Real, &plan)
+        .expect("cluster starts");
+
+    run.agreed_prefix_height().expect("no divergence anywhere");
+    let m = &run.nodes[victim as usize].replica.chain.metrics;
+    assert!(
+        m.commits_since(3 * SECS) > 0,
+        "healed replica must resume committing (committed {} total)",
+        m.committed_blocks
+    );
+    // Its sends after the heal carried the bumped epoch: had they been
+    // falsely deduped, the cluster could never have re-included it. The
+    // victim's own counters show the kill actually dropped traffic.
+    assert!(run.nodes[victim as usize].transport.faults_dropped > 0);
+}

@@ -21,12 +21,21 @@
 //! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 2
 //! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 3
 //! ```
+//!
+//! Chaos demo — a seeded crash → partition → heal `FaultPlan` injected
+//! into the live cluster, with the same plan replayed on the simulator:
+//!
+//! ```sh
+//! cargo run --release --example live_cluster -- --chaos
+//! ```
 
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_consensus::PerfSummary;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::{NetConfig, Simulation, SECS};
-use iniva_transport::cluster::run_local_iniva_cluster;
+use iniva_transport::cluster::{
+    chaos_demo_scenario, run_local_iniva_cluster, run_local_iniva_cluster_with_plan,
+};
 use iniva_transport::{ClusterConfig, CpuMode, Runtime, Transport};
 use std::sync::Arc;
 use std::time::Duration;
@@ -121,6 +130,54 @@ fn one_process(path: &str, id: u32) {
     );
 }
 
+/// The chaos demo: the exact scenario the acceptance test pins
+/// (`iniva_transport::cluster::chaos_demo_scenario`) — crash a seeded
+/// victim at t=0, cut the survivors below quorum at 2 s, heal at 3.5 s —
+/// replayed on sockets and on the simulator.
+fn chaos(duration_secs: u64) {
+    let (cfg, plan, victim, o) = chaos_demo_scenario(0xC4A05);
+    let n = cfg.n;
+    println!(
+        "== chaos: n = {n}, crash replica {victim} at 0 s, partition 3|4 at 2 s, heal at 3.5 s =="
+    );
+
+    let run = run_local_iniva_cluster_with_plan(
+        &cfg,
+        Duration::from_secs(duration_secs),
+        CpuMode::Real,
+        &plan,
+    )
+    .expect("cluster starts");
+    let survivors: Vec<usize> = o.iter().map(|&id| id as usize).collect();
+    let agreed = match run.agreed_prefix_height_of(&survivors) {
+        Ok(h) => h,
+        Err(e) => panic!("SAFETY VIOLATION: {e}"),
+    };
+
+    let scheme = Arc::new(SimScheme::new(n, b"live-cluster"));
+    let replicas = (0..n as u32)
+        .map(|id| InivaReplica::new(id, cfg.clone(), Arc::clone(&scheme)))
+        .collect();
+    let mut sim = Simulation::new(NetConfig::default(), replicas);
+    plan.run_on_sim(&mut sim, duration_secs * SECS);
+
+    let live_m = &run.nodes[o[0] as usize].replica.chain.metrics;
+    let sim_m = &sim.actor(o[0]).chain.metrics;
+    println!("survivors' agreed committed prefix : {agreed} blocks");
+    println!(
+        "committed blocks                   : live {} vs simulated {}",
+        live_m.committed_blocks, sim_m.committed_blocks
+    );
+    println!(
+        "commits after the 3.5 s heal       : live {} vs simulated {}",
+        live_m.commits_since(4 * SECS),
+        sim_m.commits_since(4 * SECS)
+    );
+    let dropped: u64 = run.nodes.iter().map(|nd| nd.transport.faults_dropped).sum();
+    let evicted: u64 = run.nodes.iter().map(|nd| nd.transport.lane_evicted).sum();
+    println!("frames dropped by injected faults  : {dropped} ({evicted} shed by bounded lanes)");
+}
+
 fn write_config(path: &str, n: usize) {
     let mut text = String::from(
         "# Iniva live cluster — one `--id` process per [[peers]] entry\n[cluster]\ninternal = 2\nbatch = 100\npayload = 64\nrate = 10000\nduration_secs = 10\n",
@@ -154,6 +211,10 @@ fn main() {
 
     if let Some(path) = flag("--write-config") {
         write_config(&path, parse("--n", 4) as usize);
+        return;
+    }
+    if args.iter().any(|a| a == "--chaos") {
+        chaos(parse("--duration", 6));
         return;
     }
     if let Some(path) = flag("--config") {

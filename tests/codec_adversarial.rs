@@ -1,0 +1,269 @@
+//! Adversarial wire-codec tests across every `Codec` impl the transport
+//! can ship: property-based round-trips plus truncated, trailing and
+//! oversized-length-prefix inputs, asserting clean `DecodeError`s — never
+//! a panic — for `InivaMsg`, `StarMsg`, `Qc`, `SimAggregate`,
+//! `Multiplicities` and `GossipShare`.
+//!
+//! The transport drops a connection whose peer sends an undecodable body;
+//! a panicking decoder would instead let one malformed frame take down
+//! the whole replica. These tests are the contract that keeps that
+//! failure mode closed as codecs evolve.
+
+use iniva::protocol::InivaMsg;
+use iniva_consensus::types::{vote_message, Block, Qc};
+use iniva_consensus::StarMsg;
+use iniva_crypto::multisig::{Multiplicities, VoteScheme};
+use iniva_crypto::sim_scheme::{SimAggregate, SimScheme};
+use iniva_gosig::GossipShare;
+use iniva_net::wire::{Codec, DecodeError, Encoder};
+use proptest::prelude::*;
+
+/// Exhaustive prefix truncation: every strict prefix of a valid frame
+/// must decode to an error, never panic, never a value.
+fn assert_truncation_clean<M: Codec>(frame: &bytes::Bytes, what: &str) {
+    for cut in 0..frame.len() {
+        assert!(
+            M::from_frame(frame.slice(0..cut)).is_err(),
+            "{what}: {cut}-byte prefix of a {}-byte frame decoded",
+            frame.len()
+        );
+    }
+}
+
+/// Trailing garbage after a complete message must be rejected (a frame is
+/// one message, not a stream position).
+fn assert_trailing_rejected<M: Codec>(msg: &M, what: &str) {
+    let mut enc = Encoder::new();
+    msg.encode(&mut enc);
+    enc.put_u8(0xA5);
+    assert!(
+        matches!(
+            M::from_frame(enc.finish()),
+            Err(DecodeError::TrailingBytes { .. })
+        ),
+        "{what}: trailing byte not rejected"
+    );
+}
+
+fn scheme(n: usize) -> SimScheme {
+    SimScheme::new(n, b"codec-adversarial")
+}
+
+fn arb_block(seed: (u64, u64, u8, u32, u64, u32)) -> Block {
+    let (view, height, parent_byte, proposer, batch_start, batch_len) = seed;
+    Block {
+        view,
+        height,
+        parent: [parent_byte; 32],
+        proposer: proposer % 64,
+        batch_start,
+        batch_len: batch_len % 10_000,
+        payload_per_req: 64,
+    }
+}
+
+/// An aggregate with arbitrary (valid) multiplicity structure.
+fn arb_aggregate(s: &SimScheme, signers: &[u32], mults: &[u64]) -> SimAggregate {
+    let msg = b"adversarial";
+    let mut agg: Option<SimAggregate> = None;
+    for (&signer, &mult) in signers.iter().zip(mults) {
+        let part = s.scale(
+            &s.sign(signer % s.committee_size() as u32, msg),
+            mult % 7 + 1,
+        );
+        agg = Some(match agg {
+            None => part,
+            Some(a) => s.combine(&a, &part),
+        });
+    }
+    agg.unwrap_or_else(|| s.sign(0, msg))
+}
+
+fn arb_qc(s: &SimScheme, b: &Block, signers: &[u32], mults: &[u64]) -> Qc<SimScheme> {
+    let _ = vote_message(&b.hash(), b.view);
+    Qc {
+        block_hash: b.hash(),
+        view: b.view,
+        height: b.height,
+        agg: arb_aggregate(s, signers, mults),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iniva_msg_roundtrips_and_survives_mutation(
+        blk in (any::<u64>(), any::<u64>(), any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>()),
+        signers in proptest::collection::vec(any::<u32>(), 1..6),
+        mults in proptest::collection::vec(any::<u64>(), 6..7),
+        variant in 0u8..4,
+    ) {
+        let s = scheme(8);
+        let b = arb_block(blk);
+        let mults6: Vec<u64> = mults.iter().cycle().take(signers.len()).copied().collect();
+        let qc = arb_qc(&s, &b, &signers, &mults6);
+        let agg = arb_aggregate(&s, &signers, &mults6);
+        let msg: InivaMsg<SimScheme> = match variant {
+            0 => InivaMsg::Proposal { block: b.clone(), qc: Some(qc) },
+            1 => InivaMsg::Signature { view: b.view, agg },
+            2 => InivaMsg::Ack { view: b.view, agg },
+            _ => InivaMsg::SecondChance { block: b.clone(), qc: None },
+        };
+        let frame = msg.to_frame();
+        let back = InivaMsg::<SimScheme>::from_frame(frame.clone()).expect("round-trip");
+        prop_assert_eq!(&back.to_frame()[..], &frame[..], "canonical re-encoding");
+        assert_truncation_clean::<InivaMsg<SimScheme>>(&frame, "InivaMsg");
+        assert_trailing_rejected(&msg, "InivaMsg");
+    }
+
+    #[test]
+    fn star_msg_roundtrips_and_survives_mutation(
+        blk in (any::<u64>(), any::<u64>(), any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>()),
+        signers in proptest::collection::vec(any::<u32>(), 1..6),
+        mults in proptest::collection::vec(any::<u64>(), 6..7),
+        vote in any::<bool>(),
+    ) {
+        let s = scheme(8);
+        let b = arb_block(blk);
+        let mults6: Vec<u64> = mults.iter().cycle().take(signers.len()).copied().collect();
+        let msg: StarMsg<SimScheme> = if vote {
+            StarMsg::Vote {
+                view: b.view,
+                block: b.clone(),
+                agg: arb_aggregate(&s, &signers, &mults6),
+            }
+        } else {
+            StarMsg::Proposal {
+                block: b.clone(),
+                qc: Some(arb_qc(&s, &b, &signers, &mults6)),
+            }
+        };
+        let frame = msg.to_frame();
+        let back = StarMsg::<SimScheme>::from_frame(frame.clone()).expect("round-trip");
+        prop_assert_eq!(&back.to_frame()[..], &frame[..]);
+        assert_truncation_clean::<StarMsg<SimScheme>>(&frame, "StarMsg");
+        assert_trailing_rejected(&msg, "StarMsg");
+    }
+
+    #[test]
+    fn qc_aggregate_and_multiplicities_roundtrip(
+        blk in (any::<u64>(), any::<u64>(), any::<u8>(), any::<u32>(), any::<u64>(), any::<u32>()),
+        signers in proptest::collection::vec(any::<u32>(), 1..8),
+        mults in proptest::collection::vec(any::<u64>(), 8..9),
+    ) {
+        let s = scheme(16);
+        let b = arb_block(blk);
+        let mults8: Vec<u64> = mults.iter().cycle().take(signers.len()).copied().collect();
+        let qc = arb_qc(&s, &b, &signers, &mults8);
+        let agg = arb_aggregate(&s, &signers, &mults8);
+
+        let frame = qc.to_frame();
+        let back = Qc::<SimScheme>::from_frame(frame.clone()).expect("Qc round-trip");
+        prop_assert_eq!(&back.to_frame()[..], &frame[..]);
+        assert_truncation_clean::<Qc<SimScheme>>(&frame, "Qc");
+        assert_trailing_rejected(&qc, "Qc");
+
+        let frame = agg.to_frame();
+        prop_assert_eq!(SimAggregate::from_frame(frame.clone()).expect("agg round-trip"), agg.clone());
+        assert_truncation_clean::<SimAggregate>(&frame, "SimAggregate");
+        assert_trailing_rejected(&agg, "SimAggregate");
+
+        let m = s.multiplicities(&agg).clone();
+        let frame = m.to_frame();
+        prop_assert_eq!(Multiplicities::from_frame(frame.clone()).expect("mults round-trip"), m.clone());
+        assert_truncation_clean::<Multiplicities>(&frame, "Multiplicities");
+        assert_trailing_rejected(&m, "Multiplicities");
+    }
+
+    #[test]
+    fn gossip_share_roundtrips(
+        view in any::<u64>(),
+        round in any::<u32>(),
+        lo in any::<u64>(),
+        hi in any::<u64>(),
+    ) {
+        let parcel = ((hi as u128) << 64) | lo as u128;
+        prop_assume!(parcel != 0);
+        let share = GossipShare { view, round, parcel };
+        let frame = share.to_frame();
+        prop_assert_eq!(GossipShare::from_frame(frame.clone()).expect("round-trip"), share);
+        assert_truncation_clean::<GossipShare>(&frame, "GossipShare");
+        assert_trailing_rejected(&share, "GossipShare");
+    }
+
+    #[test]
+    fn random_bytes_never_panic_any_codec(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Fuzz every decoder with arbitrary bytes: errors are fine (and
+        // expected), panics are the bug. A rare random buffer may decode
+        // as some type — that is not a defect, only UB/panics would be.
+        let bytes = bytes::Bytes::from(payload);
+        let _ = InivaMsg::<SimScheme>::from_frame(bytes.clone());
+        let _ = StarMsg::<SimScheme>::from_frame(bytes.clone());
+        let _ = Qc::<SimScheme>::from_frame(bytes.clone());
+        let _ = SimAggregate::from_frame(bytes.clone());
+        let _ = Multiplicities::from_frame(bytes.clone());
+        let _ = GossipShare::from_frame(bytes);
+    }
+}
+
+/// An oversized length prefix (a `Multiplicities` entry count or byte
+/// string claiming more than the buffer holds) must error cleanly instead
+/// of allocating or panicking — the attack a malicious peer would mount
+/// against a length-prefixed decoder.
+#[test]
+fn oversized_length_prefixes_rejected() {
+    // Multiplicities claiming u32::MAX entries with a 1-byte body.
+    let mut enc = Encoder::new();
+    enc.put_u32(u32::MAX).put_u8(1);
+    assert!(Multiplicities::from_frame(enc.finish()).is_err());
+
+    // A Block's implicit fixed-width fields truncated to nothing.
+    assert!(Block::from_frame(bytes::Bytes::new()).is_err());
+
+    // An InivaMsg::Signature whose aggregate multiplicity table claims
+    // far more entries than the frame carries.
+    let mut enc = Encoder::new();
+    enc.put_u8(1).put_u64(3); // Signature, view 3
+    enc.put_u128(1).put_u128(2); // tag lanes
+    enc.put_u32(1_000_000); // 1M claimed (signer, count) entries
+    enc.put_u32(0).put_u64(1); // ... but only one present
+    assert!(InivaMsg::<SimScheme>::from_frame(enc.finish()).is_err());
+
+    // GossipShare's canonical-form check: the all-zero parcel is a valid
+    // *encoding* but a malformed *value*.
+    let mut enc = Encoder::new();
+    enc.put_u64(1).put_u32(0).put_u128(0);
+    assert!(matches!(
+        GossipShare::from_frame(enc.finish()),
+        Err(DecodeError::Malformed { .. })
+    ));
+}
+
+/// Non-canonical multiplicity encodings (unsorted, duplicated or
+/// zero-count signers) are rejected: aggregates are compared by encoding,
+/// so accepting two byte forms of one multiset would break equality.
+#[test]
+fn non_canonical_multiplicities_rejected() {
+    // Unsorted signers.
+    let mut enc = Encoder::new();
+    enc.put_u32(2);
+    enc.put_u32(5).put_u64(1);
+    enc.put_u32(3).put_u64(1);
+    assert!(Multiplicities::from_frame(enc.finish()).is_err());
+
+    // Duplicate signer.
+    let mut enc = Encoder::new();
+    enc.put_u32(2);
+    enc.put_u32(4).put_u64(1);
+    enc.put_u32(4).put_u64(2);
+    assert!(Multiplicities::from_frame(enc.finish()).is_err());
+
+    // Zero count.
+    let mut enc = Encoder::new();
+    enc.put_u32(1);
+    enc.put_u32(4).put_u64(0);
+    assert!(Multiplicities::from_frame(enc.finish()).is_err());
+}
