@@ -10,7 +10,15 @@
 //!
 //! The JSON seeds the performance trajectory for future PRs: any change to
 //! the transport or the protocol hot path can be compared against the
-//! committed numbers.
+//! committed numbers. CI's bench-smoke gate runs the comparison directly:
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin transport_baseline -- --check BENCH_transport.json
+//! ```
+//!
+//! which re-measures the same configuration, prints measured vs. baseline
+//! for triage, and exits nonzero if committed throughput fell — or median
+//! latency rose — by more than 25%.
 
 use iniva::protocol::InivaConfig;
 use iniva_consensus::PerfSummary;
@@ -18,8 +26,34 @@ use iniva_transport::cluster::run_local_iniva_cluster;
 use iniva_transport::CpuMode;
 use std::time::Duration;
 
+/// Regression gate: measured throughput below, or median latency above,
+/// `1 ± TOLERANCE` of the baseline fails the check.
+const TOLERANCE: f64 = 0.25;
+
+/// Pulls a numeric field out of the flat baseline JSON (the workspace is
+/// offline — no serde — and the schema is flat `"key": number` pairs).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_against: Option<String> = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .expect("--check wants a baseline path")
+            .clone()
+    });
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--check" && Some(a.as_str()) != check_against.as_deref())
+        .cloned()
+        .collect();
     let path = args
         .first()
         .map(String::as_str)
@@ -44,6 +78,47 @@ fn main() {
     let point = PerfSummary::from_metrics(metrics, duration_secs as f64, &cpu_busy);
     println!("{}", PerfSummary::table_header());
     println!("{}", point.table_row("live-tcp"));
+
+    if let Some(baseline_path) = check_against {
+        // Bench-smoke mode: compare against the committed baseline and
+        // gate on regressions instead of rewriting the file.
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let base_tp = json_number(&text, "committed_throughput_per_sec")
+            .expect("baseline committed_throughput_per_sec");
+        let base_med = json_number(&text, "median_latency_ms").expect("baseline median_latency_ms");
+        println!();
+        println!(
+            "bench-smoke vs {baseline_path} (tolerance {:.0}%):",
+            TOLERANCE * 100.0
+        );
+        println!(
+            "  committed throughput : measured {:>9.1}/s vs baseline {:>9.1}/s ({:+.1}%)",
+            point.throughput,
+            base_tp,
+            (point.throughput / base_tp - 1.0) * 100.0
+        );
+        println!(
+            "  median latency       : measured {:>9.3} ms vs baseline {:>9.3} ms ({:+.1}%)",
+            point.median_latency_ms,
+            base_med,
+            (point.median_latency_ms / base_med - 1.0) * 100.0
+        );
+        let mut failed = false;
+        if point.throughput < base_tp * (1.0 - TOLERANCE) {
+            eprintln!("REGRESSION: committed throughput fell more than 25% below the baseline");
+            failed = true;
+        }
+        if point.median_latency_ms > base_med * (1.0 + TOLERANCE) {
+            eprintln!("REGRESSION: median committed latency rose more than 25% above the baseline");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("  within tolerance");
+        return;
+    }
 
     let frames: u64 = run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum();
     let bytes: u64 = run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum();

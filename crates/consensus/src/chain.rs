@@ -1,6 +1,13 @@
 //! Block store, the chained-HotStuff commit rule and chain metrics.
+//!
+//! Durability: a [`CommitSink`] plugged into the chain observes every
+//! commit (and view entry) *as it happens*, which is how `iniva-storage`'s
+//! write-ahead log makes the committed prefix survive a `kill -9` —
+//! [`ChainState::rehydrate`] replays the recovered prefix on restart, and
+//! [`ChainState::adopt_committed`] lets a lagging replica graft blocks
+//! fetched from peers via state transfer directly onto its prefix.
 
-use crate::types::{Block, BlockHash, Qc, GENESIS_HASH};
+use crate::types::{quorum, vote_message, Block, BlockHash, Qc, GENESIS_HASH};
 use iniva_crypto::multisig::VoteScheme;
 use iniva_net::Time;
 use std::collections::HashMap;
@@ -40,6 +47,14 @@ pub struct ChainMetrics {
     /// `(time, committed height)` per commit, ascending (first
     /// [`COMMITTED_LOG_CAP`] commits) — the chain's progress curve.
     pub commit_points: Vec<(Time, u64)>,
+    /// Committed blocks rehydrated from a write-ahead log at startup
+    /// (excluded from `committed_blocks` and the progress curve: they were
+    /// committed by a *previous* incarnation of this replica).
+    pub recovered_blocks: u64,
+    /// Committed blocks adopted from peers via state transfer (also
+    /// excluded from `committed_blocks`/`commit_points`, so those keep
+    /// meaning "commits this replica reached through the protocol").
+    pub state_transfer_blocks: u64,
 }
 
 impl ChainMetrics {
@@ -92,6 +107,22 @@ impl ChainMetrics {
     }
 }
 
+/// Observer of durable chain events, called synchronously **inside** the
+/// commit path: when `committed` returns, the block is expected to be as
+/// durable as the sink makes it (the WAL sink in `iniva-storage` fsyncs
+/// before returning). Implementations must be fail-stop on persistence
+/// errors — a replica that keeps voting past state it cannot remember
+/// after a crash is the safety violation durability exists to prevent.
+pub trait CommitSink<S: VoteScheme> {
+    /// `block` joined the committed prefix; `qc` certifies it when the
+    /// replica had observed that certificate by commit time.
+    fn committed(&mut self, block: &Block, qc: Option<&Qc<S>>);
+
+    /// The replica entered `view` (for restoring pacemaker position on
+    /// recovery). Default: ignored.
+    fn entered_view(&mut self, _view: u64) {}
+}
+
 /// The replica-local chain: stores blocks, tracks the highest QC and applies
 /// the chained-HotStuff three-chain commit rule.
 pub struct ChainState<S: VoteScheme> {
@@ -122,6 +153,15 @@ pub struct ChainState<S: VoteScheme> {
     /// prefix this replica has finalized (used for cross-replica agreement
     /// checks in the live-cluster tests).
     committed_log: Vec<(u64, BlockHash)>,
+    /// QCs observed for not-yet-committed blocks, keyed by certified block
+    /// hash; pruned at each commit. When a block commits, its certificate
+    /// moves to `committed_qcs` so state transfer can serve it as proof.
+    seen_qcs: HashMap<BlockHash, Qc<S>>,
+    /// The certificate for each committed height (first
+    /// [`COMMITTED_LOG_CAP`] commits), where one was observed.
+    committed_qcs: HashMap<u64, Qc<S>>,
+    /// Durability hook: observes commits and view entries as they happen.
+    sink: Option<Box<dyn CommitSink<S> + Send>>,
     /// Metrics.
     pub metrics: ChainMetrics,
 }
@@ -142,8 +182,155 @@ impl<S: VoteScheme> ChainState<S> {
             next_req: 0,
             draft_cursor: 0,
             committed_log: Vec::new(),
+            seen_qcs: HashMap::new(),
+            committed_qcs: HashMap::new(),
+            sink: None,
             metrics: ChainMetrics::default(),
         }
+    }
+
+    /// Attaches a durability sink: every subsequent commit (and view entry
+    /// reported via [`Self::note_view`]) is handed to it synchronously.
+    pub fn set_commit_sink(&mut self, sink: Box<dyn CommitSink<S> + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Reports a view entry to the attached sink (no-op without one).
+    pub fn note_view(&mut self, view: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.entered_view(view);
+        }
+    }
+
+    /// Replays a committed prefix recovered from durable storage into a
+    /// **fresh** chain: blocks are stored, the committed log and height
+    /// advance, recovered QCs seed the high QC, and the request cursors
+    /// skip past every recovered batch so a recovered leader never
+    /// re-proposes requests it already committed. Recovered blocks are
+    /// counted in [`ChainMetrics::recovered_blocks`] only — this run's
+    /// throughput/latency metrics start from zero.
+    ///
+    /// Entries must be strictly ascending in height (the committed log may
+    /// legitimately contain gaps — see [`Self::committed_entry`]);
+    /// duplicates and regressions are skipped, matching the WAL reader's
+    /// tolerance of duplicated tail appends.
+    ///
+    /// Nothing is echoed to the commit sink: the prefix is already
+    /// durable. Attach the sink after rehydrating (or before — the replay
+    /// bypasses it either way).
+    pub fn rehydrate(&mut self, commits: Vec<(Block, Option<Qc<S>>)>) {
+        for (block, qc) in commits {
+            if block.height <= self.committed_height {
+                continue;
+            }
+            self.next_req = self
+                .next_req
+                .max(block.batch_start + block.batch_len as u64);
+            self.committed_height = block.height;
+            if self.committed_log.len() < COMMITTED_LOG_CAP {
+                self.committed_log.push((block.height, block.hash()));
+            }
+            if let Some(qc) = qc {
+                let better = self
+                    .highest_qc
+                    .as_ref()
+                    .is_none_or(|old| qc.height > old.height);
+                if better {
+                    self.highest_qc = Some(qc.clone());
+                }
+                if self.committed_qcs.len() < COMMITTED_LOG_CAP {
+                    self.committed_qcs.insert(block.height, qc);
+                }
+            }
+            self.metrics.recovered_blocks += 1;
+            self.insert_block(block);
+        }
+    }
+
+    /// Grafts one peer-served committed block onto the prefix (state
+    /// transfer): verifies that `qc` actually certifies `block` with a
+    /// quorum before accepting. Returns `true` if the prefix advanced.
+    ///
+    /// Adopted blocks are durably logged via the sink but counted only in
+    /// [`ChainMetrics::state_transfer_blocks`] — `committed_blocks` and
+    /// the progress curve keep meaning "commits reached through the
+    /// protocol", which is what chaos tests assert resumed after a heal.
+    pub fn adopt_committed(&mut self, block: Block, qc: Qc<S>, scheme: &S) -> bool {
+        // Any height past the prefix is adoptable (not just `+1`): the
+        // serving peer's own log may have gaps, and the QC alone proves
+        // commitment.
+        if block.height <= self.committed_height {
+            return false;
+        }
+        let hash = block.hash();
+        if qc.block_hash != hash || qc.height != block.height {
+            return false;
+        }
+        if qc.signer_count(scheme) < quorum(scheme.committee_size())
+            || !scheme.verify(&vote_message(&hash, qc.view), &qc.agg)
+        {
+            return false;
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.committed(&block, Some(&qc));
+        }
+        self.next_req = self
+            .next_req
+            .max(block.batch_start + block.batch_len as u64);
+        self.committed_height = block.height;
+        if self.committed_log.len() < COMMITTED_LOG_CAP {
+            self.committed_log.push((block.height, hash));
+        }
+        let better = self
+            .highest_qc
+            .as_ref()
+            .is_none_or(|old| qc.height > old.height);
+        if better {
+            self.highest_qc = Some(qc.clone());
+        }
+        // Same retention cap as the protocol commit path: entries past
+        // the committed-log cap could never be served anyway (the log
+        // stops recording there), so don't let them accumulate.
+        if self.committed_qcs.len() < COMMITTED_LOG_CAP {
+            self.committed_qcs.insert(block.height, qc);
+        }
+        self.metrics.state_transfer_blocks += 1;
+        self.insert_block(block);
+        true
+    }
+
+    /// The committed block at `height` together with its certificate, if
+    /// both are retained — the lookup a state-transfer responder serves
+    /// from. Heights past [`COMMITTED_LOG_CAP`] or committed without an
+    /// observed QC return `None` (the requester asks someone else or
+    /// catches up via 2ND-CHANCE delivery). The log is ascending but not
+    /// necessarily dense: committing a tip whose ancestors were never
+    /// delivered records only the blocks this replica actually has.
+    pub fn committed_entry(&self, height: u64) -> Option<(&Block, &Qc<S>)> {
+        let idx = self
+            .committed_log
+            .binary_search_by_key(&height, |&(h, _)| h)
+            .ok()?;
+        let (_, hash) = self.committed_log[idx];
+        Some((self.blocks.get(&hash)?, self.committed_qcs.get(&height)?))
+    }
+
+    /// Up to `max` provable committed entries from `from_height` upward,
+    /// ascending — the chunk a state-transfer responder ships. Heights the
+    /// replica cannot prove (no retained block or QC) are skipped rather
+    /// than ending the chunk, so one gap in the responder's own log does
+    /// not strand a requester behind it forever.
+    pub fn committed_range(&self, from_height: u64, max: usize) -> Vec<(&Block, &Qc<S>)> {
+        let start = self
+            .committed_log
+            .partition_point(|&(h, _)| h < from_height);
+        self.committed_log[start..]
+            .iter()
+            .filter_map(|&(height, hash)| {
+                Some((self.blocks.get(&hash)?, self.committed_qcs.get(&height)?))
+            })
+            .take(max)
+            .collect()
     }
 
     /// `(hash, height)` of the chain tip certified by the highest known QC
@@ -236,6 +423,14 @@ impl<S: VoteScheme> ChainState<S> {
     pub fn on_qc(&mut self, qc: Qc<S>, now: Time, scheme: &S) -> Option<u64> {
         self.metrics.qc_signers_sum += qc.signer_count(scheme) as u64;
         self.metrics.qc_count += 1;
+        // Remember the certificate for the block it certifies: if that
+        // block later commits, the QC moves to `committed_qcs` so state
+        // transfer can serve it as proof of the committed prefix.
+        if qc.height > self.committed_height {
+            self.seen_qcs
+                .entry(qc.block_hash)
+                .or_insert_with(|| qc.clone());
+        }
         let better = match &self.highest_qc {
             None => true,
             Some(old) => qc.height > old.height,
@@ -269,8 +464,18 @@ impl<S: VoteScheme> ChainState<S> {
             }
         }
         for b in chain.iter().rev() {
+            let hash = b.hash();
+            let qc = self.seen_qcs.remove(&hash);
+            if let Some(sink) = &mut self.sink {
+                sink.committed(b, qc.as_ref());
+            }
+            if let Some(qc) = qc {
+                if self.committed_qcs.len() < COMMITTED_LOG_CAP {
+                    self.committed_qcs.insert(b.height, qc);
+                }
+            }
             if self.committed_log.len() < COMMITTED_LOG_CAP {
-                self.committed_log.push((b.height, b.hash()));
+                self.committed_log.push((b.height, hash));
             }
             self.metrics.last_commit_time = now;
             if self.metrics.commit_points.len() < COMMITTED_LOG_CAP {
@@ -291,6 +496,10 @@ impl<S: VoteScheme> ChainState<S> {
             self.next_req = self.next_req.max(b.batch_start + b.batch_len as u64);
         }
         self.committed_height = tip.height;
+        // Certificates for blocks at or below the new committed height can
+        // no longer graduate; drop them so the map stays bounded by the
+        // number of in-flight (uncommitted) blocks.
+        self.seen_qcs.retain(|_, q| q.height > tip.height);
     }
 }
 
@@ -431,6 +640,120 @@ mod tests {
         }
         assert!(chain.metrics.committed_reqs > 0);
         assert!(chain.metrics.mean_latency() > 0.0);
+    }
+
+    /// A sink that records everything it is shown.
+    #[derive(Default)]
+    struct RecordingSink {
+        commits: std::sync::Arc<std::sync::Mutex<Vec<(u64, bool)>>>,
+        views: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+
+    impl CommitSink<SimScheme> for RecordingSink {
+        fn committed(&mut self, block: &Block, qc: Option<&Qc<SimScheme>>) {
+            self.commits
+                .lock()
+                .unwrap()
+                .push((block.height, qc.is_some()));
+        }
+        fn entered_view(&mut self, view: u64) {
+            self.views.lock().unwrap().push(view);
+        }
+    }
+
+    #[test]
+    fn sink_observes_commits_with_their_certificates() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        let sink = RecordingSink::default();
+        let commits = std::sync::Arc::clone(&sink.commits);
+        let views = std::sync::Arc::clone(&sink.views);
+        chain.set_commit_sink(Box::new(sink));
+        chain.note_view(1);
+        for v in 1..=5 {
+            extend(&mut chain, v, &s);
+        }
+        assert_eq!(chain.committed_height(), 3);
+        // Each committed block was certified by an observed QC (the QC for
+        // its child arrived via `extend`), so the sink saw proofs.
+        assert_eq!(
+            &*commits.lock().unwrap(),
+            &[(1, true), (2, true), (3, true)]
+        );
+        assert_eq!(&*views.lock().unwrap(), &[1]);
+        // The committed entries are servable for state transfer.
+        for h in 1..=3 {
+            let (b, qc) = chain.committed_entry(h).expect("entry retained");
+            assert_eq!(b.height, h);
+            assert_eq!(qc.block_hash, b.hash());
+        }
+        assert!(chain.committed_entry(4).is_none());
+        assert!(chain.committed_entry(0).is_none());
+    }
+
+    #[test]
+    fn rehydrate_restores_prefix_without_counting_metrics() {
+        let s = scheme();
+        // Build a source chain and harvest its committed prefix + QCs.
+        let mut source = ChainState::new(0);
+        for v in 1..=6 {
+            extend(&mut source, v, &s);
+        }
+        assert_eq!(source.committed_height(), 4);
+        let prefix: Vec<(Block, Option<Qc<SimScheme>>)> = (1..=4)
+            .map(|h| {
+                let (b, qc) = source.committed_entry(h).unwrap();
+                (b.clone(), Some(qc.clone()))
+            })
+            .collect();
+
+        let mut recovered: ChainState<SimScheme> = ChainState::new(0);
+        recovered.rehydrate(prefix);
+        assert_eq!(recovered.committed_height(), 4);
+        assert_eq!(recovered.metrics.recovered_blocks, 4);
+        assert_eq!(recovered.metrics.committed_blocks, 0, "previous run's work");
+        assert_eq!(recovered.metrics.commit_points.len(), 0);
+        assert_eq!(recovered.committed_log().len(), 4);
+        assert_eq!(recovered.committed_log(), &source.committed_log()[..4]);
+        // The high QC is the certificate of the recovered tip, so the
+        // replica proposes/votes from where it left off.
+        assert_eq!(recovered.high_tip().1, 4);
+    }
+
+    #[test]
+    fn adopt_committed_verifies_and_extends() {
+        let s = scheme();
+        let mut source = ChainState::new(0);
+        for v in 1..=6 {
+            extend(&mut source, v, &s);
+        }
+        assert_eq!(source.committed_height(), 4);
+        let mut lagging: ChainState<SimScheme> = ChainState::new(0);
+        let (b1, q1) = source.committed_entry(1).unwrap();
+        let (b2, q2) = source.committed_entry(2).unwrap();
+        let (b1, q1, b2, q2) = (b1.clone(), q1.clone(), b2.clone(), q2.clone());
+
+        // A mismatched certificate is rejected.
+        assert!(!lagging.adopt_committed(b2.clone(), q1.clone(), &s));
+        assert!(lagging.adopt_committed(b1.clone(), q1.clone(), &s));
+        assert!(lagging.adopt_committed(b2, q2, &s));
+        assert_eq!(lagging.committed_height(), 2);
+        assert_eq!(lagging.metrics.state_transfer_blocks, 2);
+        assert_eq!(lagging.metrics.committed_blocks, 0);
+        assert_eq!(lagging.committed_log(), &source.committed_log()[..2]);
+        // Heights at or below the prefix are refused (already adopted).
+        assert!(!lagging.adopt_committed(b1, q1, &s));
+        // Gap adoption: height 4 grafts past a hole the server could not
+        // prove, and the log stays ascending.
+        let (b4, q4) = source.committed_entry(4).unwrap();
+        let (b4, q4) = (b4.clone(), q4.clone());
+        assert!(lagging.adopt_committed(b4, q4, &s));
+        assert_eq!(lagging.committed_height(), 4);
+        let heights: Vec<u64> = lagging.committed_log().iter().map(|&(h, _)| h).collect();
+        assert_eq!(heights, vec![1, 2, 4]);
+        // The range lookup serves around the hole.
+        assert_eq!(lagging.committed_range(1, 10).len(), 3);
+        assert_eq!(lagging.committed_range(3, 10).len(), 1);
     }
 
     #[test]

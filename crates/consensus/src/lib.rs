@@ -22,7 +22,7 @@ pub mod perf;
 pub mod star;
 pub mod types;
 
-pub use chain::{ChainMetrics, ChainState};
+pub use chain::{ChainMetrics, ChainState, CommitSink};
 pub use leader::{LeaderContext, LeaderPolicy};
 pub use perf::PerfSummary;
 pub use star::{ReplicaConfig, StarMsg, StarReplica};

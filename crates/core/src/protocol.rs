@@ -23,6 +23,7 @@ use iniva_consensus::types::{
 use iniva_crypto::multisig::VoteScheme;
 use iniva_crypto::shuffle::Assignment;
 use iniva_net::cost::CostModel;
+use iniva_net::sync::{StateRequest, StateResponse, MAX_STATE_BLOCKS};
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use iniva_net::{Actor, Context, NodeId, Time};
 use iniva_tree::{Role, Topology, TreeView};
@@ -130,6 +131,13 @@ pub enum InivaMsg<S: VoteScheme> {
         /// Justifying QC for the block's parent.
         qc: Option<Qc<S>>,
     },
+    /// State transfer: a replica behind the committed prefix (typically
+    /// one that just restarted from its write-ahead log) asks a peer for
+    /// the committed blocks it is missing.
+    StateRequest(StateRequest),
+    /// State transfer: a chunk of committed blocks, each paired with the
+    /// QC certifying it, so the requester verifies before adopting.
+    StateResponse(StateResponse<Block, Qc<S>>),
 }
 
 impl<S: VoteScheme> Clone for InivaMsg<S> {
@@ -151,6 +159,11 @@ impl<S: VoteScheme> Clone for InivaMsg<S> {
                 block: block.clone(),
                 qc: qc.clone(),
             },
+            InivaMsg::StateRequest(req) => InivaMsg::StateRequest(*req),
+            InivaMsg::StateResponse(resp) => InivaMsg::StateResponse(StateResponse {
+                blocks: resp.blocks.clone(),
+                qcs: resp.qcs.clone(),
+            }),
         }
     }
 }
@@ -179,6 +192,14 @@ where
                 block.encode(enc);
                 enc.put_opt(qc);
             }
+            InivaMsg::StateRequest(req) => {
+                enc.put_u8(4);
+                req.encode(enc);
+            }
+            InivaMsg::StateResponse(resp) => {
+                enc.put_u8(5);
+                resp.encode(enc);
+            }
         }
     }
 }
@@ -205,6 +226,8 @@ where
                 block: Block::decode(dec)?,
                 qc: dec.get_opt()?,
             }),
+            4 => Ok(InivaMsg::StateRequest(StateRequest::decode(dec)?)),
+            5 => Ok(InivaMsg::StateResponse(StateResponse::decode(dec)?)),
             tag => Err(DecodeError::InvalidTag {
                 tag,
                 context: "InivaMsg",
@@ -216,6 +239,12 @@ where
 const TIMER_VIEW: u64 = 0;
 const TIMER_AGG: u64 = 1;
 const TIMER_SECOND_CHANCE: u64 = 2;
+
+/// How far the high QC may run ahead of the committed prefix before the
+/// replica asks a peer for state transfer. The healthy pipeline keeps the
+/// gap at 2 (the two uncommitted blocks of the three-chain rule), so 3+
+/// means commits happened that this replica never saw.
+const STATE_SYNC_GAP: u64 = 3;
 
 fn timer_id(view: u64, kind: u64) -> u64 {
     view * 4 + kind
@@ -278,6 +307,11 @@ pub struct InivaReplica<S: VoteScheme> {
     /// Signatures that arrived before their view's proposal (message
     /// reordering under jitter); replayed once the proposal is delivered.
     early_sigs: Vec<(NodeId, u64, S::Aggregate)>,
+    /// Rate limiter for state-transfer requests: committed height at the
+    /// last request and when it was sent. A new request goes out only
+    /// after progress (a response advanced the prefix) or a view-timeout
+    /// of silence (the asked peer was unhelpful; try the next sender).
+    last_state_request: Option<(u64, Time)>,
 }
 
 impl<S: VoteScheme> InivaReplica<S> {
@@ -295,7 +329,44 @@ impl<S: VoteScheme> InivaReplica<S> {
             leader_ctx: LeaderContext::default(),
             agg: None,
             early_sigs: Vec::new(),
+            last_state_request: None,
         }
+    }
+
+    /// Reconstructs a replica from durable state: the committed prefix
+    /// (with per-block QCs where the log has them) and the highest view
+    /// entered before the crash, as recovered from an
+    /// `iniva-storage::ChainWal`. The chain is rehydrated (see
+    /// [`ChainState::rehydrate`]), the pacemaker resumes at the recovered
+    /// view, and `last_voted_view` is pinned to it — the replica may have
+    /// voted in that view before dying, and voting twice in a view is the
+    /// equivocation safety forbids. Anything committed by the cluster
+    /// while the replica was down arrives via state transfer once the
+    /// first peer message reveals the gap.
+    ///
+    /// Why pinning to the *journaled view* covers every possible vote:
+    /// both vote paths (`handle_proposal` and the 2ND-CHANCE fresh-vote
+    /// path) set `last_voted_view = W` and then, in the same handler,
+    /// either enter view `W + 1` — journaling it via
+    /// [`ChainState::note_view`] *inside* the handler — or were already
+    /// past `W` (the `block.view == 1` late-vote exception), in which
+    /// case a view `> W` is journaled. The runtime ships a handler's
+    /// outbox only **after** the handler returns, i.e. after that fsync,
+    /// so no vote for a view above the journaled one can ever have left
+    /// the process. A crash between the vote's fsync and its send just
+    /// loses an unsent vote.
+    pub fn recover(
+        id: u32,
+        cfg: InivaConfig,
+        scheme: Arc<S>,
+        commits: Vec<(Block, Option<Qc<S>>)>,
+        view: u64,
+    ) -> Self {
+        let mut replica = Self::new(id, cfg, scheme);
+        replica.chain.rehydrate(commits);
+        replica.current_view = view.max(1);
+        replica.last_voted_view = view;
+        replica
     }
 
     /// The deterministic tree for `view`: a shuffled assignment with the
@@ -331,6 +402,10 @@ impl<S: VoteScheme> InivaReplica<S> {
         if failed {
             self.chain.metrics.failed_views += 1;
         }
+        // Durably record the pacemaker position (no-op without a sink): a
+        // replica restarting from its WAL must not re-vote a view it
+        // already entered.
+        self.chain.note_view(view);
         ctx.set_timer(self.cfg.view_timeout, timer_id(view, TIMER_VIEW));
     }
 
@@ -819,6 +894,94 @@ impl<S: VoteScheme> InivaReplica<S> {
         ctx.send(from, InivaMsg::Signature { view, agg: reply }, wire);
     }
 
+    /// Sends a [`StateRequest`] to `from` when the high QC has run further
+    /// ahead of the committed prefix than the pipeline explains
+    /// ([`STATE_SYNC_GAP`]) — the catch-up trigger for replicas that
+    /// restarted from their WAL or were partitioned past 2ND-CHANCE
+    /// reach. Rate-limited: one request per prefix-advance or per
+    /// view-timeout of silence, so a busy cluster is not flooded while a
+    /// transfer is in flight.
+    fn maybe_request_state(&mut self, ctx: &mut Context<InivaMsg<S>>, from: NodeId) {
+        if from == self.id {
+            return;
+        }
+        let committed = self.chain.committed_height();
+        let (_, high) = self.chain.high_tip();
+        if high <= committed + STATE_SYNC_GAP {
+            return;
+        }
+        let now = ctx.now();
+        if let Some((at_height, at_time)) = self.last_state_request {
+            let progressed = committed > at_height;
+            let timed_out = now.saturating_sub(at_time) > self.cfg.view_timeout;
+            if !progressed && !timed_out {
+                return;
+            }
+        }
+        self.last_state_request = Some((committed, now));
+        ctx.send(
+            from,
+            InivaMsg::StateRequest(StateRequest {
+                from_height: committed + 1,
+            }),
+            16,
+        );
+    }
+
+    /// Serves a [`StateRequest`]: up to [`MAX_STATE_BLOCKS`] consecutive
+    /// committed blocks (with their QCs) from the requested height. An
+    /// empty answerable range sends nothing — the requester retries
+    /// against the next peer it hears from.
+    fn handle_state_request(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        from: NodeId,
+        from_height: u64,
+    ) {
+        if from == self.id {
+            return;
+        }
+        let mut blocks = Vec::new();
+        let mut qcs = Vec::new();
+        let mut bytes = 4usize;
+        for (block, qc) in self.chain.committed_range(from_height, MAX_STATE_BLOCKS) {
+            bytes += block.wire_bytes() + qc.wire_bytes(&self.scheme);
+            blocks.push(block.clone());
+            qcs.push(qc.clone());
+        }
+        if blocks.is_empty() {
+            return;
+        }
+        ctx.send(
+            from,
+            InivaMsg::StateResponse(StateResponse { blocks, qcs }),
+            bytes,
+        );
+    }
+
+    /// Adopts a [`StateResponse`] chunk: every block is verified against
+    /// its QC before it grafts onto the committed prefix (see
+    /// [`ChainState::adopt_committed`]); the first invalid or
+    /// non-contiguous entry stops the chunk. A still-open gap re-triggers
+    /// [`Self::maybe_request_state`] on the next QC observed.
+    fn handle_state_response(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        response: StateResponse<Block, Qc<S>>,
+    ) {
+        for (block, qc) in response.blocks.into_iter().zip(response.qcs) {
+            ctx.charge_cpu(
+                self.cfg
+                    .cost
+                    .verify_aggregate(qc.signer_count(&self.scheme)),
+            );
+            if !self.chain.adopt_committed(block, qc, &self.scheme) {
+                break;
+            }
+        }
+        self.update_carousel();
+    }
+
     /// Refreshes the Carousel context from chain state: voters of the high
     /// QC, and the proposers of the last `f` blocks as the recent-leader
     /// window. Both are pure functions of the high QC, so replicas agree
@@ -874,8 +1037,13 @@ impl<S: VoteScheme> Actor for InivaReplica<S> {
 
     fn on_start(&mut self, ctx: &mut Context<InivaMsg<S>>) {
         self.chain.metrics.total_views += 1;
-        ctx.set_timer(self.cfg.view_timeout, timer_id(1, TIMER_VIEW));
-        if self.leader_of(1) == self.id {
+        // A fresh replica starts in view 1; a WAL-recovered one resumes at
+        // the view it had entered before the crash and waits to be
+        // contacted (its view timer keeps the pacemaker rotating if the
+        // cluster is gone too).
+        let view = self.current_view;
+        ctx.set_timer(self.cfg.view_timeout, timer_id(view, TIMER_VIEW));
+        if view == 1 && self.leader_of(1) == self.id {
             self.propose(ctx);
         }
     }
@@ -887,7 +1055,12 @@ impl<S: VoteScheme> Actor for InivaReplica<S> {
             InivaMsg::Signature { view, agg } => self.handle_signature(ctx, from, view, agg),
             InivaMsg::Ack { view, agg } => self.handle_ack(ctx, view, agg),
             InivaMsg::SecondChance { block, qc } => self.handle_second_chance(ctx, from, block, qc),
+            InivaMsg::StateRequest(req) => self.handle_state_request(ctx, from, req.from_height),
+            InivaMsg::StateResponse(resp) => self.handle_state_response(ctx, resp),
         }
+        // After any peer message: if its QC revealed a committed prefix we
+        // are missing, ask that peer for it.
+        self.maybe_request_state(ctx, from);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<InivaMsg<S>>, id: u64) {
@@ -977,9 +1150,14 @@ mod wire_tests {
             },
             InivaMsg::Ack { view: 6, agg },
             InivaMsg::SecondChance {
-                block: b,
-                qc: Some(qc),
+                block: b.clone(),
+                qc: Some(qc.clone()),
             },
+            InivaMsg::StateRequest(StateRequest { from_height: 42 }),
+            InivaMsg::StateResponse(StateResponse {
+                blocks: vec![b.clone(), b],
+                qcs: vec![qc.clone(), qc],
+            }),
         ]
     }
 

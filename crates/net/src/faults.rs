@@ -24,6 +24,15 @@ pub enum FaultEvent {
     /// Restart a crashed `node` under a fresh incarnation; it resumes
     /// inert and rejoins when the protocol next contacts it.
     Restart(NodeId),
+    /// Process-level restart: the node comes back **from durable
+    /// storage** — its in-memory protocol state is rebuilt from the
+    /// write-ahead log, then it catches up via state transfer. On the
+    /// simulator (which has no disk) this behaves as [`Self::Restart`]:
+    /// the revived actor's retained memory plays the role of the
+    /// recovered prefix. The live WAL-enabled cluster harness tears the
+    /// whole runtime down on the preceding [`Self::Crash`] and rebuilds
+    /// replica + transport from disk on this event.
+    RestartFromDisk(NodeId),
     /// Symmetric partition: every link between group `a` and group `b`
     /// is cut, both directions.
     Partition {
@@ -114,6 +123,12 @@ impl FaultPlan {
         self.push(at, FaultEvent::Restart(node))
     }
 
+    /// Schedules a restart-from-durable-storage of `node` at `at` (see
+    /// [`FaultEvent::RestartFromDisk`]).
+    pub fn restart_from_disk(self, at: Time, node: NodeId) -> Self {
+        self.push(at, FaultEvent::RestartFromDisk(node))
+    }
+
     /// Schedules a symmetric partition of `a` from `b` at `at`.
     pub fn partition(self, at: Time, a: &[NodeId], b: &[NodeId]) -> Self {
         self.push(
@@ -188,7 +203,7 @@ impl FaultPlan {
 pub fn apply_to_sim<A: Actor>(sim: &mut Simulation<A>, fault: &FaultEvent) {
     match fault {
         FaultEvent::Crash(node) => sim.crash(*node),
-        FaultEvent::Restart(node) => sim.revive(*node),
+        FaultEvent::Restart(node) | FaultEvent::RestartFromDisk(node) => sim.revive(*node),
         FaultEvent::Partition { a, b } => {
             for &x in a {
                 for &y in b {

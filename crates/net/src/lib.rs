@@ -25,6 +25,7 @@
 
 pub mod cost;
 pub mod faults;
+pub mod sync;
 pub mod wire;
 
 use rand::rngs::StdRng;

@@ -1,0 +1,163 @@
+//! State-transfer wire messages: how a healed or lagging replica fetches
+//! the committed prefix it missed.
+//!
+//! The protocol is a single request/response pair, generic over the block
+//! and certificate types (defined in `iniva-consensus`, which this crate
+//! cannot depend on): a replica that detects it has fallen behind the
+//! committed prefix — typically right after restarting from its
+//! write-ahead log — sends [`StateRequest`] to a peer it heard a newer QC
+//! from, and the peer answers with [`StateResponse`]: up to
+//! [`MAX_STATE_BLOCKS`] consecutive committed blocks starting at the
+//! requested height, each paired with the QC certifying it, so the
+//! requester can verify every block before grafting it onto its prefix.
+//! Longer gaps take multiple rounds — the requester's gap detector fires
+//! again on the next QC it observes.
+
+use crate::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
+
+/// Cap on blocks (and paired QCs) in one [`StateResponse`]: bounds both
+/// the responder's frame size and the allocation a decoder performs on a
+/// hostile length prefix.
+pub const MAX_STATE_BLOCKS: usize = 512;
+
+/// "Send me your committed prefix from this height up."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateRequest {
+    /// First height the requester is missing (its committed height + 1).
+    pub from_height: u64,
+}
+
+impl WireEncode for StateRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.from_height);
+    }
+}
+
+impl WireDecode for StateRequest {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        Ok(StateRequest {
+            from_height: dec.get_u64()?,
+        })
+    }
+}
+
+/// A chunk of committed chain: `blocks[i]` is certified by `qcs[i]`, and
+/// heights are consecutive from the requested `from_height`.
+#[derive(Debug, Clone)]
+pub struct StateResponse<B, Q> {
+    /// Committed blocks, ascending by height.
+    pub blocks: Vec<B>,
+    /// `qcs[i]` certifies `blocks[i]`.
+    pub qcs: Vec<Q>,
+}
+
+impl<B: WireEncode, Q: WireEncode> WireEncode for StateResponse<B, Q> {
+    fn encode(&self, enc: &mut Encoder) {
+        // One length prefix: the pairing is structural, not coincidental.
+        enc.put_u32(self.blocks.len().min(self.qcs.len()) as u32);
+        for (b, q) in self.blocks.iter().zip(&self.qcs) {
+            b.encode(enc);
+            q.encode(enc);
+        }
+    }
+}
+
+impl<B: WireDecode, Q: WireDecode> WireDecode for StateResponse<B, Q> {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        let n = dec.get_u32()? as usize;
+        if n > MAX_STATE_BLOCKS {
+            return Err(DecodeError::Malformed {
+                context: "StateResponse exceeds MAX_STATE_BLOCKS",
+            });
+        }
+        let mut blocks = Vec::with_capacity(n);
+        let mut qcs = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(B::decode(dec)?);
+            qcs.push(Q::decode(dec)?);
+        }
+        Ok(StateResponse { blocks, qcs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Codec;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct FakeBlock(u64);
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct FakeQc(u64, u8);
+
+    impl WireEncode for FakeBlock {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0);
+        }
+    }
+    impl WireDecode for FakeBlock {
+        fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+            Ok(FakeBlock(dec.get_u64()?))
+        }
+    }
+    impl WireEncode for FakeQc {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0).put_u8(self.1);
+        }
+    }
+    impl WireDecode for FakeQc {
+        fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+            Ok(FakeQc(dec.get_u64()?, dec.get_u8()?))
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let r = StateRequest { from_height: 99 };
+        assert_eq!(StateRequest::from_frame(r.to_frame()).unwrap(), r);
+    }
+
+    #[test]
+    fn response_roundtrips_interleaved() {
+        let r: StateResponse<FakeBlock, FakeQc> = StateResponse {
+            blocks: (0..5).map(FakeBlock).collect(),
+            qcs: (0..5).map(|i| FakeQc(i, i as u8)).collect(),
+        };
+        let back = StateResponse::<FakeBlock, FakeQc>::from_frame(r.to_frame()).unwrap();
+        assert_eq!(back.blocks, r.blocks);
+        assert_eq!(back.qcs, r.qcs);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocation() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        assert!(matches!(
+            StateResponse::<FakeBlock, FakeQc>::from_frame(enc.finish()),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_response_errors_cleanly() {
+        let r: StateResponse<FakeBlock, FakeQc> = StateResponse {
+            blocks: vec![FakeBlock(1)],
+            qcs: vec![FakeQc(1, 1)],
+        };
+        let frame = r.to_frame();
+        for cut in 0..frame.len() {
+            assert!(StateResponse::<FakeBlock, FakeQc>::from_frame(frame.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn mismatched_vec_lengths_encode_the_paired_prefix() {
+        let r: StateResponse<FakeBlock, FakeQc> = StateResponse {
+            blocks: (0..3).map(FakeBlock).collect(),
+            qcs: vec![FakeQc(0, 0)],
+        };
+        let back = StateResponse::<FakeBlock, FakeQc>::from_frame(r.to_frame()).unwrap();
+        assert_eq!(back.blocks.len(), 1);
+        assert_eq!(back.qcs.len(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # iniva-storage
+//!
+//! Durable chain state for the Iniva reproduction: an append-only,
+//! fsync'd, CRC-framed write-ahead log of committed blocks, their QCs and
+//! the replica's current view.
+//!
+//! This is the crash-recovery substrate the live runtime
+//! (`iniva-transport`) builds on: a replica killed with `kill -9` reopens
+//! its [`ChainWal`], rehydrates the committed prefix into
+//! `iniva_consensus::ChainState`, and fetches whatever the cluster
+//! committed while it was down via the `StateRequest`/`StateResponse`
+//! protocol (`iniva_net::sync`) — instead of being permanently stuck
+//! behind the committed prefix it can no longer vote past.
+//!
+//! * [`crc32`] — the checksum (IEEE CRC-32) framing every record.
+//! * [`wal`] — the raw segment ([`Wal`]) and the typed chain log
+//!   ([`ChainWal`]), whose recovery truncates torn/corrupt tails instead
+//!   of failing.
+//!
+//! Everything is `std`-only; record bodies use the same
+//! [`wire`](iniva_net::wire) codec the transport ships, so the durable
+//! representation of a block is byte-identical to its wire encoding.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod wal;
+
+pub use wal::{ChainWal, Recovered, Wal, WalRecord, MAX_RECORD_BYTES, WAL_FILE};

@@ -22,9 +22,11 @@ use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::faults::{FaultEvent, FaultPlan};
 use iniva_net::NodeId;
+use iniva_storage::ChainWal;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
-use std::sync::{Arc, Barrier};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -90,12 +92,97 @@ impl ClusterRun {
     }
 }
 
+/// Lifecycle phase of one replica "process" in a restart-capable cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// The replica process is (or should be) running.
+    Running,
+    /// The replica process is dead; its runtime and sockets are torn down.
+    Down,
+    /// A restart from durable storage was requested; the lifecycle thread
+    /// consumes this and rebuilds replica + transport from the WAL.
+    RestartPending,
+}
+
+/// Process-lifecycle switch for one replica in a WAL-enabled cluster run:
+/// the restart-capable harness's analogue of `kill -9` + "start the
+/// binary again". Where [`NodeFaults`] silences a node *inside* a living
+/// transport, this tells the replica's lifecycle thread to tear the whole
+/// runtime down and, later, rebuild it from disk.
+#[derive(Debug)]
+pub struct NodeControl {
+    phase: Mutex<Phase>,
+    cv: Condvar,
+}
+
+impl Default for NodeControl {
+    fn default() -> Self {
+        NodeControl {
+            phase: Mutex::new(Phase::Running),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl NodeControl {
+    /// Marks the process dead: the lifecycle thread exits its runtime and
+    /// drops the transport (sockets close, peers see dead connections).
+    pub fn set_down(&self) {
+        *self.phase.lock().expect("control lock") = Phase::Down;
+        self.cv.notify_all();
+    }
+
+    /// Requests a restart from durable storage.
+    pub fn request_restart(&self) {
+        *self.phase.lock().expect("control lock") = Phase::RestartPending;
+        self.cv.notify_all();
+    }
+
+    /// True while the process should not be running (the runtime's stop
+    /// hook: also true when a restart is pending, since a restart begins
+    /// by tearing the current incarnation down).
+    pub fn stop_requested(&self) -> bool {
+        *self.phase.lock().expect("control lock") != Phase::Running
+    }
+
+    /// True while the process is down with no restart pending.
+    fn is_down(&self) -> bool {
+        *self.phase.lock().expect("control lock") == Phase::Down
+    }
+
+    /// Blocks until the process should run (consuming a pending restart)
+    /// or `deadline` passes while down; returns `false` in the latter
+    /// case.
+    fn wait_runnable(&self, deadline: Instant) -> bool {
+        let mut phase = self.phase.lock().expect("control lock");
+        loop {
+            match *phase {
+                Phase::Running => return true,
+                Phase::RestartPending => {
+                    *phase = Phase::Running;
+                    return true;
+                }
+                Phase::Down => {
+                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        return false;
+                    };
+                    let (guard, _) = self.cv.wait_timeout(phase, left).expect("control wait");
+                    phase = guard;
+                }
+            }
+        }
+    }
+}
+
 /// Kill/heal/partition surface for one in-process cluster: every node's
 /// crash switch plus the shared link filter, addressed by committee id.
+/// WAL-enabled runs additionally consult each node's [`NodeControl`] for
+/// process-level kill/restart-from-disk.
 #[derive(Clone)]
 pub struct ClusterFaults {
     nodes: Vec<Arc<NodeFaults>>,
     links: Arc<LinkFaults>,
+    controls: Vec<Arc<NodeControl>>,
 }
 
 impl ClusterFaults {
@@ -104,7 +191,14 @@ impl ClusterFaults {
         ClusterFaults {
             nodes: (0..n).map(|_| Arc::new(NodeFaults::new())).collect(),
             links: Arc::new(LinkFaults::new()),
+            controls: (0..n).map(|_| Arc::new(NodeControl::default())).collect(),
         }
+    }
+
+    /// The process-lifecycle switch of replica `id` (observed only by the
+    /// restart-capable WAL harness).
+    pub fn control(&self, id: NodeId) -> Arc<NodeControl> {
+        Arc::clone(&self.controls[id as usize])
     }
 
     /// The crash switch of replica `id` (shared with its transport).
@@ -145,8 +239,18 @@ impl ClusterFaults {
     /// Injects one [`FaultPlan`] event.
     pub fn apply(&self, fault: &FaultEvent) {
         match fault {
-            FaultEvent::Crash(node) => self.kill(*node),
+            FaultEvent::Crash(node) => {
+                // Transport-level silence takes effect immediately; the
+                // process-level control is observed only by WAL-enabled
+                // lifecycle threads, which then tear the runtime down.
+                self.kill(*node);
+                self.controls[*node as usize].set_down();
+            }
             FaultEvent::Restart(node) => self.heal(*node),
+            FaultEvent::RestartFromDisk(node) => {
+                self.heal(*node);
+                self.controls[*node as usize].request_restart();
+            }
             FaultEvent::Partition { a, b } => self.partition(a, b),
             FaultEvent::PartitionOneWay { from, to } => {
                 for &x in from {
@@ -226,13 +330,131 @@ pub fn run_local_iniva_cluster(
     run_local_iniva_cluster_with_plan(cfg, duration, cpu, &FaultPlan::new())
 }
 
+/// A releasable start line: workers arrive and wait for a go/abort
+/// verdict. Unlike a `Barrier`, the harness can release everyone with
+/// "abort" when a later setup step (a thread spawn, say) fails — the
+/// already-spawned workers exit instead of deadlocking on a barrier that
+/// can never fill, which is what lets the cluster setup paths return a
+/// usable `io::Error` to chaos tests under CI.
+struct StartGate {
+    state: Mutex<(usize, Option<bool>)>,
+    cv: Condvar,
+}
+
+impl StartGate {
+    fn new() -> Self {
+        StartGate {
+            state: Mutex::new((0, None)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Worker side: report readiness, wait for the verdict. `true` = go.
+    fn arrive_and_wait(&self) -> bool {
+        let mut st = self.state.lock().expect("gate lock");
+        st.0 += 1;
+        self.cv.notify_all();
+        loop {
+            if let Some(go) = st.1 {
+                return go;
+            }
+            st = self.cv.wait(st).expect("gate wait");
+        }
+    }
+
+    /// Harness side: wait for `workers` arrivals, then release them all
+    /// at once (the shared time zero every plan offset is relative to).
+    fn go(&self, workers: usize) {
+        let mut st = self.state.lock().expect("gate lock");
+        while st.0 < workers {
+            st = self.cv.wait(st).expect("gate wait");
+        }
+        st.1 = Some(true);
+        self.cv.notify_all();
+    }
+
+    /// Harness side: release every current and future arriver with
+    /// "abort".
+    fn abort(&self) {
+        self.state.lock().expect("gate lock").1 = Some(false);
+        self.cv.notify_all();
+    }
+}
+
+/// Joins `handles`, surfacing panics as errors; used on both the success
+/// and the abort path.
+fn join_runs(handles: Vec<thread::JoinHandle<io::Result<NodeRun>>>) -> io::Result<Vec<NodeRun>> {
+    let mut nodes = Vec::with_capacity(handles.len());
+    for handle in handles {
+        nodes.push(
+            handle
+                .join()
+                .map_err(|_| io::Error::other("replica thread panicked"))??,
+        );
+    }
+    Ok(nodes)
+}
+
+/// Spawns replica lifecycle threads and the fault driver behind one
+/// [`StartGate`]; on any spawn failure the gate aborts, every thread
+/// spawned so far exits, and the error propagates.
+fn launch_cluster<F>(
+    n: usize,
+    plan: &FaultPlan,
+    faults: &ClusterFaults,
+    duration: Duration,
+    spawn_replica: F,
+) -> io::Result<Vec<NodeRun>>
+where
+    F: Fn(usize, Arc<StartGate>) -> io::Result<thread::JoinHandle<io::Result<NodeRun>>>,
+{
+    let gate = Arc::new(StartGate::new());
+    let mut handles = Vec::with_capacity(n);
+    for id in 0..n {
+        match spawn_replica(id, Arc::clone(&gate)) {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                gate.abort();
+                let _ = join_runs(handles);
+                return Err(e);
+            }
+        }
+    }
+    let driver = {
+        let faults = faults.clone();
+        let plan = plan.deferred();
+        let gate = Arc::clone(&gate);
+        thread::Builder::new()
+            .name("iniva-fault-driver".into())
+            .spawn(move || {
+                if gate.arrive_and_wait() {
+                    faults.drive(&plan, Instant::now(), duration);
+                }
+            })
+    };
+    let driver = match driver {
+        Ok(d) => d,
+        Err(e) => {
+            gate.abort();
+            let _ = join_runs(handles);
+            return Err(e);
+        }
+    };
+    // Replicas + driver all ready: release the shared time zero.
+    gate.go(n + 1);
+    let nodes = join_runs(handles);
+    let _ = driver.join();
+    nodes
+}
+
 /// Runs an `cfg.n`-replica Iniva cluster over loopback TCP for `duration`
 /// while a driver thread injects `plan` — crash, heal, partition and
 /// slow-link events at their scheduled wall-clock offsets — then collects
 /// every replica's final state.
 ///
 /// # Errors
-/// Propagates socket setup failures (binding listeners, starting lanes).
+/// Propagates socket and thread setup failures (binding listeners,
+/// starting lanes, spawning replica or driver threads).
 pub fn run_local_iniva_cluster_with_plan(
     cfg: &InivaConfig,
     duration: Duration,
@@ -255,17 +477,15 @@ pub fn run_local_iniva_cluster_with_plan(
     // Time-zero events are injected exactly once, before any replica
     // thread starts, so a node crashed at 0 never runs `on_start` — the
     // exact semantics of `FaultPlan::run_on_sim` on the simulator. The
-    // driver below gets only the deferred remainder: a re-applied
-    // `Restart` would bump the incarnation epoch a second time and
-    // spuriously drop frames queued under the first one.
+    // driver gets only the deferred remainder: a re-applied `Restart`
+    // would bump the incarnation epoch a second time and spuriously drop
+    // frames queued under the first one.
     for ev in plan.events().iter().filter(|ev| ev.at == 0) {
         faults.apply(&ev.fault);
     }
-    // Every transport is constructed *here*, before any replica thread or
-    // barrier wait: a socket setup failure (fd exhaustion on a large
-    // sweep, say) propagates as the documented io::Error instead of
-    // leaving the other threads deadlocked on a barrier that can never
-    // fill.
+    // Every transport is constructed *here*, before any replica thread:
+    // a socket setup failure (fd exhaustion on a large sweep, say)
+    // propagates as the documented io::Error with nothing to unwind.
     let mut transports = Vec::with_capacity(n);
     for (id, listener) in listeners.into_iter().enumerate() {
         transports.push(Transport::start_with(
@@ -278,50 +498,252 @@ pub fn run_local_iniva_cluster_with_plan(
         )?);
     }
 
-    // Align every runtime's epoch: replicas construct their runtime (which
-    // pins the epoch instant) only after all threads are ready. The +1 is
-    // the fault driver, so plan offsets share the same time zero.
-    let barrier = Arc::new(Barrier::new(n + 1));
-    let mut handles = Vec::with_capacity(n);
-    for (id, transport) in transports.into_iter().enumerate() {
+    let slots: Vec<Mutex<Option<Transport<_>>>> = transports
+        .into_iter()
+        .map(|t| Mutex::new(Some(t)))
+        .collect();
+    let nodes = launch_cluster(n, plan, &faults, duration, |id, gate| {
+        let transport = slots[id]
+            .lock()
+            .expect("transport handoff")
+            .take()
+            .expect("one transport per replica id");
         let cfg = cfg.clone();
         let scheme = Arc::clone(&scheme);
-        let barrier = Arc::clone(&barrier);
-        let handle = thread::Builder::new()
+        thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
-            .spawn(move || -> NodeRun {
+            .spawn(move || -> io::Result<NodeRun> {
                 let replica = InivaReplica::new(id as u32, cfg, scheme);
-                barrier.wait();
+                if !gate.arrive_and_wait() {
+                    return Err(io::Error::other("cluster setup aborted"));
+                }
                 let mut runtime = Runtime::new(replica, transport, cpu);
                 runtime.run_for(duration);
                 let (replica, runtime, transport) = runtime.finish();
-                NodeRun {
+                Ok(NodeRun {
                     replica,
                     runtime,
                     transport,
-                }
+                })
             })
-            .expect("spawn replica thread");
-        handles.push(handle);
-    }
-
-    let driver = {
-        let faults = faults.clone();
-        let plan = plan.deferred();
-        let barrier = Arc::clone(&barrier);
-        thread::Builder::new()
-            .name("iniva-fault-driver".into())
-            .spawn(move || {
-                barrier.wait();
-                faults.drive(&plan, Instant::now(), duration);
-            })
-            .expect("spawn fault driver")
-    };
-
-    let mut nodes = Vec::with_capacity(n);
-    for handle in handles {
-        nodes.push(handle.join().expect("replica thread panicked"));
-    }
-    let _ = driver.join();
+    })?;
     Ok(ClusterRun { nodes, duration })
+}
+
+/// Folds one incarnation's transport counters into a per-node total
+/// (restart-capable runs tear transports down and rebuild them; the
+/// reported stats span every incarnation). `queue_depth` is a gauge: the
+/// last incarnation's value wins.
+fn fold_snapshot(total: &mut TransportSnapshot, inc: TransportSnapshot) {
+    total.msgs_sent += inc.msgs_sent;
+    total.bytes_sent += inc.bytes_sent;
+    total.msgs_received += inc.msgs_received;
+    total.bytes_received += inc.bytes_received;
+    total.dups_dropped += inc.dups_dropped;
+    total.reconnects += inc.reconnects;
+    total.faults_dropped += inc.faults_dropped;
+    total.lane_evicted += inc.lane_evicted;
+    total.queue_depth = inc.queue_depth;
+}
+
+/// Folds one incarnation's event-loop counters into a per-node total.
+fn fold_runtime(total: &mut RuntimeStats, inc: RuntimeStats) {
+    total.cpu_charged += inc.cpu_charged;
+    total.busy += inc.busy;
+    total.msgs_delivered += inc.msgs_delivered;
+    total.timers_fired += inc.timers_fired;
+}
+
+/// Rebinds a restarting replica's listen address, retrying briefly: the
+/// previous incarnation's listener is closed by the time `finish()`
+/// returns, but the OS may need a beat to release the port.
+fn bind_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpListener> {
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Runs an `cfg.n`-replica Iniva cluster over loopback TCP with **durable
+/// chain state**: each replica journals its commits and views to a
+/// write-ahead log under `wal_root/replica-<id>/` (`iniva-storage`), and
+/// the plan's process-level faults actually happen — [`FaultEvent::Crash`]
+/// tears the victim's entire runtime and sockets down (the in-process
+/// equivalent of `kill -9`), and [`FaultEvent::RestartFromDisk`] rebuilds
+/// replica + transport from the TOML-equivalent peer list and the WAL,
+/// after which the replica rehydrates its committed prefix from disk and
+/// catches up via `StateRequest`/`StateResponse`.
+///
+/// `wal_root` is created if needed; pre-existing replica logs are
+/// recovered (so a harness can also be used to *resume* a cluster).
+/// `options` tunes every transport — chaos tests pass a small
+/// [`TransportOptions::lane_capacity`] so that peers shed (rather than
+/// replay) most of the history a dead replica missed, forcing the
+/// restarted replica to close the gap through state transfer instead of
+/// lane-backlog replay.
+///
+/// # Errors
+/// Propagates socket, WAL-I/O and thread setup failures.
+pub fn run_local_iniva_cluster_with_wal(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
+    wal_root: &Path,
+    options: TransportOptions,
+) -> io::Result<ClusterRun> {
+    let n = cfg.n;
+    std::fs::create_dir_all(wal_root)?;
+    let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(loopback))
+        .collect::<io::Result<_>>()?;
+    let peers: Vec<(u32, SocketAddr)> = listeners
+        .iter()
+        .enumerate()
+        .map(|(id, l)| Ok((id as u32, l.local_addr()?)))
+        .collect::<io::Result<_>>()?;
+
+    let scheme = Arc::new(SimScheme::new(n, b"live-cluster"));
+    let faults = ClusterFaults::new(n);
+    for ev in plan.events().iter().filter(|ev| ev.at == 0) {
+        faults.apply(&ev.fault);
+    }
+
+    let slots: Vec<Mutex<Option<TcpListener>>> =
+        listeners.into_iter().map(|l| Mutex::new(Some(l))).collect();
+    let nodes = launch_cluster(n, plan, &faults, duration, |id, gate| {
+        let listener = slots[id]
+            .lock()
+            .expect("listener handoff")
+            .take()
+            .expect("one listener per replica id");
+        let cfg = cfg.clone();
+        let scheme = Arc::clone(&scheme);
+        let peers = peers.clone();
+        let addr = peers[id].1;
+        let node_faults = faults.node(id as u32);
+        let link_faults = faults.links();
+        let control = faults.control(id as u32);
+        let wal_dir: PathBuf = wal_root.join(format!("replica-{id}"));
+        thread::Builder::new()
+            .name(format!("iniva-replica-{id}"))
+            .spawn(move || -> io::Result<NodeRun> {
+                replica_lifecycle(
+                    id as u32,
+                    cfg,
+                    scheme,
+                    &peers,
+                    listener,
+                    addr,
+                    options,
+                    node_faults,
+                    link_faults,
+                    control,
+                    gate,
+                    duration,
+                    cpu,
+                    &wal_dir,
+                )
+            })
+    })?;
+    Ok(ClusterRun { nodes, duration })
+}
+
+/// One replica's process lifecycle in a WAL-enabled run: (re)build the
+/// transport and the WAL-recovered replica, run until the deadline or a
+/// process-level fault, tear down, repeat. Each incarnation opens the
+/// log, rehydrates the committed prefix and resumes at the recovered
+/// view — the same code path an actual restarted `live_cluster --config
+/// --id --wal-dir` process takes.
+#[allow(clippy::too_many_arguments)]
+fn replica_lifecycle(
+    id: NodeId,
+    cfg: InivaConfig,
+    scheme: Arc<SimScheme>,
+    peers: &[(u32, SocketAddr)],
+    listener: TcpListener,
+    addr: SocketAddr,
+    options: TransportOptions,
+    node_faults: Arc<NodeFaults>,
+    link_faults: Arc<LinkFaults>,
+    control: Arc<NodeControl>,
+    gate: Arc<StartGate>,
+    duration: Duration,
+    cpu: CpuMode,
+    wal_dir: &Path,
+) -> io::Result<NodeRun> {
+    let mut pending_listener = Some(listener);
+    if !gate.arrive_and_wait() {
+        return Err(io::Error::other("cluster setup aborted"));
+    }
+    let time_zero = Instant::now();
+    let deadline = time_zero + duration;
+    let mut runtime_total = RuntimeStats::default();
+    let mut transport_total = TransportSnapshot::default();
+    let mut last_incarnation: Option<InivaReplica<SimScheme>> = None;
+    loop {
+        if control.is_down() {
+            // The process is dead: close the listening socket too, so
+            // peers' dials are refused instead of queueing against a
+            // corpse's backlog.
+            pending_listener = None;
+        }
+        if !control.wait_runnable(deadline) {
+            break; // still down when the run ended
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        let listener = match pending_listener.take() {
+            Some(l) => l,
+            None => bind_retry(addr, deadline)?,
+        };
+        let transport = Transport::start_with(
+            id,
+            listener,
+            peers,
+            options,
+            Arc::clone(&node_faults),
+            Arc::clone(&link_faults),
+        )?;
+        let (wal, recovered) = ChainWal::<SimScheme>::open(wal_dir)?;
+        let mut replica = InivaReplica::recover(
+            id,
+            cfg.clone(),
+            Arc::clone(&scheme),
+            recovered.commits,
+            recovered.view,
+        );
+        replica.chain.set_commit_sink(Box::new(wal));
+        // Every incarnation shares the cluster's time zero, so metrics
+        // stay on one time axis across restarts.
+        let mut runtime = Runtime::with_epoch(replica, transport, cpu, time_zero);
+        runtime.run_deadline(deadline, || control.stop_requested());
+        let (replica, stats, snapshot) = runtime.finish();
+        fold_runtime(&mut runtime_total, stats);
+        fold_snapshot(&mut transport_total, snapshot);
+        last_incarnation = Some(replica);
+    }
+    let replica = match last_incarnation {
+        Some(r) => r,
+        None => {
+            // Crashed at time zero and never restarted: report whatever
+            // the disk holds (an empty log for a fresh run).
+            let (_, recovered) = ChainWal::<SimScheme>::open(wal_dir)?;
+            InivaReplica::recover(id, cfg, scheme, recovered.commits, recovered.view)
+        }
+    };
+    Ok(NodeRun {
+        replica,
+        runtime: runtime_total,
+        transport: transport_total,
+    })
 }

@@ -31,7 +31,13 @@
 //!   `live_cluster` example and the transport benchmark baseline; its
 //!   [`ClusterFaults`](cluster::ClusterFaults) handle replays an
 //!   `iniva_net::faults::FaultPlan` against the live cluster, so the same
-//!   seeded chaos scenario runs on the simulator and on sockets.
+//!   seeded chaos scenario runs on the simulator and on sockets. The
+//!   WAL-enabled variant
+//!   ([`run_local_iniva_cluster_with_wal`](cluster::run_local_iniva_cluster_with_wal))
+//!   adds process-level chaos: `Crash` tears a replica's entire runtime
+//!   and sockets down, and `RestartFromDisk` rebuilds it from its
+//!   `iniva-storage` write-ahead log, after which it catches up via
+//!   state transfer.
 
 #![warn(missing_docs)]
 

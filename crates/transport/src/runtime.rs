@@ -72,11 +72,26 @@ where
 {
     /// Creates a runtime for `actor` over `transport`.
     pub fn new(actor: A, transport: Transport<A::Msg>, cpu_mode: CpuMode) -> Self {
+        Self::with_epoch(actor, transport, cpu_mode, Instant::now())
+    }
+
+    /// Creates a runtime whose clock reads nanoseconds since `epoch`
+    /// rather than since construction. A restart-capable harness passes
+    /// the *cluster's* time zero here, so a replica rebuilt from its WAL
+    /// mid-run keeps stamping metrics (commit points, latencies) on the
+    /// same time axis as every other replica — and as its own previous
+    /// incarnation.
+    pub fn with_epoch(
+        actor: A,
+        transport: Transport<A::Msg>,
+        cpu_mode: CpuMode,
+        epoch: Instant,
+    ) -> Self {
         Runtime {
             actor,
             transport,
             cpu_mode,
-            epoch: Instant::now(),
+            epoch,
             timers: BinaryHeap::new(),
             timer_seq: 0,
             stats: RuntimeStats::default(),
@@ -115,9 +130,17 @@ where
     /// Runs the event loop for `wall` of real time, calling `on_start`
     /// first if this is the first run.
     pub fn run_for(&mut self, wall: Duration) {
-        let deadline = Instant::now() + wall;
+        self.run_deadline(Instant::now() + wall, || false);
+    }
+
+    /// Runs the event loop until `deadline`, or until `stop` returns
+    /// `true` (polled once per loop iteration, so within ~50 ms of being
+    /// raised). The stop hook is what lets a restart-capable harness tear
+    /// a replica down mid-run — a process-level `kill -9` — and later
+    /// rebuild it from its write-ahead log.
+    pub fn run_deadline<F: Fn() -> bool>(&mut self, deadline: Instant, stop: F) {
         let faults = self.transport.node_faults();
-        while Instant::now() < deadline {
+        while Instant::now() < deadline && !stop() {
             // A killed node is inert: due timers are discarded (as the
             // simulator discards a crashed node's events) and inbound
             // messages drain to the floor until a heal. The start event is

@@ -28,11 +28,23 @@
 //! ```sh
 //! cargo run --release --example live_cluster -- --chaos
 //! ```
+//!
+//! Crash recovery — give a `--config/--id` replica a WAL directory and it
+//! journals every commit and view to disk; `kill -9` it mid-run, rerun
+//! the *same* command, and the restarted process rehydrates its committed
+//! prefix from the log, fetches what it missed from the peers via state
+//! transfer, and resumes voting:
+//!
+//! ```sh
+//! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 2 --wal-dir /tmp/iniva-wal
+//! # ... kill -9 that process, then run the identical command again
+//! ```
 
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_consensus::PerfSummary;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::{NetConfig, Simulation, SECS};
+use iniva_storage::ChainWal;
 use iniva_transport::cluster::{
     chaos_demo_scenario, run_local_iniva_cluster, run_local_iniva_cluster_with_plan,
 };
@@ -90,7 +102,7 @@ fn in_process(n: usize, internal: u32, rate: u64, batch: u32, payload: u32, dura
     println!("frames shipped          : {sent} ({bytes} body bytes, {dups} duplicates dropped)");
 }
 
-fn one_process(path: &str, id: u32) {
+fn one_process(path: &str, id: u32, wal_dir: Option<&str>) {
     let text = std::fs::read_to_string(path).expect("read config file");
     let cluster: ClusterConfig = ClusterConfig::parse(&text).unwrap_or_else(|e| panic!("{e}"));
     let cfg = iniva_config(
@@ -109,7 +121,28 @@ fn one_process(path: &str, id: u32) {
     );
     let transport = Transport::bind(id, addr, &cluster.peer_addrs()).expect("bind listener");
     let scheme = Arc::new(SimScheme::new(cluster.n(), b"live-cluster"));
-    let replica = InivaReplica::new(id, cfg, scheme);
+    // With a WAL directory this process is durable: it rehydrates the
+    // committed prefix a previous incarnation logged (state transfer
+    // closes the rest of the gap once a peer message reveals it) and
+    // journals every commit and view entry from here on — the kill -9
+    // + restart demo from the module docs.
+    let replica = match wal_dir {
+        None => InivaReplica::new(id, cfg, scheme),
+        Some(dir) => {
+            let dir = std::path::Path::new(dir).join(format!("replica-{id}"));
+            let (wal, recovered) = ChainWal::<SimScheme>::open(&dir).expect("open write-ahead log");
+            println!(
+                "WAL {}: recovered {} committed blocks, view {}",
+                dir.display(),
+                recovered.commits.len(),
+                recovered.view
+            );
+            let mut replica =
+                InivaReplica::recover(id, cfg, scheme, recovered.commits, recovered.view);
+            replica.chain.set_commit_sink(Box::new(wal));
+            replica
+        }
+    };
     let mut runtime = Runtime::new(replica, transport, CpuMode::Real);
     runtime.run_for(duration);
     let (replica, stats, transport) = runtime.finish();
@@ -128,6 +161,13 @@ fn one_process(path: &str, id: u32) {
         transport.msgs_received,
         transport.reconnects,
     );
+    let m = &replica.chain.metrics;
+    if m.recovered_blocks > 0 || m.state_transfer_blocks > 0 {
+        println!(
+            "crash recovery: {} blocks rehydrated from the WAL, {} fetched via state transfer",
+            m.recovered_blocks, m.state_transfer_blocks
+        );
+    }
 }
 
 /// The chaos demo: the exact scenario the acceptance test pins
@@ -222,7 +262,7 @@ fn main() {
             .expect("--config needs --id <replica id>")
             .parse()
             .expect("--id wants a number");
-        one_process(&path, id);
+        one_process(&path, id, flag("--wal-dir").as_deref());
         return;
     }
     let n = parse("--n", 7) as usize;

@@ -4,5 +4,6 @@ pub use iniva_crypto as crypto;
 pub use iniva_gosig as gosig;
 pub use iniva_net as net;
 pub use iniva_sim as sim;
+pub use iniva_storage as storage;
 pub use iniva_transport as transport;
 pub use iniva_tree as tree;
