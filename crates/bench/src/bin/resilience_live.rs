@@ -62,7 +62,7 @@ fn main() {
 
             let sim = resilience::run_sim_plan(&cfg, &plan, faults, observer, duration_secs, seed);
 
-            let run = run_local_iniva_cluster_with_plan(
+            let run = run_local_iniva_cluster_with_plan::<iniva_crypto::sim_scheme::SimScheme>(
                 &cfg,
                 Duration::from_secs(duration_secs),
                 CpuMode::Real,

@@ -118,6 +118,20 @@ pub trait CommitSink<S: VoteScheme> {
     /// replica had observed that certificate by commit time.
     fn committed(&mut self, block: &Block, qc: Option<&Qc<S>>);
 
+    /// A chain of blocks joined the committed prefix in one step (the
+    /// three-chain rule can commit a tip plus several ancestors at once).
+    /// The default forwards each block to [`Self::committed`]; durable
+    /// sinks override it to persist the whole batch under a **single**
+    /// sync — with BLS-sized QC records, per-block fsyncs would multiply
+    /// the commit path's sync stalls. The durability contract is
+    /// batch-level: when this returns, *every* entry is as durable as the
+    /// sink makes it.
+    fn committed_batch(&mut self, items: &[(Block, Option<Qc<S>>)]) {
+        for (block, qc) in items {
+            self.committed(block, qc.as_ref());
+        }
+    }
+
     /// The replica entered `view` (for restoring pacemaker position on
     /// recovery). Default: ignored.
     fn entered_view(&mut self, _view: u64) {}
@@ -463,12 +477,21 @@ impl<S: VoteScheme> ChainState<S> {
                 None => break,
             }
         }
-        for b in chain.iter().rev() {
+        // Persist the whole newly committed suffix under one sink call
+        // (one fsync for a durable sink) *before* any of it is acted on.
+        let batch: Vec<(Block, Option<Qc<S>>)> = chain
+            .into_iter()
+            .rev()
+            .map(|b| {
+                let qc = self.seen_qcs.remove(&b.hash());
+                (b, qc)
+            })
+            .collect();
+        if let Some(sink) = &mut self.sink {
+            sink.committed_batch(&batch);
+        }
+        for (b, qc) in batch {
             let hash = b.hash();
-            let qc = self.seen_qcs.remove(&hash);
-            if let Some(sink) = &mut self.sink {
-                sink.committed(b, qc.as_ref());
-            }
             if let Some(qc) = qc {
                 if self.committed_qcs.len() < COMMITTED_LOG_CAP {
                     self.committed_qcs.insert(b.height, qc);

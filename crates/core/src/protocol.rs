@@ -23,7 +23,7 @@ use iniva_consensus::types::{
 use iniva_crypto::multisig::VoteScheme;
 use iniva_crypto::shuffle::Assignment;
 use iniva_net::cost::CostModel;
-use iniva_net::sync::{StateRequest, StateResponse, MAX_STATE_BLOCKS};
+use iniva_net::sync::{StateRequest, StateResponse, MAX_STATE_BLOCKS, MAX_STATE_RESPONSE_BYTES};
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use iniva_net::{Actor, Context, NodeId, Time};
 use iniva_tree::{Role, Topology, TreeView};
@@ -90,6 +90,19 @@ impl InivaConfig {
             cost: CostModel::default(),
             epoch_seed: [7u8; 32],
         }
+    }
+
+    /// Retunes the config for **genuinely paid** crypto (e.g. `BlsScheme`
+    /// over the live transport): zeroes the modeled CPU cost — the
+    /// pairing work now burns real CPU inside the handlers, and charging
+    /// the calibrated model on top would double-count it — and widens Δ
+    /// and the view timeout so the timer heuristics cover the ~50 ms a
+    /// real aggregate verification takes on the root's critical path
+    /// (several verifications deep per view).
+    pub fn tune_for_real_crypto(&mut self) {
+        self.cost = self.cost.scaled(0.0);
+        self.delta = 300 * iniva_net::MILLIS;
+        self.view_timeout = 2 * iniva_net::SECS;
     }
 
     fn sc_timer(&self) -> Time {
@@ -314,7 +327,10 @@ pub struct InivaReplica<S: VoteScheme> {
     last_state_request: Option<(u64, Time)>,
 }
 
-impl<S: VoteScheme> InivaReplica<S> {
+impl<S: VoteScheme> InivaReplica<S>
+where
+    S::Aggregate: WireEncode,
+{
     /// Creates a replica.
     pub fn new(id: u32, cfg: InivaConfig, scheme: Arc<S>) -> Self {
         let chain = ChainState::new(cfg.request_rate);
@@ -928,10 +944,16 @@ impl<S: VoteScheme> InivaReplica<S> {
         );
     }
 
-    /// Serves a [`StateRequest`]: up to [`MAX_STATE_BLOCKS`] consecutive
-    /// committed blocks (with their QCs) from the requested height. An
-    /// empty answerable range sends nothing — the requester retries
-    /// against the next peer it hears from.
+    /// Serves a [`StateRequest`]: committed blocks (with their QCs) from
+    /// the requested height, bounded by **encoded bytes**
+    /// ([`MAX_STATE_RESPONSE_BYTES`]) rather than block count — a QC's
+    /// encoding grows with its signer set (48 bytes of compressed point
+    /// plus per-signer entries under BLS), so a count-only cap could
+    /// overshoot the frame budget on large committees. At least one entry
+    /// always ships (progress even past an oversized one);
+    /// [`MAX_STATE_BLOCKS`] still caps the entry count for the decoder's
+    /// sake. An empty answerable range sends nothing — the requester
+    /// retries against the next peer it hears from.
     fn handle_state_request(
         &mut self,
         ctx: &mut Context<InivaMsg<S>>,
@@ -943,9 +965,19 @@ impl<S: VoteScheme> InivaReplica<S> {
         }
         let mut blocks = Vec::new();
         let mut qcs = Vec::new();
-        let mut bytes = 4usize;
+        let mut modeled = 4usize;
+        let mut encoded = 4usize; // count prefix
         for (block, qc) in self.chain.committed_range(from_height, MAX_STATE_BLOCKS) {
-            bytes += block.wire_bytes() + qc.wire_bytes(&self.scheme);
+            // Measuring by actually encoding costs a second serialization
+            // when the transport later ships the response; accepted —
+            // state transfer is a rare catch-up path, and arithmetic size
+            // formulas would silently drift from the real codec.
+            let entry = block.to_wire().len() + qc.to_wire().len();
+            if !blocks.is_empty() && encoded + entry > MAX_STATE_RESPONSE_BYTES {
+                break;
+            }
+            encoded += entry;
+            modeled += block.wire_bytes() + qc.wire_bytes(&self.scheme);
             blocks.push(block.clone());
             qcs.push(qc.clone());
         }
@@ -955,7 +987,7 @@ impl<S: VoteScheme> InivaReplica<S> {
         ctx.send(
             from,
             InivaMsg::StateResponse(StateResponse { blocks, qcs }),
-            bytes,
+            modeled,
         );
     }
 
@@ -1032,7 +1064,10 @@ pub fn tree_for_view(
     TreeView::with_assignment(topology, Assignment::from_permutation(perm), view)
 }
 
-impl<S: VoteScheme> Actor for InivaReplica<S> {
+impl<S: VoteScheme> Actor for InivaReplica<S>
+where
+    S::Aggregate: WireEncode,
+{
     type Msg = InivaMsg<S>;
 
     fn on_start(&mut self, ctx: &mut Context<InivaMsg<S>>) {
@@ -1098,6 +1133,134 @@ impl<S: VoteScheme> Actor for InivaReplica<S> {
             }
             _ => unreachable!("unknown timer kind"),
         }
+    }
+}
+
+#[cfg(test)]
+mod state_sync_tests {
+    use super::*;
+    use iniva_crypto::multisig::Multiplicities;
+    use iniva_crypto::sim_scheme::{SimAggregate, SimScheme, Tag};
+    use iniva_net::wire::Codec;
+
+    /// A committed prefix of `count` chained blocks, each certified by a
+    /// QC carrying `signers` distinct signers (what a long-lived large
+    /// committee accumulates). Serving never verifies, so the aggregates
+    /// are constructed directly — `count × signers` sequential
+    /// sign/combine calls would be quadratic in the multiplicity-table
+    /// size and dominate test wall time at the sizes used here.
+    fn committed_prefix(count: u64, signers: u32) -> Vec<(Block, Option<Qc<SimScheme>>)> {
+        let mults = Multiplicities::from_iter((0..signers).map(|s| (s, 1)));
+        let mut parent = GENESIS_HASH;
+        let mut out = Vec::new();
+        for h in 1..=count {
+            let block = Block {
+                view: h,
+                height: h,
+                parent,
+                proposer: 0,
+                batch_start: 0,
+                batch_len: 0,
+                payload_per_req: 0,
+            };
+            parent = block.hash();
+            let qc = Qc {
+                block_hash: block.hash(),
+                view: h,
+                height: h,
+                agg: SimAggregate {
+                    tag: Tag(h as u128, 0),
+                    mults: mults.clone(),
+                },
+            };
+            out.push((block, Some(qc)));
+        }
+        out
+    }
+
+    /// Serves one StateRequest against a replica holding `prefix`,
+    /// returning the responded chunk (None if nothing was sent).
+    fn serve(
+        scheme: &Arc<SimScheme>,
+        cfg: &InivaConfig,
+        prefix: Vec<(Block, Option<Qc<SimScheme>>)>,
+        from_height: u64,
+    ) -> Option<StateResponse<Block, Qc<SimScheme>>> {
+        let view = prefix.last().map_or(1, |(b, _)| b.view + 1);
+        let mut replica = InivaReplica::recover(0, cfg.clone(), Arc::clone(scheme), prefix, view);
+        let mut ctx = Context::external(0, 0);
+        replica.handle_state_request(&mut ctx, 1, from_height);
+        let effects = ctx.into_effects();
+        let mut responses = effects.outbox.into_iter().map(|(to, msg, _)| {
+            assert_eq!(to, 1);
+            match msg {
+                InivaMsg::StateResponse(resp) => resp,
+                other => panic!("unexpected message {other:?}"),
+            }
+        });
+        responses.next()
+    }
+
+    /// With a large committee the per-entry QC encoding dominates, and the
+    /// chunk must stop at the encoded-byte budget — well before the
+    /// MAX_STATE_BLOCKS count cap — with the boundary exactly tight: one
+    /// more entry would cross it.
+    #[test]
+    fn state_response_chunks_by_encoded_bytes_at_the_boundary() {
+        let n = 200usize;
+        let signers = 150u32;
+        let scheme = Arc::new(SimScheme::new(n, b"state-sync"));
+        let cfg = InivaConfig::for_tests(n, 2);
+        let total = 300u64;
+        let prefix = committed_prefix(total, signers);
+
+        let resp = serve(&scheme, &cfg, prefix.clone(), 1).expect("a chunk is served");
+        let served = resp.blocks.len() as u64;
+        assert!(
+            served < total,
+            "byte budget must bind before the range ends"
+        );
+        assert!(served > 0);
+        let body = resp.to_frame().len();
+        assert!(
+            body <= MAX_STATE_RESPONSE_BYTES,
+            "encoded chunk {body} exceeds the byte budget"
+        );
+        // Tight at the boundary: the first unserved entry would not fit.
+        let (next_block, next_qc) = &prefix[served as usize];
+        let next = next_block.to_wire().len() + next_qc.as_ref().unwrap().to_wire().len();
+        assert!(
+            body + next > MAX_STATE_RESPONSE_BYTES,
+            "chunk stopped early: {body} + {next} fits the budget"
+        );
+
+        // Follow-up rounds (the requester's gap detector re-fires) cover
+        // the remainder: chunks tile the range without holes or overlap.
+        let resp2 = serve(&scheme, &cfg, prefix.clone(), served + 1).expect("second chunk");
+        assert_eq!(resp2.blocks[0].height, served + 1);
+        let covered = served + resp2.blocks.len() as u64;
+        assert!(covered > served, "second round advances");
+    }
+
+    /// A single entry larger than the whole budget must still ship —
+    /// alone — or the requester would be stranded behind it forever.
+    #[test]
+    fn oversized_single_entry_still_makes_progress() {
+        // ~22k signers × 12 bytes/entry ≈ 264 KiB: one QC alone crosses
+        // MAX_STATE_RESPONSE_BYTES (256 KiB).
+        let n = 22_000usize;
+        let scheme = Arc::new(SimScheme::new(n, b"state-sync-huge"));
+        let cfg = InivaConfig::for_tests(n, 2);
+        let prefix = committed_prefix(2, n as u32);
+        let entry_bytes =
+            prefix[0].0.to_wire().len() + prefix[0].1.as_ref().unwrap().to_wire().len();
+        assert!(entry_bytes > MAX_STATE_RESPONSE_BYTES, "test premise");
+
+        let resp = serve(&scheme, &cfg, prefix.clone(), 1).expect("progress");
+        assert_eq!(resp.blocks.len(), 1, "exactly the oversized head entry");
+        assert_eq!(resp.blocks[0].height, 1);
+        let resp2 = serve(&scheme, &cfg, prefix, 2).expect("next round");
+        assert_eq!(resp2.blocks[0].height, 2);
     }
 }
 
@@ -1233,11 +1396,17 @@ mod wire_tests {
 
     #[test]
     fn protocol_messages_satisfy_the_codec_contract() {
-        // Compile-time check that both backends can ship these enums.
+        // Compile-time check that both backends can ship these enums,
+        // under either vote scheme.
+        use iniva_crypto::bls::{BlsAggregate, BlsScheme};
         assert_codec::<InivaMsg<SimScheme>>();
         assert_codec::<iniva_consensus::StarMsg<SimScheme>>();
         assert_codec::<SimAggregate>();
         assert_codec::<Qc<SimScheme>>();
+        assert_codec::<InivaMsg<BlsScheme>>();
+        assert_codec::<iniva_consensus::StarMsg<BlsScheme>>();
+        assert_codec::<BlsAggregate>();
+        assert_codec::<Qc<BlsScheme>>();
         assert_codec::<Block>();
     }
 }

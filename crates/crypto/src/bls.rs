@@ -13,8 +13,9 @@ use crate::curve::Point;
 use crate::fields::Fr;
 use crate::g1::{self, G1};
 use crate::g2::{self, G2};
-use crate::multisig::{Multiplicities, SignerId, VoteScheme};
+use crate::multisig::{Multiplicities, SignerId, VoteScheme, WireScheme};
 use crate::sha256::sha256_many;
+use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 
 /// A BLS secret key (an `Fr` scalar).
 #[derive(Clone, Debug)]
@@ -57,6 +58,51 @@ pub struct BlsAggregate {
     pub point: G1,
     /// Claimed multiset of signers.
     pub mults: Multiplicities,
+}
+
+// Jacobian coordinates are not canonical, so equality goes through the
+// group law; the multiplicity vector is part of the aggregate's identity.
+impl PartialEq for BlsAggregate {
+    fn eq(&self, other: &Self) -> bool {
+        self.point.eq_point(&other.point) && self.mults == other.mults
+    }
+}
+
+impl Eq for BlsAggregate {}
+
+impl WireEncode for BlsAggregate {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_array(&g1::serialize_compressed(&self.point));
+        self.mults.encode(enc);
+    }
+}
+
+impl WireDecode for BlsAggregate {
+    fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+        let bytes = dec.get_array::<48>()?;
+        // Full validation before the point can reach a pairing: canonical
+        // flags, x < p, on-curve, and inside the order-r subgroup. A
+        // non-subgroup point would let a hostile peer smuggle a low-order
+        // component past verification.
+        let point = g1::deserialize_compressed(&bytes).ok_or(DecodeError::Malformed {
+            context: "BlsAggregate point is not a valid compressed G1 subgroup element",
+        })?;
+        let mults = Multiplicities::decode(dec)?;
+        Ok(BlsAggregate { point, mults })
+    }
+}
+
+impl PublicKey {
+    /// Serializes to the 96-byte compressed G2 format.
+    pub fn to_compressed(&self) -> [u8; 96] {
+        g2::serialize_compressed(&self.0)
+    }
+
+    /// Deserializes a compressed G2 public key with full subgroup
+    /// validation; `None` on any malformed or non-subgroup encoding.
+    pub fn from_compressed(bytes: &[u8; 96]) -> Option<Self> {
+        g2::deserialize_compressed(bytes).map(PublicKey)
+    }
 }
 
 /// A committee keyring implementing [`VoteScheme`] with real BLS crypto.
@@ -131,6 +177,15 @@ impl VoteScheme for BlsScheme {
 
     fn committee_size(&self) -> usize {
         self.publics.len()
+    }
+}
+
+impl WireScheme for BlsScheme {
+    const NAME: &'static str = "bls";
+    const REAL_CRYPTO: bool = true;
+
+    fn new_committee(n: usize, seed: &[u8]) -> Self {
+        BlsScheme::new(n, seed)
     }
 }
 
@@ -218,5 +273,66 @@ mod tests {
             mults: Multiplicities::new(),
         };
         assert!(s.verify(b"m", &empty));
+    }
+
+    #[test]
+    fn aggregate_wire_roundtrip_and_verifies() {
+        use iniva_net::wire::Codec;
+        let s = scheme();
+        let m = b"wire";
+        let agg = s.combine(&s.scale(&s.sign(1, m), 2), &s.sign(3, m));
+        let frame = agg.to_frame();
+        // 48-byte compressed point + 4-byte count + 2 × 12-byte entries.
+        assert_eq!(frame.len(), 48 + 4 + 2 * 12);
+        let back = BlsAggregate::from_frame(frame.clone()).unwrap();
+        assert_eq!(back, agg);
+        assert!(s.verify(m, &back));
+        // Canonical: re-encoding reproduces the exact bytes.
+        assert_eq!(&back.to_frame()[..], &frame[..]);
+        // Truncations error cleanly.
+        for cut in [0, 20, 47, 48, frame.len() - 1] {
+            assert!(BlsAggregate::from_frame(frame.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_rejects_tampered_point() {
+        use iniva_net::wire::Codec;
+        let s = scheme();
+        let agg = s.sign(0, b"m");
+        let frame = agg.to_frame();
+        // Flip a bit in x: overwhelmingly off-curve or outside the
+        // subgroup; if the mutated x still decompresses, the signature
+        // must no longer verify.
+        let mut bytes = frame.to_vec();
+        bytes[30] ^= 0x04;
+        match BlsAggregate::from_frame(bytes::Bytes::from(bytes)) {
+            Err(DecodeError::Malformed { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(mutated) => assert!(!s.verify(b"m", &mutated)),
+        }
+    }
+
+    #[test]
+    fn empty_aggregate_roundtrips_as_infinity() {
+        use iniva_net::wire::Codec;
+        let empty = BlsAggregate {
+            point: Point::infinity(),
+            mults: Multiplicities::new(),
+        };
+        let back = BlsAggregate::from_frame(empty.to_frame()).unwrap();
+        assert!(back.point.is_infinity());
+        assert!(back.mults.is_empty());
+    }
+
+    #[test]
+    fn public_key_compressed_roundtrip() {
+        let s = scheme();
+        let pk = s.public_key(2).unwrap();
+        let back = PublicKey::from_compressed(&pk.to_compressed()).unwrap();
+        assert!(back.0.eq_point(&pk.0));
+        let mut bad = pk.to_compressed();
+        bad[0] &= 0x7f;
+        assert!(PublicKey::from_compressed(&bad).is_none());
     }
 }

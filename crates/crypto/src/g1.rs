@@ -2,8 +2,11 @@
 //!
 //! Provides the derived generator, hash-to-curve (simplified
 //! try-and-increment; see crate docs for the substitution rationale),
-//! cofactor clearing, subgroup checks and 96-byte uncompressed
-//! zcash-format serialization (compatible with `blst`).
+//! cofactor clearing, subgroup checks, 96-byte uncompressed and 48-byte
+//! compressed zcash-format serialization (compatible with `blst`). The
+//! compressed form is what BLS aggregates ship over the live transport:
+//! 381 bits of `x` plus three flag bits (compressed / infinity / y-sign),
+//! with full on-curve **and** subgroup validation on decode.
 
 use crate::curve::{Affine, Point};
 use crate::fields::Fp;
@@ -87,6 +90,63 @@ pub fn serialize(p: &G1) -> [u8; 96] {
     out
 }
 
+/// True when `y` is the lexicographically largest of `{y, -y}` — the
+/// compressed-format sign convention of the zcash/blst encoding.
+fn y_is_largest(y: &Fp) -> bool {
+    y.to_nat() > y.neg().to_nat()
+}
+
+/// Serializes to the 48-byte compressed zcash/blst format: big-endian `x`
+/// with flag bits in byte 0 — `0x80` (compressed), `0x40` (infinity),
+/// `0x20` (`y` is the lexicographically largest root).
+pub fn serialize_compressed(p: &G1) -> [u8; 48] {
+    let mut out = [0u8; 48];
+    match p.to_affine() {
+        Affine::Infinity => {
+            out[0] = 0xc0;
+        }
+        Affine::Coords { x, y } => {
+            out.copy_from_slice(&x.to_be_bytes());
+            out[0] |= 0x80;
+            if y_is_largest(&y) {
+                out[0] |= 0x20;
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes the 48-byte compressed format. Returns `None` for
+/// malformed encodings (missing compressed flag, non-canonical infinity,
+/// `x >= p`), `x` values off the curve, or decompressed points outside the
+/// order-`r` subgroup — the checks a verifier must run before a hostile
+/// peer's point touches a pairing.
+pub fn deserialize_compressed(bytes: &[u8; 48]) -> Option<G1> {
+    if bytes[0] & 0x80 == 0 {
+        return None; // uncompressed form not accepted here
+    }
+    if bytes[0] & 0x40 != 0 {
+        let rest_zero = bytes[0] == 0xc0 && bytes[1..].iter().all(|&b| b == 0);
+        return rest_zero.then(Point::infinity);
+    }
+    let sign = bytes[0] & 0x20 != 0;
+    let mut x_bytes = *bytes;
+    x_bytes[0] &= 0x1f;
+    let x_nat = Nat::from_be_bytes(&x_bytes);
+    let p_mod = &curve_params().p;
+    if &x_nat >= p_mod {
+        return None;
+    }
+    let x = Fp::from_nat(&x_nat);
+    let rhs = x.square().mul(&x).add(&b());
+    let mut y = rhs.sqrt()?;
+    if y_is_largest(&y) != sign {
+        y = y.neg();
+    }
+    let pt = Point::from_affine(&Affine::Coords { x, y });
+    in_subgroup(&pt).then_some(pt)
+}
+
 /// Deserializes the 96-byte uncompressed format. Returns `None` for
 /// malformed encodings, off-curve points, or points outside the subgroup.
 pub fn deserialize(bytes: &[u8; 96]) -> Option<G1> {
@@ -156,5 +216,94 @@ mod tests {
         let mut bytes = serialize(&generator());
         bytes[0] |= 0x80;
         assert!(deserialize(&bytes).is_none());
+    }
+
+    #[test]
+    fn compressed_roundtrip_both_signs() {
+        // Consecutive multiples hit both y-sign classes.
+        for k in 1..=8u64 {
+            let p = generator().mul_u64(k);
+            let bytes = serialize_compressed(&p);
+            assert_eq!(bytes[0] & 0x80, 0x80, "compressed flag set");
+            let q = deserialize_compressed(&bytes).expect("valid encoding");
+            assert!(p.eq_point(&q), "k={k}");
+        }
+        // The two signs actually occur (otherwise the flag is untested).
+        let signs: std::collections::HashSet<u8> = (1..=8u64)
+            .map(|k| serialize_compressed(&generator().mul_u64(k))[0] & 0x20)
+            .collect();
+        assert_eq!(signs.len(), 2, "both sign-bit values exercised");
+    }
+
+    #[test]
+    fn compressed_roundtrip_infinity() {
+        let bytes = serialize_compressed(&Point::infinity());
+        assert_eq!(bytes[0], 0xc0);
+        assert!(bytes[1..].iter().all(|&b| b == 0));
+        assert!(deserialize_compressed(&bytes).unwrap().is_infinity());
+        // Infinity with stray bits is rejected, not normalized.
+        let mut bad = bytes;
+        bad[20] = 1;
+        assert!(deserialize_compressed(&bad).is_none());
+        let mut bad = bytes;
+        bad[0] |= 0x20;
+        assert!(deserialize_compressed(&bad).is_none());
+    }
+
+    #[test]
+    fn compressed_rejects_uncompressed_flag_and_oversized_x() {
+        let mut bytes = serialize_compressed(&generator());
+        bytes[0] &= 0x7f; // clear the compressed flag
+        assert!(deserialize_compressed(&bytes).is_none());
+        // x >= p: all-ones mantissa is far above the 381-bit modulus.
+        let mut bytes = [0xffu8; 48];
+        bytes[0] = 0x9f;
+        assert!(deserialize_compressed(&bytes).is_none());
+    }
+
+    #[test]
+    fn compressed_rejects_x_off_curve() {
+        // Walk x upward from a valid point until x^3 + 4 is a non-residue;
+        // that encoding must fail decompression (sqrt has no root).
+        let p = generator().mul_u64(5);
+        let Affine::Coords { mut x, .. } = p.to_affine() else {
+            panic!("finite point");
+        };
+        loop {
+            x = x.add(&Fp::from_u64(1));
+            let rhs = x.square().mul(&x).add(&b());
+            if rhs.sqrt().is_none() {
+                let mut bytes = [0u8; 48];
+                bytes.copy_from_slice(&x.to_be_bytes());
+                bytes[0] |= 0x80;
+                assert!(deserialize_compressed(&bytes).is_none());
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_non_subgroup_point() {
+        // A curve point outside the r-subgroup (found by perturbing x until
+        // the curve equation holds but cofactor clearing is missing) must
+        // be rejected by the decoder's subgroup check.
+        let mut x = Fp::from_u64(1);
+        loop {
+            let rhs = x.square().mul(&x).add(&b());
+            if let Some(y) = rhs.sqrt() {
+                let pt = Point::from_affine(&Affine::Coords { x, y });
+                if !in_subgroup(&pt) {
+                    let mut bytes = [0u8; 48];
+                    bytes.copy_from_slice(&x.to_be_bytes());
+                    bytes[0] |= 0x80;
+                    if y_is_largest(&y) {
+                        bytes[0] |= 0x20;
+                    }
+                    assert!(deserialize_compressed(&bytes).is_none());
+                    return;
+                }
+            }
+            x = x.add(&Fp::from_u64(1));
+        }
     }
 }

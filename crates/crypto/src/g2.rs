@@ -77,6 +77,70 @@ pub fn serialize(p: &G2) -> [u8; 192] {
     out
 }
 
+/// True when `y` is the lexicographically largest of `{y, -y}`, ordering
+/// `Fp2` elements by `c1` first, then `c0` (the zcash/blst convention).
+fn y_is_largest(y: &Fp2) -> bool {
+    let neg = y.neg();
+    let (a, b) = (y.c1.to_nat(), neg.c1.to_nat());
+    if a != b {
+        return a > b;
+    }
+    y.c0.to_nat() > neg.c0.to_nat()
+}
+
+/// Serializes to the 96-byte compressed zcash/blst format: big-endian
+/// `x.c1 || x.c0` with flag bits in byte 0 — `0x80` (compressed), `0x40`
+/// (infinity), `0x20` (`y` lexicographically largest). This is the wire
+/// form of a BLS public key.
+pub fn serialize_compressed(p: &G2) -> [u8; 96] {
+    let mut out = [0u8; 96];
+    match p.to_affine() {
+        Affine::Infinity => {
+            out[0] = 0xc0;
+        }
+        Affine::Coords { x, y } => {
+            out[..48].copy_from_slice(&x.c1.to_be_bytes());
+            out[48..].copy_from_slice(&x.c0.to_be_bytes());
+            out[0] |= 0x80;
+            if y_is_largest(&y) {
+                out[0] |= 0x20;
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes the 96-byte compressed format with full validation:
+/// canonical flags, both coordinates below the modulus, `x` on the twist,
+/// and the decompressed point inside the order-`r` subgroup.
+pub fn deserialize_compressed(bytes: &[u8; 96]) -> Option<G2> {
+    if bytes[0] & 0x80 == 0 {
+        return None;
+    }
+    if bytes[0] & 0x40 != 0 {
+        let rest_zero = bytes[0] == 0xc0 && bytes[1..].iter().all(|&b| b == 0);
+        return rest_zero.then(Point::infinity);
+    }
+    let sign = bytes[0] & 0x20 != 0;
+    let mut c1_bytes = [0u8; 48];
+    c1_bytes.copy_from_slice(&bytes[..48]);
+    c1_bytes[0] &= 0x1f;
+    let p_mod = &curve_params().p;
+    let c1_nat = Nat::from_be_bytes(&c1_bytes);
+    let c0_nat = Nat::from_be_bytes(&bytes[48..]);
+    if &c1_nat >= p_mod || &c0_nat >= p_mod {
+        return None;
+    }
+    let x = Fp2::new(Fp::from_nat(&c0_nat), Fp::from_nat(&c1_nat));
+    let rhs = x.square().mul(&x).add(&b());
+    let mut y = rhs.sqrt()?;
+    if y_is_largest(&y) != sign {
+        y = y.neg();
+    }
+    let pt = Point::from_affine(&Affine::Coords { x, y });
+    in_subgroup(&pt).then_some(pt)
+}
+
 /// Deserializes the 192-byte uncompressed format with full validation.
 pub fn deserialize(bytes: &[u8; 192]) -> Option<G2> {
     if bytes[0] & 0x80 != 0 {
@@ -118,6 +182,66 @@ mod tests {
         let p = generator().mul_u64(987);
         let q = deserialize(&serialize(&p)).expect("valid encoding");
         assert!(p.eq_point(&q));
+    }
+
+    #[test]
+    fn compressed_roundtrip_both_signs() {
+        let mut signs = std::collections::HashSet::new();
+        for k in 1..=32u64 {
+            let p = generator().mul_u64(k);
+            let bytes = serialize_compressed(&p);
+            let q = deserialize_compressed(&bytes).expect("valid encoding");
+            assert!(p.eq_point(&q), "k={k}");
+            signs.insert(bytes[0] & 0x20);
+            if k >= 6 && signs.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(signs.len(), 2, "both sign-bit values exercised");
+    }
+
+    #[test]
+    fn compressed_roundtrip_infinity_and_flags() {
+        let bytes = serialize_compressed(&Point::infinity());
+        assert_eq!(bytes[0], 0xc0);
+        assert!(deserialize_compressed(&bytes).unwrap().is_infinity());
+        let mut bad = bytes;
+        bad[50] = 1;
+        assert!(deserialize_compressed(&bad).is_none());
+        // Missing compressed flag.
+        let mut bytes = serialize_compressed(&generator());
+        bytes[0] &= 0x7f;
+        assert!(deserialize_compressed(&bytes).is_none());
+        // c0 >= p.
+        let mut bytes = serialize_compressed(&generator());
+        for b in bytes[48..].iter_mut() {
+            *b = 0xff;
+        }
+        assert!(deserialize_compressed(&bytes).is_none());
+    }
+
+    #[test]
+    fn compressed_rejects_non_subgroup_point() {
+        // Perturb x until it lands on the twist but outside the r-subgroup.
+        let mut x = Fp2::new(Fp::from_u64(3), Fp::from_u64(5));
+        loop {
+            let rhs = x.square().mul(&x).add(&b());
+            if let Some(y) = rhs.sqrt() {
+                let pt = Point::from_affine(&Affine::Coords { x, y });
+                if !in_subgroup(&pt) {
+                    let mut bytes = [0u8; 96];
+                    bytes[..48].copy_from_slice(&x.c1.to_be_bytes());
+                    bytes[48..].copy_from_slice(&x.c0.to_be_bytes());
+                    bytes[0] |= 0x80;
+                    if y_is_largest(&y) {
+                        bytes[0] |= 0x20;
+                    }
+                    assert!(deserialize_compressed(&bytes).is_none());
+                    return;
+                }
+            }
+            x = x.add(&Fp2::one());
+        }
     }
 
     #[test]

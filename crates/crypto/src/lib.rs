@@ -56,5 +56,5 @@ pub mod sha256;
 pub mod shuffle;
 pub mod sim_scheme;
 
-pub use multisig::{Multiplicities, SignerId, VoteScheme};
+pub use multisig::{Multiplicities, SignerId, VoteScheme, WireScheme};
 pub use shuffle::Assignment;

@@ -185,6 +185,44 @@ pub trait VoteScheme {
     fn committee_size(&self) -> usize;
 }
 
+/// A [`VoteScheme`] that can run over a real wire.
+///
+/// The live TCP runtime (`iniva-transport`), the write-ahead log
+/// (`iniva-storage`) and the example binaries are generic over this bound
+/// instead of hard-pinning a scheme: the aggregate type carries the
+/// [`wire`](iniva_net::wire) codec impls (declared as supertrait bounds,
+/// so `S: WireScheme` elaborates them at every use site), the keyring is
+/// rebuildable on any process from `(n, seed)` common knowledge, and
+/// everything is shareable across transport threads. Both the calibrated
+/// [`SimScheme`](crate::sim_scheme::SimScheme) stand-in and the real
+/// pairing-crypto [`BlsScheme`](crate::bls::BlsScheme) implement it, which
+/// is what lets one cluster harness ship either scheme's aggregates as
+/// actual frame bytes.
+///
+/// (This trait would naturally sit next to the codec in `iniva_net::wire`,
+/// but `iniva-net` cannot name [`VoteScheme`] without a dependency cycle —
+/// the codec crate is below the crypto crate — so it lives here, beside
+/// the trait it refines.)
+pub trait WireScheme:
+    VoteScheme<Aggregate: WireEncode + WireDecode + Send + 'static> + Send + Sync + 'static
+{
+    /// CLI / log name of the scheme (`"sim"`, `"bls"`).
+    const NAME: &'static str;
+
+    /// True when the scheme's signing/verification burns real CPU inside
+    /// the protocol handlers (pairings) rather than relying on the
+    /// calibrated cost model. Launchers use this to retune timers and
+    /// zero the modeled cost (`InivaConfig::tune_for_real_crypto` in the
+    /// `iniva` crate) — keyed on the scheme definition, not on string
+    /// comparisons at call sites, so a future real-crypto scheme cannot
+    /// silently run with sim-calibrated timers.
+    const REAL_CRYPTO: bool = false;
+
+    /// Rebuilds the committee keyring every replica derives from common
+    /// knowledge: committee size and the shared seed.
+    fn new_committee(n: usize, seed: &[u8]) -> Self;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

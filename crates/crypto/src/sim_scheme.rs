@@ -12,7 +12,7 @@
 //! experiment outcome. Indivisibility is enforced by the API (no
 //! decomposition is exposed), mirroring the cryptographic property of BLS.
 
-use crate::multisig::{Multiplicities, SignerId, VoteScheme};
+use crate::multisig::{Multiplicities, SignerId, VoteScheme, WireScheme};
 use crate::sha256::sha256_many;
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 
@@ -122,6 +122,14 @@ impl VoteScheme for SimScheme {
 
     fn committee_size(&self) -> usize {
         self.n
+    }
+}
+
+impl WireScheme for SimScheme {
+    const NAME: &'static str = "sim";
+
+    fn new_committee(n: usize, seed: &[u8]) -> Self {
+        SimScheme::new(n, seed)
     }
 }
 

@@ -15,10 +15,20 @@
 
 use crate::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 
-/// Cap on blocks (and paired QCs) in one [`StateResponse`]: bounds both
-/// the responder's frame size and the allocation a decoder performs on a
-/// hostile length prefix.
+/// Cap on blocks (and paired QCs) in one [`StateResponse`]: bounds the
+/// allocation a decoder performs on a hostile length prefix.
 pub const MAX_STATE_BLOCKS: usize = 512;
+
+/// Cap on the **encoded bytes** of one [`StateResponse`] body. Block count
+/// alone does not bound the frame: a QC's encoded size grows with its
+/// signer set (48-byte compressed point + 12 bytes per signer under BLS,
+/// and the block payload on top), so a responder packs entries until the
+/// next one would cross this budget — always shipping at least one, so a
+/// single oversized entry still makes progress — and the requester's gap
+/// detector fetches the rest in further rounds. 256 KiB keeps QC-bearing
+/// transfer far below the transport's 64 MiB frame limit while still
+/// moving hundreds of blocks per round.
+pub const MAX_STATE_RESPONSE_BYTES: usize = 256 * 1024;
 
 /// "Send me your committed prefix from this height up."
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,11 +14,21 @@
 //! `FaultPlan::run_on_sim` — against the live sockets from a driver
 //! thread, so the Fig. 4 resilience sweeps compare one scenario across
 //! both backends.
+//!
+//! The whole harness is generic over the vote scheme
+//! ([`WireScheme`](iniva_crypto::multisig::WireScheme)): the same cluster
+//! functions run the calibrated [`SimScheme`] stand-in *or* real BLS
+//! pairing crypto ([`iniva_crypto::bls::BlsScheme`]) end to end — codec,
+//! framing, WAL and state transfer included — selected by one type
+//! parameter (`run_local_iniva_cluster::<BlsScheme>(..)`). `SimScheme`
+//! remains the default type parameter so scheme-agnostic code keeps
+//! reading naturally.
 
 use crate::faults::{LinkFaults, NodeFaults};
 use crate::runtime::{CpuMode, Runtime, RuntimeStats};
 use crate::transport::{Transport, TransportOptions, TransportSnapshot};
 use iniva::protocol::{InivaConfig, InivaReplica};
+use iniva_crypto::multisig::WireScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::faults::{FaultEvent, FaultPlan};
 use iniva_net::NodeId;
@@ -30,10 +40,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// The committee seed every replica of a local cluster derives its keyring
+/// from (common knowledge, like the peer list).
+pub const CLUSTER_SEED: &[u8] = b"live-cluster";
+
 /// Result of one replica's run.
-pub struct NodeRun {
+pub struct NodeRun<S: WireScheme = SimScheme> {
     /// The replica, with its chain and metrics, after the run.
-    pub replica: InivaReplica<SimScheme>,
+    pub replica: InivaReplica<S>,
     /// Event-loop counters.
     pub runtime: RuntimeStats,
     /// Socket counters.
@@ -41,14 +55,14 @@ pub struct NodeRun {
 }
 
 /// Result of a whole cluster run.
-pub struct ClusterRun {
+pub struct ClusterRun<S: WireScheme = SimScheme> {
     /// Per-replica results, indexed by committee id.
-    pub nodes: Vec<NodeRun>,
+    pub nodes: Vec<NodeRun<S>>,
     /// The wall-clock load duration.
     pub duration: Duration,
 }
 
-impl ClusterRun {
+impl<S: WireScheme> ClusterRun<S> {
     /// The greatest height every replica in `ids` has committed (the
     /// group's agreed prefix length), or an error naming the first
     /// divergence.
@@ -322,12 +336,12 @@ pub fn chaos_demo_scenario(seed: u64) -> (InivaConfig, FaultPlan, NodeId, Vec<No
 ///
 /// # Errors
 /// Propagates socket setup failures (binding listeners, starting lanes).
-pub fn run_local_iniva_cluster(
+pub fn run_local_iniva_cluster<S: WireScheme>(
     cfg: &InivaConfig,
     duration: Duration,
     cpu: CpuMode,
-) -> io::Result<ClusterRun> {
-    run_local_iniva_cluster_with_plan(cfg, duration, cpu, &FaultPlan::new())
+) -> io::Result<ClusterRun<S>> {
+    run_local_iniva_cluster_with_plan::<S>(cfg, duration, cpu, &FaultPlan::new())
 }
 
 /// A releasable start line: workers arrive and wait for a go/abort
@@ -383,7 +397,9 @@ impl StartGate {
 
 /// Joins `handles`, surfacing panics as errors; used on both the success
 /// and the abort path.
-fn join_runs(handles: Vec<thread::JoinHandle<io::Result<NodeRun>>>) -> io::Result<Vec<NodeRun>> {
+fn join_runs<S: WireScheme>(
+    handles: Vec<thread::JoinHandle<io::Result<NodeRun<S>>>>,
+) -> io::Result<Vec<NodeRun<S>>> {
     let mut nodes = Vec::with_capacity(handles.len());
     for handle in handles {
         nodes.push(
@@ -398,15 +414,15 @@ fn join_runs(handles: Vec<thread::JoinHandle<io::Result<NodeRun>>>) -> io::Resul
 /// Spawns replica lifecycle threads and the fault driver behind one
 /// [`StartGate`]; on any spawn failure the gate aborts, every thread
 /// spawned so far exits, and the error propagates.
-fn launch_cluster<F>(
+fn launch_cluster<S: WireScheme, F>(
     n: usize,
     plan: &FaultPlan,
     faults: &ClusterFaults,
     duration: Duration,
     spawn_replica: F,
-) -> io::Result<Vec<NodeRun>>
+) -> io::Result<Vec<NodeRun<S>>>
 where
-    F: Fn(usize, Arc<StartGate>) -> io::Result<thread::JoinHandle<io::Result<NodeRun>>>,
+    F: Fn(usize, Arc<StartGate>) -> io::Result<thread::JoinHandle<io::Result<NodeRun<S>>>>,
 {
     let gate = Arc::new(StartGate::new());
     let mut handles = Vec::with_capacity(n);
@@ -455,12 +471,12 @@ where
 /// # Errors
 /// Propagates socket and thread setup failures (binding listeners,
 /// starting lanes, spawning replica or driver threads).
-pub fn run_local_iniva_cluster_with_plan(
+pub fn run_local_iniva_cluster_with_plan<S: WireScheme>(
     cfg: &InivaConfig,
     duration: Duration,
     cpu: CpuMode,
     plan: &FaultPlan,
-) -> io::Result<ClusterRun> {
+) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
     let listeners: Vec<TcpListener> = (0..n)
@@ -472,7 +488,7 @@ pub fn run_local_iniva_cluster_with_plan(
         .map(|(id, l)| Ok((id as u32, l.local_addr()?)))
         .collect::<io::Result<_>>()?;
 
-    let scheme = Arc::new(SimScheme::new(n, b"live-cluster"));
+    let scheme = Arc::new(S::new_committee(n, CLUSTER_SEED));
     let faults = ClusterFaults::new(n);
     // Time-zero events are injected exactly once, before any replica
     // thread starts, so a node crashed at 0 never runs `on_start` — the
@@ -512,7 +528,7 @@ pub fn run_local_iniva_cluster_with_plan(
         let scheme = Arc::clone(&scheme);
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
-            .spawn(move || -> io::Result<NodeRun> {
+            .spawn(move || -> io::Result<NodeRun<S>> {
                 let replica = InivaReplica::new(id as u32, cfg, scheme);
                 if !gate.arrive_and_wait() {
                     return Err(io::Error::other("cluster setup aborted"));
@@ -591,14 +607,14 @@ fn bind_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpListener> {
 ///
 /// # Errors
 /// Propagates socket, WAL-I/O and thread setup failures.
-pub fn run_local_iniva_cluster_with_wal(
+pub fn run_local_iniva_cluster_with_wal<S: WireScheme>(
     cfg: &InivaConfig,
     duration: Duration,
     cpu: CpuMode,
     plan: &FaultPlan,
     wal_root: &Path,
     options: TransportOptions,
-) -> io::Result<ClusterRun> {
+) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     std::fs::create_dir_all(wal_root)?;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
@@ -611,7 +627,7 @@ pub fn run_local_iniva_cluster_with_wal(
         .map(|(id, l)| Ok((id as u32, l.local_addr()?)))
         .collect::<io::Result<_>>()?;
 
-    let scheme = Arc::new(SimScheme::new(n, b"live-cluster"));
+    let scheme = Arc::new(S::new_committee(n, CLUSTER_SEED));
     let faults = ClusterFaults::new(n);
     for ev in plan.events().iter().filter(|ev| ev.at == 0) {
         faults.apply(&ev.fault);
@@ -635,7 +651,7 @@ pub fn run_local_iniva_cluster_with_wal(
         let wal_dir: PathBuf = wal_root.join(format!("replica-{id}"));
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
-            .spawn(move || -> io::Result<NodeRun> {
+            .spawn(move || -> io::Result<NodeRun<S>> {
                 replica_lifecycle(
                     id as u32,
                     cfg,
@@ -664,10 +680,10 @@ pub fn run_local_iniva_cluster_with_wal(
 /// view — the same code path an actual restarted `live_cluster --config
 /// --id --wal-dir` process takes.
 #[allow(clippy::too_many_arguments)]
-fn replica_lifecycle(
+fn replica_lifecycle<S: WireScheme>(
     id: NodeId,
     cfg: InivaConfig,
-    scheme: Arc<SimScheme>,
+    scheme: Arc<S>,
     peers: &[(u32, SocketAddr)],
     listener: TcpListener,
     addr: SocketAddr,
@@ -679,7 +695,7 @@ fn replica_lifecycle(
     duration: Duration,
     cpu: CpuMode,
     wal_dir: &Path,
-) -> io::Result<NodeRun> {
+) -> io::Result<NodeRun<S>> {
     let mut pending_listener = Some(listener);
     if !gate.arrive_and_wait() {
         return Err(io::Error::other("cluster setup aborted"));
@@ -688,7 +704,7 @@ fn replica_lifecycle(
     let deadline = time_zero + duration;
     let mut runtime_total = RuntimeStats::default();
     let mut transport_total = TransportSnapshot::default();
-    let mut last_incarnation: Option<InivaReplica<SimScheme>> = None;
+    let mut last_incarnation: Option<InivaReplica<S>> = None;
     loop {
         if control.is_down() {
             // The process is dead: close the listening socket too, so
@@ -714,7 +730,7 @@ fn replica_lifecycle(
             Arc::clone(&node_faults),
             Arc::clone(&link_faults),
         )?;
-        let (wal, recovered) = ChainWal::<SimScheme>::open(wal_dir)?;
+        let (wal, recovered) = ChainWal::<S>::open(wal_dir)?;
         let mut replica = InivaReplica::recover(
             id,
             cfg.clone(),
@@ -737,7 +753,7 @@ fn replica_lifecycle(
         None => {
             // Crashed at time zero and never restarted: report whatever
             // the disk holds (an empty log for a fresh run).
-            let (_, recovered) = ChainWal::<SimScheme>::open(wal_dir)?;
+            let (_, recovered) = ChainWal::<S>::open(wal_dir)?;
             InivaReplica::recover(id, cfg, scheme, recovered.commits, recovered.view)
         }
     };

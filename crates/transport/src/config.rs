@@ -6,6 +6,7 @@
 //!
 //! ```toml
 //! [cluster]
+//! scheme = "sim"        # vote scheme, "sim" or "bls" (cluster-wide)
 //! internal = 2          # aggregators per tree
 //! batch = 100           # max requests per block
 //! payload = 64          # bytes per request
@@ -51,6 +52,13 @@ pub struct ClusterConfig {
     pub request_rate: u64,
     /// Load duration in seconds.
     pub duration_secs: u64,
+    /// Vote scheme every process of the cluster must run (`"sim"` or
+    /// `"bls"`). Part of the shared config because it is as much common
+    /// knowledge as the peer list: a replica decoding frames under the
+    /// wrong scheme would silently drop every connection and stall, so
+    /// launchers validate their compiled scheme against this field and
+    /// fail by name instead.
+    pub scheme: String,
 }
 
 impl ClusterConfig {
@@ -92,6 +100,7 @@ impl ClusterConfig {
             payload_per_req: 64,
             request_rate: 10_000,
             duration_secs: 10,
+            scheme: "sim".to_string(),
         }
     }
 
@@ -161,6 +170,16 @@ impl ClusterConfig {
                     "payload" => cfg.payload_per_req = parse_int(value, lineno)? as u32,
                     "rate" => cfg.request_rate = parse_int(value, lineno)?,
                     "duration_secs" => cfg.duration_secs = parse_int(value, lineno)?,
+                    "scheme" => {
+                        let s = parse_string(value, lineno)?;
+                        if s != "sim" && s != "bls" {
+                            return Err(ConfigError::at(
+                                lineno,
+                                "scheme must be \"sim\" or \"bls\"",
+                            ));
+                        }
+                        cfg.scheme = s;
+                    }
                     _ => return Err(ConfigError::at(lineno, "unknown [cluster] key")),
                 },
                 Section::Peer => {
@@ -269,6 +288,7 @@ addr = "127.0.0.1:7102"
         assert_eq!(cfg.max_batch, 200);
         assert_eq!(cfg.request_rate, 20_000);
         assert_eq!(cfg.payload_per_req, 64, "unset keys keep defaults");
+        assert_eq!(cfg.scheme, "sim", "unset scheme defaults to sim");
         // Peers come out sorted by id regardless of file order.
         assert_eq!(cfg.peers[0].id, 0);
         assert_eq!(cfg.addr_of(2).unwrap().port(), 7102);
@@ -295,6 +315,10 @@ addr = "127.0.0.1:7102"
                 "contiguous",
             ),
             ("[[peers]]\nid = 5\naddr = \"1.1.1.1:1\"", "contiguous"),
+            (
+                "[cluster]\nscheme = \"rsa\"\n[[peers]]\nid = 0\naddr = \"1.2.3.4:1\"",
+                "scheme must be",
+            ),
         ] {
             let err = ClusterConfig::parse(text).unwrap_err();
             assert!(

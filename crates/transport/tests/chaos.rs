@@ -68,7 +68,7 @@ fn crash_partition_heal_matches_simulator_within_10pct() {
     // declaring the backends divergent.
     let mut last = String::new();
     for attempt in 0..2 {
-        let run = run_local_iniva_cluster_with_plan(
+        let run = run_local_iniva_cluster_with_plan::<SimScheme>(
             &cfg,
             Duration::from_secs(duration),
             CpuMode::Real,
@@ -144,8 +144,13 @@ fn killed_replica_heals_and_rejoins() {
     let plan = FaultPlan::new()
         .crash(SECS, victim)
         .restart(2_500 * MILLIS, victim);
-    let run = run_local_iniva_cluster_with_plan(&cfg, Duration::from_secs(5), CpuMode::Real, &plan)
-        .expect("cluster starts");
+    let run = run_local_iniva_cluster_with_plan::<SimScheme>(
+        &cfg,
+        Duration::from_secs(5),
+        CpuMode::Real,
+        &plan,
+    )
+    .expect("cluster starts");
 
     run.agreed_prefix_height().expect("no divergence anywhere");
     let m = &run.nodes[victim as usize].replica.chain.metrics;
@@ -203,7 +208,7 @@ fn killed_process_restarts_from_wal_and_catches_up() {
     let mut last = String::new();
     for attempt in 0..2 {
         let wal_root = wal_scratch(&format!("kill-restart-{attempt}"));
-        let run = run_local_iniva_cluster_with_wal(
+        let run = run_local_iniva_cluster_with_wal::<SimScheme>(
             &cfg,
             Duration::from_secs(6),
             CpuMode::Real,

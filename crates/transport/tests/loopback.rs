@@ -1,6 +1,8 @@
 //! Live-cluster integration tests: real Iniva replicas over real TCP.
 
 use iniva::protocol::InivaConfig;
+use iniva_crypto::bls::BlsScheme;
+use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use iniva_net::{Actor, Context, NodeId};
 use iniva_transport::cluster::run_local_iniva_cluster;
@@ -20,7 +22,7 @@ fn four_replica_cluster_commits_and_agrees() {
     // Real clocks make the run timing-sensitive; retry once on a slow CI
     // machine before declaring the liveness property broken.
     for attempt in 0..2 {
-        let r = run_local_iniva_cluster(&cfg, Duration::from_secs(2), CpuMode::Real)
+        let r = run_local_iniva_cluster::<SimScheme>(&cfg, Duration::from_secs(2), CpuMode::Real)
             .expect("cluster starts");
         let committed = r
             .nodes
@@ -69,9 +71,83 @@ fn four_replica_cluster_commits_and_agrees() {
 fn clusters_tear_down_cleanly() {
     let cfg = InivaConfig::for_tests(4, 1);
     for _ in 0..2 {
-        let run = run_local_iniva_cluster(&cfg, Duration::from_millis(400), CpuMode::Scaled(0.2))
-            .expect("cluster starts");
+        let run = run_local_iniva_cluster::<SimScheme>(
+            &cfg,
+            Duration::from_millis(400),
+            CpuMode::Scaled(0.2),
+        )
+        .expect("cluster starts");
         assert!(run.agreed_prefix_height().is_ok());
+    }
+}
+
+/// The acceptance pin for real crypto over the wire: a 4-replica cluster
+/// running **`BlsScheme`** — genuine BLS12-381 pairing verification, with
+/// 48-byte compressed G1 aggregates as the actual frame bytes — must
+/// commit blocks over loopback TCP and reach cluster-wide agreement on
+/// the committed prefix. Pairing verification costs ~50 ms per aggregate,
+/// so timers are widened (`tune_for_real_crypto`) and the liveness floor
+/// is lower than the sim-scheme test's.
+#[test]
+fn four_replica_bls_cluster_commits_and_agrees() {
+    let mut cfg = InivaConfig::for_tests(4, 1);
+    cfg.request_rate = 200;
+    cfg.tune_for_real_crypto();
+    let mut run = None;
+    // Real pairing on shared CI cores is timing-sensitive; retry once.
+    for attempt in 0..2 {
+        let r = run_local_iniva_cluster::<BlsScheme>(&cfg, Duration::from_secs(12), CpuMode::Real)
+            .expect("cluster starts");
+        let committed = r
+            .nodes
+            .iter()
+            .map(|n| n.replica.chain.committed_height())
+            .min()
+            .unwrap();
+        if committed >= 3 || attempt == 1 {
+            run = Some(r);
+            break;
+        }
+    }
+    let run = run.unwrap();
+
+    // Liveness: every replica committed blocks certified by real
+    // aggregate signatures.
+    for (id, node) in run.nodes.iter().enumerate() {
+        assert!(
+            node.replica.chain.committed_height() >= 3,
+            "replica {id} committed only {} blocks under BLS",
+            node.replica.chain.committed_height()
+        );
+    }
+
+    // Safety: cluster-wide agreement on the committed prefix.
+    let agreed = run.agreed_prefix_height().expect("no divergence");
+    assert!(agreed >= 3);
+
+    // The committed chain is backed by *verifiable* BLS certificates: the
+    // retained QCs re-verify against a freshly derived committee keyring
+    // (what any third party auditing the chain would do).
+    let auditor = iniva_crypto::bls::BlsScheme::new(4, iniva_transport::cluster::CLUSTER_SEED);
+    let node = &run.nodes[0].replica;
+    let mut audited = 0;
+    for height in 1..=node.chain.committed_height() {
+        if let Some((block, qc)) = node.chain.committed_entry(height) {
+            use iniva_crypto::multisig::VoteScheme;
+            let msg = iniva_consensus::types::vote_message(&block.hash(), qc.view);
+            assert!(
+                auditor.verify(&msg, &qc.agg),
+                "height {height}: committed QC fails BLS verification"
+            );
+            audited += 1;
+        }
+    }
+    assert!(audited > 0, "no committed QC was retained for audit");
+
+    // Real frames crossed real sockets.
+    for node in &run.nodes {
+        assert!(node.transport.msgs_sent > 0);
+        assert!(node.transport.msgs_received > 0);
     }
 }
 
