@@ -28,15 +28,51 @@
 
 use iniva::protocol::InivaConfig;
 use iniva_consensus::PerfSummary;
-use iniva_crypto::bls::BlsScheme;
+use iniva_crypto::bls::{BlsAggregate, BlsScheme};
+use iniva_crypto::multisig::VoteScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_transport::cluster::{run_local_iniva_cluster, ClusterRun};
 use iniva_transport::CpuMode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Regression gate: measured throughput below, or median latency above,
 /// `1 ± TOLERANCE` of the baseline fails the check.
 const TOLERANCE: f64 = 0.25;
+
+/// Bench-smoke gate on the batch-verification cells: the 8-aggregate
+/// same-message batch must beat per-aggregate verification by at least
+/// this factor (the multi-pairing replaces 16 Miller loops + 8 final
+/// exponentiations with 2 + 1; the measured ratio sits far above 2, so
+/// the gate has wide noise margin).
+const BATCH_MIN_SPEEDUP: f64 = 2.0;
+
+/// Measures the 8-aggregate same-message verification cells: per-item
+/// (two Miller loops + final exponentiation per aggregate) vs one
+/// random-linear-combination batch. Returns `(individual_ms, batch_ms)`
+/// as the best of three runs each (min — the steady-state cost without
+/// scheduler noise).
+fn bls_batch_cells() -> (f64, f64) {
+    let scheme = BlsScheme::new(8, b"bench-batch-cells");
+    let msg: &[u8] = b"bls-batch-cell-message";
+    let aggs: Vec<BlsAggregate> = (0..8).map(|i| scheme.sign(i, msg)).collect();
+    // Warm the hash-to-curve cache: both cells measure steady-state
+    // verification, not the first-touch hashing.
+    assert!(scheme.verify(msg, &aggs[0]));
+    let mut individual_ms = f64::MAX;
+    let mut batch_ms = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for agg in &aggs {
+            assert!(scheme.verify(msg, agg));
+        }
+        individual_ms = individual_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let groups: Vec<(&[u8], &[BlsAggregate])> = vec![(msg, aggs.as_slice())];
+        assert!(scheme.verify_batch(&groups).all_valid());
+        batch_ms = batch_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (individual_ms, batch_ms)
+}
 
 /// Pulls a numeric field out of the flat baseline JSON (the workspace is
 /// offline — no serde — and the schema is flat `"key": number` pairs).
@@ -125,6 +161,28 @@ fn main() {
             eprintln!("REGRESSION: median committed latency rose more than 25% above the baseline");
             failed = true;
         }
+        // Batch-verification cells: the committed baseline must carry the
+        // bls_batch_* keys, and a fresh measurement must keep the batch
+        // path at least BATCH_MIN_SPEEDUP× faster than per-aggregate
+        // verification on the same 8-aggregate batch.
+        let base_batch = json_number(&text, "bls_batch_verify8_ms");
+        let base_individual = json_number(&text, "bls_batch_individual8_ms");
+        if base_batch.is_none() || base_individual.is_none() {
+            eprintln!("REGRESSION: baseline is missing the bls_batch_* verification cells");
+            failed = true;
+        }
+        let (individual_ms, batch_ms) = bls_batch_cells();
+        println!(
+            "  bls batch verify (8) : measured {batch_ms:>9.3} ms vs individual {individual_ms:>9.3} ms ({:.1}x)",
+            individual_ms / batch_ms
+        );
+        if batch_ms * BATCH_MIN_SPEEDUP > individual_ms {
+            eprintln!(
+                "REGRESSION: batch verification speedup fell below {BATCH_MIN_SPEEDUP}x \
+                 ({individual_ms:.3} ms individual vs {batch_ms:.3} ms batched)"
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -163,6 +221,16 @@ fn main() {
     let bls_frames: u64 = bls_run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum();
     let bls_bytes: u64 = bls_run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum();
 
+    // The batch-verification microcells: 8 same-message aggregates
+    // verified per-item vs in one multi-pairing (the hot shape at the
+    // tree root each view). These are the `bls_batch_*` keys the
+    // bench-smoke gate checks.
+    let (bls_individual8_ms, bls_batch8_ms) = bls_batch_cells();
+    println!(
+        "bls batch verify (8 aggs): {bls_batch8_ms:.3} ms batched vs {bls_individual8_ms:.3} ms individually ({:.1}x)",
+        bls_individual8_ms / bls_batch8_ms
+    );
+
     // Hand-rolled JSON: the workspace is offline (no serde); the schema is
     // flat numbers only.
     let json = format!(
@@ -181,7 +249,11 @@ fn main() {
          \"bls_mean_latency_ms\": {bls_mean:.3},\n  \
          \"bls_agreed_prefix_blocks\": {bls_agreed},\n  \
          \"bls_frames_sent\": {bls_frames},\n  \
-         \"bls_body_bytes_sent\": {bls_bytes}\n}}\n",
+         \"bls_body_bytes_sent\": {bls_bytes},\n  \
+         \"bls_batch_individual8_ms\": {bls_individual8_ms:.3},\n  \
+         \"bls_batch_verify8_ms\": {bls_batch8_ms:.3},\n  \
+         \"bls_batch_speedup_x\": {speedup:.2}\n}}\n",
+        speedup = bls_individual8_ms / bls_batch8_ms,
         rate = cfg.request_rate,
         tp = point.throughput,
         med = point.median_latency_ms,

@@ -137,6 +137,21 @@ pub trait CommitSink<S: VoteScheme> {
     fn entered_view(&mut self, _view: u64) {}
 }
 
+/// What a call to [`ChainState::adopt_committed_batch`] did: how many
+/// blocks joined the prefix, and how much of the chunk actually reached
+/// cryptographic verification — the caller's basis for charging modeled
+/// CPU (structurally rejected entries cost no pairing work).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchAdoption {
+    /// Blocks grafted onto the committed prefix.
+    pub adopted: usize,
+    /// Entries that passed the structural pass and entered the batch
+    /// verification (0 = no multi-pairing ran at all).
+    pub verified_entries: usize,
+    /// Total distinct signers across the verified entries.
+    pub verified_signers: usize,
+}
+
 /// The replica-local chain: stores blocks, tracks the highest QC and applies
 /// the chained-HotStuff three-chain commit rule.
 pub struct ChainState<S: VoteScheme> {
@@ -270,24 +285,120 @@ impl<S: VoteScheme> ChainState<S> {
     /// the progress curve keep meaning "commits reached through the
     /// protocol", which is what chaos tests assert resumed after a heal.
     pub fn adopt_committed(&mut self, block: Block, qc: Qc<S>, scheme: &S) -> bool {
-        // Any height past the prefix is adoptable (not just `+1`): the
-        // serving peer's own log may have gaps, and the QC alone proves
-        // commitment.
-        if block.height <= self.committed_height {
+        if !self.adoptable(&block, &qc, scheme) {
             return false;
         }
-        let hash = block.hash();
-        if qc.block_hash != hash || qc.height != block.height {
+        if !scheme.verify(&vote_message(&block.hash(), qc.view), &qc.agg) {
             return false;
         }
-        if qc.signer_count(scheme) < quorum(scheme.committee_size())
-            || !scheme.verify(&vote_message(&hash, qc.view), &qc.agg)
-        {
-            return false;
+        self.adopt_verified(block, qc);
+        true
+    }
+
+    /// Grafts a whole state-transfer chunk onto the prefix with **one**
+    /// batch verification: the structural checks of
+    /// [`Self::adopt_committed`] run per entry (against the prefix as it
+    /// would advance), then every surviving QC verifies under a single
+    /// multi-pairing — `1 + #entries` Miller loops and one final
+    /// exponentiation instead of two Miller loops and a final
+    /// exponentiation per entry. Adoption stops at the first entry that
+    /// fails structurally or cryptographically (matching the per-item
+    /// semantics: later entries chain past a hole the requester cannot
+    /// trust yet).
+    pub fn adopt_committed_batch(
+        &mut self,
+        items: Vec<(Block, Qc<S>)>,
+        scheme: &S,
+    ) -> BatchAdoption {
+        // Structural pass against the advancing (simulated) prefix.
+        let mut height = self.committed_height;
+        let mut checked: Vec<(Block, Qc<S>)> = Vec::new();
+        let mut msgs: Vec<Vec<u8>> = Vec::new();
+        let mut verified_signers = 0usize;
+        for (block, qc) in items {
+            if !self.adoptable_at(height, &block, &qc, scheme) {
+                break;
+            }
+            height = block.height;
+            verified_signers += qc.signer_count(scheme);
+            msgs.push(vote_message(&block.hash(), qc.view));
+            checked.push((block, qc));
         }
+        if checked.is_empty() {
+            return BatchAdoption::default();
+        }
+        // One multi-pairing across the chunk: each QC certifies its own
+        // message, so every entry is its own single-aggregate group.
+        let groups: Vec<(&[u8], &[S::Aggregate])> = msgs
+            .iter()
+            .zip(&checked)
+            .map(|(msg, (_, qc))| (msg.as_slice(), std::slice::from_ref(&qc.agg)))
+            .collect();
+        let outcome = scheme.verify_batch(&groups);
+        let first_bad = outcome
+            .culprits()
+            .first()
+            .map_or(checked.len(), |&(group, _)| group);
+        let verified_entries = checked.len();
+        // Durability first, for the whole adopted prefix under ONE sink
+        // call (a single fsync for a WAL sink — the same batch contract
+        // the three-chain commit path uses), then in-memory bookkeeping.
+        let adopted_entries: Vec<(Block, Option<Qc<S>>)> = checked
+            .into_iter()
+            .take(first_bad)
+            .map(|(block, qc)| (block, Some(qc)))
+            .collect();
+        let adopted = adopted_entries.len();
+        if let Some(sink) = &mut self.sink {
+            sink.committed_batch(&adopted_entries);
+        }
+        for (block, qc) in adopted_entries {
+            self.adopt_bookkeeping(block, qc.expect("constructed as Some above"));
+        }
+        BatchAdoption {
+            adopted,
+            verified_entries,
+            verified_signers,
+        }
+    }
+
+    /// The structural half of adoption, checked against the *current*
+    /// prefix height.
+    fn adoptable(&self, block: &Block, qc: &Qc<S>, scheme: &S) -> bool {
+        self.adoptable_at(self.committed_height, block, qc, scheme)
+    }
+
+    /// Structural adoption checks against an explicit prefix height (the
+    /// batch path tracks its own advancing height): the block must sit
+    /// past the prefix and the QC must certify exactly this block with a
+    /// quorum of distinct signers.
+    ///
+    /// Any height past the prefix is adoptable (not just `+1`): the
+    /// serving peer's own log may have gaps, and the QC alone proves
+    /// commitment.
+    fn adoptable_at(&self, min_height: u64, block: &Block, qc: &Qc<S>, scheme: &S) -> bool {
+        block.height > min_height
+            && qc.block_hash == block.hash()
+            && qc.height == block.height
+            && qc.signer_count(scheme) >= quorum(scheme.committee_size())
+    }
+
+    /// The bookkeeping-plus-durability half of adoption; the caller has
+    /// already verified `qc` against `block`.
+    fn adopt_verified(&mut self, block: Block, qc: Qc<S>) {
         if let Some(sink) = &mut self.sink {
             sink.committed(&block, Some(&qc));
         }
+        self.adopt_bookkeeping(block, qc);
+    }
+
+    /// The in-memory bookkeeping of adoption alone; the caller has
+    /// already verified `qc` *and* handed the entry to the durability
+    /// sink (the batch path does that once per chunk via
+    /// [`CommitSink::committed_batch`], so a state-transfer chunk costs
+    /// one fsync, not one per block).
+    fn adopt_bookkeeping(&mut self, block: Block, qc: Qc<S>) {
+        let hash = block.hash();
         self.next_req = self
             .next_req
             .max(block.batch_start + block.batch_len as u64);
@@ -310,7 +421,6 @@ impl<S: VoteScheme> ChainState<S> {
         }
         self.metrics.state_transfer_blocks += 1;
         self.insert_block(block);
-        true
     }
 
     /// The committed block at `height` together with its certificate, if
@@ -777,6 +887,85 @@ mod tests {
         // The range lookup serves around the hole.
         assert_eq!(lagging.committed_range(1, 10).len(), 3);
         assert_eq!(lagging.committed_range(3, 10).len(), 1);
+    }
+
+    #[test]
+    fn adopt_committed_batch_stops_at_first_invalid_entry() {
+        let s = scheme();
+        let mut source = ChainState::new(0);
+        for v in 1..=7 {
+            extend(&mut source, v, &s);
+        }
+        assert_eq!(source.committed_height(), 5);
+        let entries: Vec<(Block, Qc<SimScheme>)> = (1..=5)
+            .map(|h| {
+                let (b, qc) = source.committed_entry(h).unwrap();
+                (b.clone(), qc.clone())
+            })
+            .collect();
+
+        // The clean chunk adopts wholesale in one batch — and hands the
+        // whole adopted prefix to the durability sink in ONE batch call
+        // (one fsync for a WAL sink), not one call per block.
+        #[derive(Default)]
+        struct BatchCountingSink {
+            calls: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
+        }
+        impl CommitSink<SimScheme> for BatchCountingSink {
+            fn committed(&mut self, _block: &Block, _qc: Option<&Qc<SimScheme>>) {
+                self.calls.lock().unwrap().push(1);
+            }
+            fn committed_batch(&mut self, items: &[(Block, Option<Qc<SimScheme>>)]) {
+                self.calls.lock().unwrap().push(items.len());
+            }
+        }
+        let mut lagging: ChainState<SimScheme> = ChainState::new(0);
+        let sink = BatchCountingSink::default();
+        let sink_calls = std::sync::Arc::clone(&sink.calls);
+        lagging.set_commit_sink(Box::new(sink));
+        let outcome = lagging.adopt_committed_batch(entries.clone(), &s);
+        assert_eq!(outcome.adopted, 5);
+        assert_eq!(outcome.verified_entries, 5);
+        assert_eq!(outcome.verified_signers, 15, "3 signers per QC");
+        assert_eq!(lagging.committed_height(), 5);
+        assert_eq!(lagging.metrics.state_transfer_blocks, 5);
+        assert_eq!(lagging.committed_log(), source.committed_log());
+        assert_eq!(
+            &*sink_calls.lock().unwrap(),
+            &[5],
+            "one batch sink call for the whole chunk"
+        );
+
+        // A chunk whose third entry carries a forged QC adopts exactly the
+        // two entries before it — cryptographic failure stops the chunk.
+        let mut forged = entries.clone();
+        forged[2].1.agg.mults = iniva_crypto::multisig::Multiplicities::singleton(0);
+        let mut lagging: ChainState<SimScheme> = ChainState::new(0);
+        assert_eq!(lagging.adopt_committed_batch(forged, &s).adopted, 2);
+        assert_eq!(lagging.committed_height(), 2);
+
+        // A structural mismatch (QC certifying the wrong block) stops the
+        // chunk before any pairing-equivalent work on later entries, and
+        // only the structurally surviving prefix is billed as verified.
+        let mut swapped = entries.clone();
+        let other_qc = entries[0].1.clone();
+        swapped[1].1 = other_qc;
+        let mut lagging: ChainState<SimScheme> = ChainState::new(0);
+        let outcome = lagging.adopt_committed_batch(swapped, &s);
+        assert_eq!(outcome.adopted, 1);
+        assert_eq!(outcome.verified_entries, 1);
+        assert_eq!(outcome.verified_signers, 3);
+        assert_eq!(lagging.committed_height(), 1);
+
+        // Batch and per-item adoption agree.
+        let mut per_item: ChainState<SimScheme> = ChainState::new(0);
+        for (b, qc) in entries {
+            if !per_item.adopt_committed(b, qc, &s) {
+                break;
+            }
+        }
+        assert_eq!(per_item.committed_height(), 5);
+        assert_eq!(per_item.committed_log(), source.committed_log());
     }
 
     #[test]

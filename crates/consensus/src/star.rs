@@ -131,6 +131,40 @@ where
     }
 }
 
+/// Vote accumulation at the next leader. Structural checks (one signer,
+/// multiplicity 1, no duplicates) run on arrival; the expensive pairing
+/// verification is *deferred* until a quorum's worth of votes is queued,
+/// at which point the whole set verifies under one multi-pairing batch
+/// (all votes of a view sign the same message, so the batch costs two
+/// Miller loops total instead of two per vote — the star leader's CPU
+/// hotspot the paper's Section II-B.1 describes).
+struct PendingVotes<S: VoteScheme> {
+    view: u64,
+    block: Block,
+    /// Batch-verified accumulated aggregate.
+    verified: Option<S::Aggregate>,
+    /// Structurally-accepted votes awaiting batch verification.
+    queued: Vec<S::Aggregate>,
+}
+
+impl<S: VoteScheme> PendingVotes<S> {
+    /// Distinct signers in the batch-verified accumulator alone. Only
+    /// these count toward displacement protection: queued votes are
+    /// unverified, and letting them confer stickiness would let one
+    /// forged vote lock in a junk accumulation.
+    fn verified_distinct(&self, scheme: &S) -> usize {
+        self.verified
+            .as_ref()
+            .map_or(0, |acc| scheme.multiplicities(acc).distinct())
+    }
+
+    /// Distinct signers across the verified accumulator and the queue
+    /// (the quorum trigger).
+    fn collected(&self, scheme: &S) -> usize {
+        self.verified_distinct(scheme) + self.queued.len()
+    }
+}
+
 /// A star-topology HotStuff replica.
 pub struct StarReplica<S: VoteScheme> {
     /// This replica's committee id (== its simulator NodeId).
@@ -142,8 +176,8 @@ pub struct StarReplica<S: VoteScheme> {
     current_view: u64,
     last_voted_view: u64,
     leader_ctx: LeaderContext,
-    /// Vote accumulation at the next leader: (view, block, aggregate).
-    pending: Option<(u64, Block, S::Aggregate)>,
+    /// Vote accumulation at the next leader.
+    pending: Option<PendingVotes<S>>,
     qc_formed_for_view: u64,
 }
 
@@ -276,23 +310,129 @@ impl<S: VoteScheme> StarReplica<S> {
         if self.qc_formed_for_view >= view {
             return; // already done with this view
         }
-        // The star leader verifies every individual vote (this is the CPU
-        // hotspot the tree distributes).
-        ctx.charge_cpu(self.cfg.cost.verify_single);
-        let msg = vote_message(&block.hash(), view);
-        if !self.scheme.verify(&msg, &agg) {
+        // Votes implausibly far ahead of this replica's own pacemaker are
+        // hostile or hopeless (the round-based pipeline keeps honest
+        // views within a step or two of each other); accepting one would
+        // let it squat `pending` at a view no honest vote reaches soon.
+        if view > self.current_view + 2 {
             return;
         }
-        let entry = match &mut self.pending {
-            Some((v, b, acc)) if *v == view && b.hash() == block.hash() => {
+        // Cheap structural checks before any pairing: a vote is exactly
+        // one signer of multiplicity 1, not yet collected.
+        let mults = self.scheme.multiplicities(&agg);
+        if mults.distinct() != 1 || mults.total() != 1 {
+            return;
+        }
+        let signer = mults.signers().next().unwrap();
+        let matches_pending = self
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.view == view && p.block.hash() == block.hash());
+        if !matches_pending {
+            // Starting (or replacing) an accumulation is the cold path.
+            // Displacement rules: an accumulation with at most one
+            // *verified* signer is always displaceable (so a junk
+            // squatter is recovered from by the very next verified vote —
+            // no wedge is possible), and a newer view displaces
+            // regardless (the pipeline moved on). What is protected is
+            // verified progress — two-plus *batch-verified* signatures on
+            // one block (a quorum batch that dropped forgeries can leave
+            // such a sub-quorum accumulator); unverified queued votes
+            // confer no stickiness, or one forged vote could lock in a
+            // junk accumulation.
+            let displaceable = match &self.pending {
+                None => true,
+                Some(p) => view > p.view || p.verified_distinct(&self.scheme) <= 1,
+            };
+            if !displaceable {
+                return;
+            }
+            // Verify the single vote *before* letting it displace pending
+            // state, so an unverified flood cannot wipe collected votes.
+            ctx.charge_cpu(self.cfg.cost.verify_single);
+            let msg = vote_message(&block.hash(), view);
+            if !self.scheme.verify(&msg, &agg) {
+                return;
+            }
+            self.pending = Some(PendingVotes {
+                view,
+                block: block.clone(),
+                verified: Some(agg),
+                queued: Vec::new(),
+            });
+        } else {
+            let pend = self.pending.as_mut().expect("matched above");
+            // A signer already in the *verified* accumulator is a plain
+            // duplicate — rejected before any crypto. A signer already in
+            // the *unverified* queue means one of the two votes is a
+            // forgery; resolve the conflict now with one verification
+            // (the cost the pre-batch code paid per vote) so a forged
+            // squatter cannot suppress the honest vote it raced.
+            let in_verified = pend
+                .verified
+                .as_ref()
+                .is_some_and(|acc| self.scheme.multiplicities(acc).contains(signer));
+            if in_verified {
+                return;
+            }
+            if let Some(pos) = pend
+                .queued
+                .iter()
+                .position(|v| self.scheme.multiplicities(v).contains(signer))
+            {
+                ctx.charge_cpu(self.cfg.cost.verify_single);
+                let msg = vote_message(&block.hash(), view);
+                let queued_vote = pend.queued.remove(pos);
+                if self.scheme.verify(&msg, &queued_vote) {
+                    // Genuine: promote it to the verified accumulator —
+                    // the verification is paid for, so later duplicates
+                    // hit the cheap check and the quorum batch never
+                    // re-verifies this vote. The newcomer is the dup.
+                    ctx.charge_cpu(self.cfg.cost.aggregate_combine);
+                    pend.verified = Some(match pend.verified.take() {
+                        None => queued_vote,
+                        Some(acc) => self.scheme.combine(&acc, &queued_vote),
+                    });
+                    return;
+                }
+                // Forged squatter evicted; the newcomer takes the slot
+                // (and gets batch-verified like any queued vote).
+            }
+            pend.queued.push(agg);
+        }
+        let pend = self.pending.as_ref().expect("set above");
+        if pend.collected(&self.scheme) < quorum(self.cfg.n) {
+            return;
+        }
+        // Quorum's worth queued: verify the whole queue under one
+        // multi-pairing (every vote signs the same message), drop the
+        // culprits, and keep collecting if forgeries broke the quorum.
+        let pend = self.pending.as_mut().expect("set above");
+        let queued = std::mem::take(&mut pend.queued);
+        let mut acc = pend.verified.take();
+        if !queued.is_empty() {
+            ctx.charge_cpu(self.cfg.cost.verify_batch(1, queued.len()));
+            let msg = vote_message(&block.hash(), view);
+            let outcome = self
+                .scheme
+                .verify_batch(&[(msg.as_slice(), queued.as_slice())]);
+            let culprits = outcome.culprits();
+            for (i, vote) in queued.iter().enumerate() {
+                if culprits.contains(&(0, i)) {
+                    continue;
+                }
                 ctx.charge_cpu(self.cfg.cost.aggregate_combine);
-                *acc = self.scheme.combine(acc, &agg);
-                acc.clone()
+                acc = Some(match acc {
+                    None => vote.clone(),
+                    Some(a) => self.scheme.combine(&a, vote),
+                });
             }
-            _ => {
-                self.pending = Some((view, block.clone(), agg.clone()));
-                agg
-            }
+        }
+        let pend = self.pending.as_mut().expect("set above");
+        pend.verified = acc;
+        let entry = match &pend.verified {
+            Some(acc) => acc.clone(),
+            None => return,
         };
         let distinct = self.scheme.multiplicities(&entry).distinct();
         if distinct >= quorum(self.cfg.n) {
@@ -447,6 +587,209 @@ mod tests {
         // check the total is dominated by verify costs.
         let total: u64 = (0..7).map(|i| sim.stats(i).cpu_busy).sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn forged_votes_dropped_by_batch_verification_and_qc_still_forms() {
+        use crate::types::{vote_message, GENESIS_HASH};
+        use iniva_net::Context;
+        let n = 4;
+        let scheme = Arc::new(SimScheme::new(n, b"star-batch"));
+        let mut r = StarReplica::new(2, ReplicaConfig::for_tests(n), Arc::clone(&scheme));
+        let block = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        r.chain.insert_block(block.clone());
+        let msg = vote_message(&block.hash(), 1);
+        let mut ctx = Context::external(2, 0);
+        // Honest vote opens the accumulation (cold path verifies it).
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(1, &msg));
+        // A forged vote claiming signer 0 queues structurally...
+        let mut forged = scheme.sign(0, b"some other message");
+        forged.mults = iniva_crypto::multisig::Multiplicities::singleton(0);
+        r.handle_vote(&mut ctx, 1, block.clone(), forged);
+        // ...and the quorum-triggering batch must identify and drop it
+        // without blocking the honest votes.
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(2, &msg));
+        assert!(r.chain.highest_qc().is_none(), "forgery broke the quorum");
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(3, &msg));
+        let qc = r.chain.highest_qc().expect("quorum of honest votes");
+        let mults = scheme.multiplicities(&qc.agg);
+        assert!(!mults.contains(0), "forged signer must not enter the QC");
+        for s in [1, 2, 3] {
+            assert!(mults.contains(s));
+        }
+        assert!(scheme.verify(&msg, &qc.agg));
+    }
+
+    #[test]
+    fn forged_squatter_cannot_suppress_the_honest_vote_it_raced() {
+        use crate::types::{vote_message, GENESIS_HASH};
+        use iniva_net::Context;
+        let n = 4;
+        let scheme = Arc::new(SimScheme::new(n, b"star-squat"));
+        let mut r = StarReplica::new(2, ReplicaConfig::for_tests(n), Arc::clone(&scheme));
+        let block = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        r.chain.insert_block(block.clone());
+        let msg = vote_message(&block.hash(), 1);
+        let mut ctx = Context::external(2, 0);
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(1, &msg));
+        // Forged votes squat signers 2 and 3 in the unverified queue
+        // (quorum is 3, so no batch fires yet)...
+        for squat in [2u32, 3] {
+            let mut forged = scheme.sign(squat, b"junk");
+            forged.mults = iniva_crypto::multisig::Multiplicities::singleton(squat);
+            r.handle_vote(&mut ctx, 1, block.clone(), forged);
+        }
+        assert!(r.chain.highest_qc().is_none());
+        // ...but the honest votes they raced must still be able to claim
+        // their slots: the conflict is resolved on arrival, the squatters
+        // are evicted, and the quorum forms from genuine votes.
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(2, &msg));
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(3, &msg));
+        let qc = r.chain.highest_qc().expect("honest quorum must form");
+        assert!(scheme.verify(&msg, &qc.agg));
+        assert!(scheme.multiplicities(&qc.agg).distinct() >= quorum(n));
+    }
+
+    #[test]
+    fn far_future_junk_vote_cannot_wedge_vote_collection() {
+        use crate::types::{vote_message, GENESIS_HASH};
+        use iniva_net::Context;
+        let n = 4;
+        let scheme = Arc::new(SimScheme::new(n, b"star-wedge"));
+        let mut r = StarReplica::new(2, ReplicaConfig::for_tests(n), Arc::clone(&scheme));
+        let block = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        r.chain.insert_block(block.clone());
+        let mut ctx = Context::external(2, 0);
+        // A validly-signed junk vote for an absurdly future view is
+        // refused outright (outside the pacemaker window)...
+        let junk_far = Block {
+            view: u64::MAX - 1,
+            ..block.clone()
+        };
+        let far_vote = scheme.sign(0, &vote_message(&junk_far.hash(), u64::MAX - 1));
+        r.handle_vote(&mut ctx, u64::MAX - 1, junk_far, far_vote);
+        assert!(r.pending.is_none(), "far-future vote must not squat");
+        // ...and a junk vote *inside* the window squats only until the
+        // next verified vote: a singleton accumulation is always
+        // displaceable, so the honest quorum still forms.
+        let junk_near = Block {
+            view: 3,
+            ..block.clone()
+        };
+        let near_vote = scheme.sign(0, &vote_message(&junk_near.hash(), 3));
+        r.handle_vote(&mut ctx, 3, junk_near, near_vote);
+        assert!(r.pending.is_some(), "in-window vote accumulates");
+        let msg = vote_message(&block.hash(), 1);
+        for signer in [1, 2, 3] {
+            r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(signer, &msg));
+        }
+        let qc = r.chain.highest_qc().expect("honest quorum must form");
+        assert_eq!(qc.view, 1);
+        assert!(scheme.verify(&msg, &qc.agg));
+    }
+
+    #[test]
+    fn forged_queued_votes_confer_no_displacement_protection() {
+        use crate::types::{vote_message, GENESIS_HASH};
+        use iniva_net::Context;
+        let n = 4;
+        let scheme = Arc::new(SimScheme::new(n, b"star-sticky"));
+        let mut r = StarReplica::new(2, ReplicaConfig::for_tests(n), Arc::clone(&scheme));
+        let block = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        r.chain.insert_block(block.clone());
+        let mut ctx = Context::external(2, 0);
+        // Byzantine member 0 opens a junk-block accumulation with a
+        // validly signed vote (cold path verifies it)...
+        let junk = Block {
+            proposer: 0,
+            ..block.clone()
+        };
+        let junk_vote = scheme.sign(0, &vote_message(&junk.hash(), 1));
+        r.handle_vote(&mut ctx, 1, junk.clone(), junk_vote);
+        // ...and pads it with a forged vote (garbage signature claiming
+        // signer 3) that queues unverified. The padded count must NOT
+        // protect the junk accumulation from displacement.
+        let mut forged = scheme.sign(3, b"garbage");
+        forged.mults = iniva_crypto::multisig::Multiplicities::singleton(3);
+        r.handle_vote(&mut ctx, 1, junk, forged);
+        let msg = vote_message(&block.hash(), 1);
+        for signer in [1, 2, 3] {
+            r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(signer, &msg));
+        }
+        let qc = r.chain.highest_qc().expect("honest quorum must form");
+        assert_eq!(qc.view, 1);
+        assert!(scheme.verify(&msg, &qc.agg));
+    }
+
+    #[test]
+    fn duplicate_votes_rejected_before_any_verification() {
+        use crate::types::{vote_message, GENESIS_HASH};
+        use iniva_net::Context;
+        let n = 7;
+        let scheme = Arc::new(SimScheme::new(n, b"star-dup"));
+        let mut r = StarReplica::new(2, ReplicaConfig::for_tests(n), Arc::clone(&scheme));
+        let block = Block {
+            view: 1,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        let msg = vote_message(&block.hash(), 1);
+        let mut ctx = Context::external(2, 0);
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(1, &msg));
+        // Spamming the same signer never reaches the quorum counter: the
+        // QC must still be missing after many duplicates (quorum is 5).
+        for _ in 0..20 {
+            r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(1, &msg));
+        }
+        assert!(r.chain.highest_qc().is_none());
+        let pend = r.pending.as_ref().expect("accumulating");
+        assert_eq!(pend.collected(&scheme), 1, "duplicates must not queue");
+        // A duplicate of a *queued* (not yet batch-verified) vote pays
+        // one conflict-resolving verification and promotes the genuine
+        // vote; every further duplicate then hits the cheap
+        // verified-accumulator check.
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(2, &msg));
+        r.handle_vote(&mut ctx, 1, block.clone(), scheme.sign(2, &msg));
+        let pend = r.pending.as_ref().expect("accumulating");
+        assert_eq!(pend.verified_distinct(&scheme), 2, "genuine vote promoted");
+        assert!(pend.queued.is_empty(), "promotion drains the queue slot");
+        assert_eq!(pend.collected(&scheme), 2);
     }
 
     #[test]

@@ -259,6 +259,14 @@ const TIMER_SECOND_CHANCE: u64 = 2;
 /// means commits happened that this replica never saw.
 const STATE_SYNC_GAP: u64 = 3;
 
+/// Bound on the `early_sigs` reorder buffer, as a multiple of committee
+/// size: the buffer keeps at most one signature per `(sender, view)` pair
+/// (honest senders send one per view), at most `n` entries per view, and
+/// at most `EARLY_SIGS_TOTAL_FACTOR · n` entries overall, dropping the
+/// oldest on overflow. Without the caps a hostile peer flooding one
+/// future view would grow the buffer without bound.
+const EARLY_SIGS_TOTAL_FACTOR: usize = 4;
+
 fn timer_id(view: u64, kind: u64) -> u64 {
     view * 4 + kind
 }
@@ -567,7 +575,9 @@ where
         }
         self.agg = Some(st);
         self.enter_view(ctx, view + 1, false);
-        // Replay signatures that raced ahead of this proposal.
+        // Replay signatures that raced ahead of this proposal — as one
+        // batch, so the whole buffered fan-in costs a single
+        // multi-pairing.
         let ready: Vec<_> = {
             let (ready, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.early_sigs)
                 .into_iter()
@@ -575,12 +585,16 @@ where
             self.early_sigs = keep;
             ready
         };
-        for (from, v, agg) in ready {
-            self.handle_signature(ctx, from, v, agg);
+        if !ready.is_empty() {
+            self.handle_signatures(ctx, ready);
         }
     }
 
-    /// Lines 18–20 (and 2ND-CHANCE replies landing at the root).
+    /// Lines 18–20 (and 2ND-CHANCE replies landing at the root), single
+    /// arrival: a batch of one. (Production traffic reaches
+    /// [`Self::handle_signatures`] through the `Actor` dispatch; this is
+    /// the single-arrival convenience used by tests.)
+    #[cfg(test)]
     fn handle_signature(
         &mut self,
         ctx: &mut Context<InivaMsg<S>>,
@@ -588,86 +602,281 @@ where
         view: u64,
         agg: S::Aggregate,
     ) {
-        let stale = match &self.agg {
-            None => true,
-            Some(st) => st.view < view,
-        };
-        if stale {
-            // The proposal has not reached us yet: buffer and replay later.
-            if view >= self.current_view {
-                self.early_sigs.push((from, view, agg));
-                self.early_sigs
-                    .retain(|(_, v, _)| *v + 2 > self.current_view);
-            }
-            return;
-        }
-        let Some(st) = &mut self.agg else { return };
-        if st.view != view || st.finalized {
-            return;
-        }
-        let tree = st.tree.clone();
-        let role = tree.role_of(self.id);
-        let mults = self.scheme.multiplicities(&agg).clone();
-        // assert verifies(sig, sig.signers) — charge and check.
-        ctx.charge_cpu(self.cfg.cost.verify_aggregate(mults.distinct()));
-        let msg = vote_message(&st.block.hash(), view);
-        if !self.scheme.verify(&msg, &agg) {
-            return;
-        }
+        self.handle_signatures(ctx, vec![(from, view, agg)]);
+    }
 
-        match role {
-            Role::Internal => {
-                // Expect single votes from leaf children.
+    /// Buffers a signature that raced ahead of its view's proposal.
+    /// Bounded three ways, so a hostile peer flooding future views cannot
+    /// grow the buffer without bound: newest-wins per `(sender, view)`
+    /// pair, drop-oldest per view at `n` entries, and at
+    /// [`EARLY_SIGS_TOTAL_FACTOR`]`·n` overall the entry for the
+    /// *farthest-future* view yields — near views are the ones whose
+    /// proposals arrive next, so evicting far views keeps one flooding
+    /// peer from displacing other senders' imminent votes.
+    fn buffer_early_sig(&mut self, from: NodeId, view: u64, agg: S::Aggregate) {
+        // Saturating: `view` is raw wire input, and an entry buffered at
+        // `u64::MAX` must not turn this prune into a debug-build
+        // overflow panic.
+        self.early_sigs
+            .retain(|(_, v, _)| v.saturating_add(2) > self.current_view);
+        if let Some(slot) = self
+            .early_sigs
+            .iter_mut()
+            .find(|(f, v, _)| *f == from && *v == view)
+        {
+            slot.2 = agg;
+            return;
+        }
+        let per_view_cap = self.cfg.n.max(1);
+        if self
+            .early_sigs
+            .iter()
+            .filter(|(_, v, _)| *v == view)
+            .count()
+            >= per_view_cap
+        {
+            if let Some(oldest) = self.early_sigs.iter().position(|(_, v, _)| *v == view) {
+                self.early_sigs.remove(oldest);
+            }
+        }
+        if self.early_sigs.len() >= EARLY_SIGS_TOTAL_FACTOR * per_view_cap {
+            let farthest = self
+                .early_sigs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, v, _))| *v)
+                .map(|(i, (_, v, _))| (i, *v))
+                .expect("buffer is at capacity, hence non-empty");
+            if view >= farthest.1 {
+                return; // incoming is the farthest future — drop it instead
+            }
+            self.early_sigs.remove(farthest.0);
+        }
+        self.early_sigs.push((from, view, agg));
+    }
+
+    /// Lines 18–20 over a *batch* of SIGNATURE messages: everything queued
+    /// in one handler turn (live-transport drain) plus the `early_sigs`
+    /// replay lands here together, so one multi-pairing batch
+    /// verification covers the whole fan-in instead of two Miller loops
+    /// per message. Cheap structural checks (duplicates, membership,
+    /// multiplicity patterns) run *before* any pairing, so spam that
+    /// would be rejected anyway never reaches the expensive path.
+    fn handle_signatures(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        sigs: Vec<(NodeId, u64, S::Aggregate)>,
+    ) {
+        // Split off the signatures addressed to the live aggregation
+        // state; buffer the early ones, drop stale ones.
+        let mut batch: Vec<(NodeId, S::Aggregate)> = Vec::new();
+        let mut batch_view = 0;
+        for (from, view, agg) in sigs {
+            let early = match &self.agg {
+                None => true,
+                Some(st) => st.view < view,
+            };
+            if early {
+                // The proposal has not reached us yet: buffer and replay
+                // later.
+                if view >= self.current_view {
+                    self.buffer_early_sig(from, view, agg);
+                }
+                continue;
+            }
+            let Some(st) = &self.agg else { continue };
+            if st.view != view || st.finalized {
+                continue;
+            }
+            batch_view = view;
+            batch.push((from, agg));
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let Some(st) = &self.agg else { return };
+        let tree = st.tree.clone();
+        match tree.role_of(self.id) {
+            Role::Leaf => {}
+            Role::Internal => self.fold_internal_signatures(ctx, &tree, batch_view, batch),
+            Role::Root => self.fold_root_signatures(ctx, &tree, batch_view, batch),
+        }
+    }
+
+    /// Internal node: fold leaf votes in. Wave loop: structurally select
+    /// a set of distinct valid children, verify the whole wave in one
+    /// batch, fold the survivors; items skipped only because an in-batch
+    /// peer claimed the same signer are retried in the next wave when
+    /// that peer turned out to be a forgery.
+    fn fold_internal_signatures(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        tree: &TreeView,
+        view: u64,
+        mut queue: Vec<(NodeId, S::Aggregate)>,
+    ) {
+        let msg = {
+            let Some(st) = &self.agg else { return };
+            vote_message(&st.block.hash(), view)
+        };
+        let children = tree.children_of(self.id);
+        loop {
+            let Some(st) = &self.agg else { return };
+            if st.view != view || st.finalized {
+                return;
+            }
+            let mut selected: Vec<S::Aggregate> = Vec::new();
+            let mut selected_signers: Vec<u32> = Vec::new();
+            let mut retry: Vec<(NodeId, S::Aggregate)> = Vec::new();
+            for (from, agg) in queue.drain(..) {
+                // Expect single votes from leaf children — all cheap
+                // metadata checks, no pairing yet.
+                let mults = self.scheme.multiplicities(&agg);
                 if mults.distinct() != 1 || mults.total() != 1 {
-                    return;
+                    continue;
                 }
                 let signer = mults.signers().next().unwrap();
-                if !tree.children_of(self.id).contains(&signer) || st.children_in.contains(&signer)
-                {
-                    return;
+                if !children.contains(&signer) || st.children_in.contains(&signer) {
+                    continue;
+                }
+                if selected_signers.contains(&signer) {
+                    // Blocked by an in-batch rival claiming the same
+                    // signer; retry if the rival fails verification.
+                    retry.push((from, agg));
+                    continue;
+                }
+                selected_signers.push(signer);
+                selected.push(agg);
+            }
+            if selected.is_empty() {
+                return;
+            }
+            // assert verifies(sig, sig.signers), batched — charge the
+            // multi-pairing, not per-item pairings.
+            ctx.charge_cpu(self.cfg.cost.verify_batch(1, selected.len()));
+            let outcome = self
+                .scheme
+                .verify_batch(&[(msg.as_slice(), selected.as_slice())]);
+            let culprits = outcome.culprits();
+            let any_culprit = !culprits.is_empty();
+            let st = self.agg.as_mut().expect("agg state checked above");
+            for (i, agg) in selected.iter().enumerate() {
+                if culprits.contains(&(0, i)) {
+                    continue;
                 }
                 ctx.charge_cpu(self.cfg.cost.aggregate_combine);
-                st.children_in.push(signer);
-                st.agg = self.scheme.combine(&st.agg, &agg);
-                if !st.sent_up && st.children_in.len() == tree.children_of(self.id).len() {
-                    self.send_subtree_up(ctx, &tree);
-                }
+                st.children_in.push(selected_signers[i]);
+                st.agg = self.scheme.combine(&st.agg, agg);
             }
-            Role::Root => {
-                // Subtree aggregates from internal children, or 2ND-CHANCE
-                // replies (individual signatures / ACK echoes).
-                let current = self.scheme.multiplicities(&st.agg).clone();
-                let adds_new = mults.signers().any(|s| !current.contains(s));
-                let disjoint = mults.signers().all(|s| !current.contains(s));
-                if !adds_new || !disjoint {
-                    return; // overlapping or redundant — skip (keeps multiplicities canonical)
+            if !st.sent_up && st.children_in.len() == children.len() {
+                self.send_subtree_up(ctx, tree);
+            }
+            if !any_culprit || retry.is_empty() {
+                return;
+            }
+            queue = retry;
+        }
+    }
+
+    /// Root: fold subtree aggregates and 2ND-CHANCE replies in, batched
+    /// the same way as [`Self::fold_internal_signatures`] — structural
+    /// selection (disjointness against the accumulated multiset,
+    /// subtree-multiplicity validation) first, one batch verification per
+    /// wave, survivors folded, finalization checked once per wave.
+    fn fold_root_signatures(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        tree: &TreeView,
+        view: u64,
+        mut queue: Vec<(NodeId, S::Aggregate)>,
+    ) {
+        let msg = {
+            let Some(st) = &self.agg else { return };
+            vote_message(&st.block.hash(), view)
+        };
+        loop {
+            let Some(st) = &self.agg else { return };
+            if st.view != view || st.finalized {
+                return;
+            }
+            // Structural selection: accepted state plus in-batch
+            // tentatively-selected signers must stay disjoint.
+            let current = self.scheme.multiplicities(&st.agg).clone();
+            let mut tentative = current.clone();
+            let mut selected: Vec<S::Aggregate> = Vec::new();
+            let mut selected_from: Vec<NodeId> = Vec::new();
+            let mut selected_signers = 0usize;
+            let mut retry: Vec<(NodeId, S::Aggregate)> = Vec::new();
+            for (from, agg) in queue.drain(..) {
+                let mults = self.scheme.multiplicities(&agg).clone();
+                // Overlapping or redundant against accepted state — skip
+                // for good (keeps multiplicities canonical).
+                if mults.is_empty() || mults.signers().any(|s| current.contains(s)) {
+                    continue;
+                }
+                if mults.signers().any(|s| tentative.contains(s)) {
+                    // Disjoint from accepted state but blocked by an
+                    // in-batch rival; retry if the rival fails.
+                    retry.push((from, agg));
+                    continue;
                 }
                 // Validate the multiplicity pattern for subtree aggregates.
                 let from_internal = tree.role_of(from) == Role::Internal && from != self.id;
                 if from_internal && mults.distinct() > 1 {
-                    if !validate_subtree_multiplicities(&tree, from, &mults) {
-                        return; // malformed multiplicities: reject share
+                    if !validate_subtree_multiplicities(tree, from, &mults) {
+                        continue; // malformed multiplicities: reject share
                     }
                 } else if mults.distinct() == 1 && mults.total() != 1 {
-                    return;
+                    continue;
                 }
-                ctx.charge_cpu(self.cfg.cost.aggregate_combine);
-                if st.second_chance_sent {
-                    self.agg_metrics.second_chance_recoveries += mults.distinct() as u64;
+                tentative = tentative.merge(&mults);
+                selected_signers += mults.distinct();
+                selected_from.push(from);
+                selected.push(agg);
+            }
+            if selected.is_empty() {
+                return;
+            }
+            ctx.charge_cpu(self.cfg.cost.verify_batch(1, selected_signers));
+            let outcome = self
+                .scheme
+                .verify_batch(&[(msg.as_slice(), selected.as_slice())]);
+            let culprits = outcome.culprits();
+            let any_culprit = !culprits.is_empty();
+            let mut folded = false;
+            {
+                let st = self.agg.as_mut().expect("agg state checked above");
+                for (i, agg) in selected.iter().enumerate() {
+                    if culprits.contains(&(0, i)) {
+                        continue;
+                    }
+                    let mults = self.scheme.multiplicities(agg);
+                    ctx.charge_cpu(self.cfg.cost.aggregate_combine);
+                    if st.second_chance_sent {
+                        self.agg_metrics.second_chance_recoveries += mults.distinct() as u64;
+                    }
+                    let from = selected_from[i];
+                    let from_internal = tree.role_of(from) == Role::Internal && from != self.id;
+                    if from_internal && tree.children_of(self.id).contains(&from) {
+                        st.subtrees_in += 1;
+                    }
+                    st.agg = self.scheme.combine(&st.agg, agg);
+                    folded = true;
                 }
-                if from_internal && tree.children_of(self.id).contains(&from) {
-                    st.subtrees_in += 1;
-                }
-                st.agg = self.scheme.combine(&st.agg, &agg);
+            }
+            if folded {
                 if self.agg.as_ref().is_some_and(|s| s.sc_expired) {
                     // Late quorum after the second-chance window: finalize
                     // as soon as it is possible again.
                     self.finalize(ctx);
                 } else {
-                    self.maybe_second_chance_or_finalize(ctx, &tree, false);
+                    self.maybe_second_chance_or_finalize(ctx, tree, false);
                 }
             }
-            Role::Leaf => {}
+            if !any_culprit || retry.is_empty() {
+                return;
+            }
+            queue = retry;
         }
     }
 
@@ -991,24 +1200,29 @@ where
         );
     }
 
-    /// Adopts a [`StateResponse`] chunk: every block is verified against
-    /// its QC before it grafts onto the committed prefix (see
-    /// [`ChainState::adopt_committed`]); the first invalid or
-    /// non-contiguous entry stops the chunk. A still-open gap re-triggers
-    /// [`Self::maybe_request_state`] on the next QC observed.
+    /// Adopts a [`StateResponse`] chunk: the whole chunk's QCs are
+    /// verified in **one** multi-pairing batch (each QC certifies a
+    /// distinct message, so the batch costs `1 + #blocks` Miller loops
+    /// and a single final exponentiation instead of two Miller loops per
+    /// block — see [`ChainState::adopt_committed_batch`]); the first
+    /// invalid or non-contiguous entry stops the chunk. A still-open gap
+    /// re-triggers [`Self::maybe_request_state`] on the next QC observed.
     fn handle_state_response(
         &mut self,
         ctx: &mut Context<InivaMsg<S>>,
         response: StateResponse<Block, Qc<S>>,
     ) {
-        for (block, qc) in response.blocks.into_iter().zip(response.qcs) {
-            ctx.charge_cpu(
-                self.cfg
-                    .cost
-                    .verify_aggregate(qc.signer_count(&self.scheme)),
-            );
-            if !self.chain.adopt_committed(block, qc, &self.scheme) {
-                break;
+        let items: Vec<(Block, Qc<S>)> = response.blocks.into_iter().zip(response.qcs).collect();
+        if !items.is_empty() {
+            let outcome = self.chain.adopt_committed_batch(items, &self.scheme);
+            // Bill only what actually reached crypto: a chunk rejected by
+            // the cheap structural pass costs no pairing-equivalent time.
+            if outcome.verified_entries > 0 {
+                ctx.charge_cpu(
+                    self.cfg
+                        .cost
+                        .verify_batch(outcome.verified_entries, outcome.verified_signers),
+                );
             }
         }
         self.update_carousel();
@@ -1084,18 +1298,53 @@ where
     }
 
     fn on_message(&mut self, ctx: &mut Context<InivaMsg<S>>, from: NodeId, msg: InivaMsg<S>) {
-        ctx.charge_cpu(self.cfg.cost.msg_overhead);
-        match msg {
-            InivaMsg::Proposal { block, qc } => self.handle_proposal(ctx, block, qc),
-            InivaMsg::Signature { view, agg } => self.handle_signature(ctx, from, view, agg),
-            InivaMsg::Ack { view, agg } => self.handle_ack(ctx, view, agg),
-            InivaMsg::SecondChance { block, qc } => self.handle_second_chance(ctx, from, block, qc),
-            InivaMsg::StateRequest(req) => self.handle_state_request(ctx, from, req.from_height),
-            InivaMsg::StateResponse(resp) => self.handle_state_response(ctx, resp),
+        // One dispatch table for both delivery paths: a single message is
+        // a batch of one (identical behavior, including the per-message
+        // overhead charge and the post-dispatch state-transfer probe).
+        self.on_messages(ctx, vec![(from, msg)]);
+    }
+
+    /// Live-transport drain: consecutive SIGNATURE messages queued in one
+    /// handler turn are folded through [`Self::handle_signatures`] as one
+    /// batch (a view's fan-in at the root verifies under a single
+    /// multi-pairing); every other message type dispatches in arrival
+    /// order, flushing the pending signature run first so per-sender
+    /// ordering is preserved.
+    fn on_messages(&mut self, ctx: &mut Context<InivaMsg<S>>, batch: Vec<(NodeId, InivaMsg<S>)>) {
+        let mut sigs: Vec<(NodeId, u64, S::Aggregate)> = Vec::new();
+        let mut senders: Vec<NodeId> = Vec::new();
+        for (from, msg) in batch {
+            ctx.charge_cpu(self.cfg.cost.msg_overhead);
+            if !senders.contains(&from) {
+                senders.push(from);
+            }
+            match msg {
+                InivaMsg::Signature { view, agg } => sigs.push((from, view, agg)),
+                other => {
+                    if !sigs.is_empty() {
+                        self.handle_signatures(ctx, std::mem::take(&mut sigs));
+                    }
+                    match other {
+                        InivaMsg::Proposal { block, qc } => self.handle_proposal(ctx, block, qc),
+                        InivaMsg::Ack { view, agg } => self.handle_ack(ctx, view, agg),
+                        InivaMsg::SecondChance { block, qc } => {
+                            self.handle_second_chance(ctx, from, block, qc)
+                        }
+                        InivaMsg::StateRequest(req) => {
+                            self.handle_state_request(ctx, from, req.from_height)
+                        }
+                        InivaMsg::StateResponse(resp) => self.handle_state_response(ctx, resp),
+                        InivaMsg::Signature { .. } => unreachable!("matched above"),
+                    }
+                }
+            }
         }
-        // After any peer message: if its QC revealed a committed prefix we
-        // are missing, ask that peer for it.
-        self.maybe_request_state(ctx, from);
+        if !sigs.is_empty() {
+            self.handle_signatures(ctx, sigs);
+        }
+        for from in senders {
+            self.maybe_request_state(ctx, from);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<InivaMsg<S>>, id: u64) {
@@ -1133,6 +1382,232 @@ where
             }
             _ => unreachable!("unknown timer kind"),
         }
+    }
+}
+
+#[cfg(test)]
+mod batching_tests {
+    use super::*;
+    use iniva_crypto::multisig::{BatchOutcome, Multiplicities, SignerId};
+    use iniva_crypto::sim_scheme::{SimAggregate, SimScheme};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A [`SimScheme`] wrapper counting how many aggregates were actually
+    /// handed to cryptographic verification — the regression hook for
+    /// "cheap structural checks run before expensive pairings".
+    struct CountingScheme {
+        inner: SimScheme,
+        verified_items: AtomicUsize,
+    }
+
+    impl CountingScheme {
+        fn new(n: usize, seed: &[u8]) -> Self {
+            CountingScheme {
+                inner: SimScheme::new(n, seed),
+                verified_items: AtomicUsize::new(0),
+            }
+        }
+
+        fn verified(&self) -> usize {
+            self.verified_items.load(Ordering::Relaxed)
+        }
+    }
+
+    impl VoteScheme for CountingScheme {
+        type Aggregate = SimAggregate;
+
+        fn sign(&self, signer: SignerId, msg: &[u8]) -> SimAggregate {
+            self.inner.sign(signer, msg)
+        }
+        fn combine(&self, a: &SimAggregate, b: &SimAggregate) -> SimAggregate {
+            self.inner.combine(a, b)
+        }
+        fn scale(&self, a: &SimAggregate, k: u64) -> SimAggregate {
+            self.inner.scale(a, k)
+        }
+        fn verify(&self, msg: &[u8], agg: &SimAggregate) -> bool {
+            self.verified_items.fetch_add(1, Ordering::Relaxed);
+            self.inner.verify(msg, agg)
+        }
+        fn verify_batch(&self, groups: &[(&[u8], &[SimAggregate])]) -> BatchOutcome {
+            let items: usize = groups.iter().map(|(_, aggs)| aggs.len()).sum();
+            self.verified_items.fetch_add(items, Ordering::Relaxed);
+            self.inner.verify_batch(groups)
+        }
+        fn multiplicities<'a>(&self, agg: &'a SimAggregate) -> &'a Multiplicities {
+            &agg.mults
+        }
+        fn committee_size(&self) -> usize {
+            self.inner.committee_size()
+        }
+    }
+
+    fn genesis_block(view: u64) -> Block {
+        Block {
+            view,
+            height: 1,
+            parent: GENESIS_HASH,
+            proposer: 0,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        }
+    }
+
+    /// A replica holding a given role in the view-1 tree, with the view-1
+    /// proposal already delivered.
+    fn replica_with_role(
+        role: Role,
+        scheme: Arc<CountingScheme>,
+    ) -> (InivaReplica<CountingScheme>, Block, TreeView) {
+        let cfg = InivaConfig::for_tests(7, 2);
+        let tree = tree_for_view(
+            cfg.n,
+            cfg.internal,
+            &cfg.epoch_seed,
+            1,
+            &cfg.leader_policy,
+            &LeaderContext::default(),
+        );
+        let id = (0..cfg.n as u32)
+            .find(|&id| {
+                tree.role_of(id) == role
+                    && (role != Role::Internal || !tree.children_of(id).is_empty())
+            })
+            .expect("role present in a 7-node tree");
+        let mut replica = InivaReplica::new(id, cfg, scheme);
+        let block = genesis_block(1);
+        let mut ctx = Context::external(id, 0);
+        replica.handle_proposal(&mut ctx, block.clone(), None);
+        assert!(replica.agg.is_some(), "proposal accepted");
+        (replica, block, tree)
+    }
+
+    #[test]
+    fn duplicate_spam_costs_no_extra_verifications() {
+        let scheme = Arc::new(CountingScheme::new(7, b"dup-spam"));
+        let (mut replica, block, tree) = replica_with_role(Role::Internal, Arc::clone(&scheme));
+        let child = tree.children_of(replica.id)[0];
+        let msg = vote_message(&block.hash(), 1);
+        let sig = scheme.sign(child, &msg);
+        let mut ctx = Context::external(replica.id, 0);
+        let before = scheme.verified();
+        replica.handle_signature(&mut ctx, child, 1, sig.clone());
+        assert_eq!(scheme.verified() - before, 1, "first copy verifies once");
+        // The spammed duplicates must be rejected by the cheap duplicate
+        // check *before* any verification is charged.
+        for _ in 0..50 {
+            replica.handle_signature(&mut ctx, child, 1, sig.clone());
+        }
+        assert_eq!(
+            scheme.verified() - before,
+            1,
+            "duplicates reached the crypto layer"
+        );
+        // Out-of-committee / malformed multiplicity shapes are also free.
+        let double = scheme.scale(&scheme.sign(child, &msg), 2);
+        replica.handle_signature(&mut ctx, child, 1, double);
+        assert_eq!(scheme.verified() - before, 1);
+    }
+
+    #[test]
+    fn root_batch_folds_honest_signatures_and_drops_forgeries() {
+        let scheme = Arc::new(CountingScheme::new(7, b"root-batch"));
+        let (mut replica, block, _tree) = replica_with_role(Role::Root, Arc::clone(&scheme));
+        let msg = vote_message(&block.hash(), 1);
+        let root = replica.id;
+        let others: Vec<u32> = (0..7).filter(|&m| m != root).collect();
+        // Three honest single votes and one forgery (wrong message bytes
+        // under a plausible claimed signer), delivered as ONE batch — the
+        // live transport's drain shape.
+        let honest: Vec<u32> = others[..3].to_vec();
+        let forger = others[3];
+        let mut batch: Vec<(NodeId, u64, SimAggregate)> = honest
+            .iter()
+            .map(|&m| (m, 1, scheme.sign(m, &msg)))
+            .collect();
+        let mut forged = scheme.sign(forger, b"wrong message");
+        forged.mults = Multiplicities::singleton(forger);
+        batch.insert(1, (forger, 1, forged));
+        let before = scheme.verified();
+        let mut ctx = Context::external(root, 0);
+        replica.handle_signatures(&mut ctx, batch);
+        // One batched pass over the four candidates (the SimScheme default
+        // per-item fallback counts each item once), no per-item retries.
+        assert_eq!(scheme.verified() - before, 4);
+        let st = replica.agg.as_ref().expect("aggregation live");
+        let mults = scheme.multiplicities(&st.agg);
+        assert!(mults.contains(root), "own vote");
+        for m in honest {
+            assert!(mults.contains(m), "honest vote {m} folded");
+        }
+        assert!(!mults.contains(forger), "forgery dropped");
+        assert!(scheme.inner.verify(&msg, &st.agg), "accumulator verifies");
+    }
+
+    #[test]
+    fn early_sig_buffer_is_bounded_against_floods() {
+        let scheme = Arc::new(CountingScheme::new(7, b"early-flood"));
+        let cfg = InivaConfig::for_tests(7, 2);
+        let n = cfg.n;
+        let mut replica = InivaReplica::new(0, cfg, Arc::clone(&scheme));
+        let mut ctx = Context::external(0, 0);
+        // No proposal delivered: every future-view signature is buffered.
+        // One hostile sender flooding a single future view occupies ONE
+        // slot (newest wins per sender/view pair).
+        for i in 0..100u32 {
+            let sig = scheme.sign(i % 7, b"spam");
+            replica.handle_signature(&mut ctx, 3, 40, sig);
+        }
+        assert_eq!(replica.early_sigs.len(), 1);
+        // Distinct senders to one view are capped at committee size.
+        for sender in 0..100u32 {
+            let sig = scheme.sign(sender % 7, b"spam");
+            replica.handle_signature(&mut ctx, sender, 40, sig);
+        }
+        assert!(
+            replica.early_sigs.len() <= n,
+            "per-view cap exceeded: {}",
+            replica.early_sigs.len()
+        );
+        // Flooding many views hits the total cap; the farthest-future
+        // entries yield, so the views whose proposals arrive next are the
+        // ones that survive.
+        for view in 2..200u64 {
+            let sig = scheme.sign((view % 7) as u32, b"spam");
+            replica.handle_signature(&mut ctx, (view % 7) as NodeId, view, sig);
+        }
+        assert!(
+            replica.early_sigs.len() <= EARLY_SIGS_TOTAL_FACTOR * n,
+            "total cap exceeded: {}",
+            replica.early_sigs.len()
+        );
+        assert!(
+            replica.early_sigs.iter().any(|(_, v, _)| *v == 2),
+            "the nearest future view must survive the flood"
+        );
+        assert!(
+            !replica.early_sigs.iter().any(|(_, v, _)| *v == 199),
+            "the farthest future view must have yielded"
+        );
+        // Verification was never charged for buffered signatures.
+        assert_eq!(scheme.verified(), 0);
+    }
+
+    #[test]
+    fn extreme_view_numbers_do_not_panic_the_buffer() {
+        // `view` is raw wire input: buffering u64::MAX and then pruning
+        // must not overflow (debug builds panic on `u64::MAX + 2`).
+        let scheme = Arc::new(CountingScheme::new(7, b"early-extreme"));
+        let cfg = InivaConfig::for_tests(7, 2);
+        let mut replica = InivaReplica::new(0, cfg, Arc::clone(&scheme));
+        let mut ctx = Context::external(0, 0);
+        replica.handle_signature(&mut ctx, 1, u64::MAX, scheme.sign(1, b"spam"));
+        // The next buffered signature re-runs the prune over the
+        // u64::MAX entry.
+        replica.handle_signature(&mut ctx, 2, 5, scheme.sign(2, b"spam"));
+        assert!(replica.early_sigs.iter().any(|(_, v, _)| *v == 5));
+        assert_eq!(scheme.verified(), 0);
     }
 }
 

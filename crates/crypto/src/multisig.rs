@@ -20,6 +20,19 @@ use std::fmt;
 /// and tree positions are reshuffled every view, identities are not).
 pub type SignerId = u32;
 
+/// Largest multiplicity a decoded wire aggregate may claim per signer.
+///
+/// Honest multiplicities are tiny — tree aggregation folds a child in
+/// twice and the internal node's own share `#children + 1` times (paper
+/// Eq. 1), so anything beyond committee size is already implausible. The
+/// cap exists for hostility, not plausibility: a count near `u64::MAX`
+/// would make a later `merge`/`scale` wrap (release) or panic (debug)
+/// inside an unsuspecting combine far from the decode site. `u32::MAX`
+/// leaves orders of magnitude of headroom over any honest value while
+/// keeping every in-memory sum of distinct-signer counts far from
+/// overflow.
+pub const MAX_MULTIPLICITY: u64 = u32::MAX as u64;
+
 /// A multiset of signers: who is inside an aggregate, and how many times.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Multiplicities(BTreeMap<SignerId, u64>);
@@ -37,14 +50,18 @@ impl Multiplicities {
         Multiplicities(m)
     }
 
-    /// Adds `count` occurrences of `signer`.
+    /// Adds `count` occurrences of `signer`. Saturating: combining
+    /// near-`u64::MAX` counts (reachable only through hostile inputs —
+    /// decode already caps each entry at [`MAX_MULTIPLICITY`]) pins at
+    /// `u64::MAX` instead of wrapping or panicking.
     pub fn add(&mut self, signer: SignerId, count: u64) {
         if count > 0 {
-            *self.0.entry(signer).or_insert(0) += count;
+            let entry = self.0.entry(signer).or_insert(0);
+            *entry = entry.saturating_add(count);
         }
     }
 
-    /// Pointwise sum of two multisets.
+    /// Pointwise sum of two multisets (saturating per entry).
     pub fn merge(&self, other: &Self) -> Self {
         let mut out = self.clone();
         for (&s, &c) in &other.0 {
@@ -53,12 +70,17 @@ impl Multiplicities {
         out
     }
 
-    /// Scales every multiplicity by `k`.
+    /// Scales every multiplicity by `k` (saturating per entry).
     pub fn scale(&self, k: u64) -> Self {
         if k == 0 {
             return Multiplicities::new();
         }
-        Multiplicities(self.0.iter().map(|(&s, &c)| (s, c * k)).collect())
+        Multiplicities(
+            self.0
+                .iter()
+                .map(|(&s, &c)| (s, c.saturating_mul(k)))
+                .collect(),
+        )
     }
 
     /// Multiplicity of `signer` (0 if absent).
@@ -76,9 +98,10 @@ impl Multiplicities {
         self.0.len()
     }
 
-    /// Sum of all multiplicities.
+    /// Sum of all multiplicities (saturating — a hostile multiset at the
+    /// per-entry cap must not overflow the sum either).
     pub fn total(&self) -> u64 {
-        self.0.values().sum()
+        self.0.values().fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// Iterates `(signer, multiplicity)` in signer order.
@@ -134,6 +157,16 @@ impl WireDecode for Multiplicities {
                         "non-canonical Multiplicities entry (unsorted, duplicate or zero count)",
                 });
             }
+            // Cap hostile counts at the wire boundary: a value near
+            // `u64::MAX` is never honest and exists only to overflow a
+            // later combine (`add`/`merge`/`scale` saturate as defense in
+            // depth, but rejecting here keeps poisoned multisets out of
+            // protocol state entirely).
+            if count > MAX_MULTIPLICITY {
+                return Err(DecodeError::Malformed {
+                    context: "Multiplicities count exceeds MAX_MULTIPLICITY",
+                });
+            }
             prev = Some(signer);
             m.add(signer, count);
         }
@@ -151,6 +184,33 @@ impl fmt::Display for Multiplicities {
             write!(f, "{s}^{c}")?;
         }
         write!(f, "}}")
+    }
+}
+
+/// The result of verifying a batch of aggregates in one shot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Every aggregate in every group verified against its group message.
+    AllValid,
+    /// At least one aggregate failed; the culprits are listed as
+    /// `(group_index, item_index)` pairs, ascending. Every aggregate *not*
+    /// listed verified correctly — callers keep the survivors without
+    /// re-verifying them.
+    Invalid(Vec<(usize, usize)>),
+}
+
+impl BatchOutcome {
+    /// True when nothing in the batch failed.
+    pub fn all_valid(&self) -> bool {
+        matches!(self, BatchOutcome::AllValid)
+    }
+
+    /// The culprit list (empty when all valid).
+    pub fn culprits(&self) -> &[(usize, usize)] {
+        match self {
+            BatchOutcome::AllValid => &[],
+            BatchOutcome::Invalid(c) => c,
+        }
     }
 }
 
@@ -177,6 +237,32 @@ pub trait VoteScheme {
 
     /// Verifies the aggregate against `msg` and its claimed multiplicities.
     fn verify(&self, msg: &[u8], agg: &Self::Aggregate) -> bool;
+
+    /// Verifies many aggregates at once, grouped by message: `msg_groups`
+    /// pairs each message with every aggregate claimed to sign it.
+    ///
+    /// Semantics are exactly "[`Self::verify`] per item": the outcome's
+    /// culprit list names precisely the items per-item verification would
+    /// reject. The default does run per item; schemes whose verification
+    /// is pairing-based override it with a random-linear-combination
+    /// multi-pairing (two Miller loops per batch instead of two per item,
+    /// one shared final exponentiation) plus bisection to isolate culprits
+    /// on failure — see `BlsScheme`.
+    fn verify_batch(&self, msg_groups: &[(&[u8], &[Self::Aggregate])]) -> BatchOutcome {
+        let mut bad = Vec::new();
+        for (gi, (msg, aggs)) in msg_groups.iter().enumerate() {
+            for (ai, agg) in aggs.iter().enumerate() {
+                if !self.verify(msg, agg) {
+                    bad.push((gi, ai));
+                }
+            }
+        }
+        if bad.is_empty() {
+            BatchOutcome::AllValid
+        } else {
+            BatchOutcome::Invalid(bad)
+        }
+    }
 
     /// The claimed signer multiset of an aggregate.
     fn multiplicities<'a>(&self, agg: &'a Self::Aggregate) -> &'a Multiplicities;
@@ -266,6 +352,71 @@ mod tests {
         ] {
             assert_eq!(Multiplicities::from_frame(m.to_frame()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn hostile_counts_saturate_instead_of_wrapping() {
+        // In-memory combines of extreme counts (defense in depth behind
+        // the decode cap) must neither panic in debug nor wrap in release.
+        let mut m = Multiplicities::new();
+        m.add(1, u64::MAX - 1);
+        m.add(1, 5);
+        assert_eq!(m.get(1), u64::MAX);
+        let a = Multiplicities::from_iter([(1, u64::MAX), (2, 3)]);
+        let b = Multiplicities::from_iter([(1, u64::MAX), (2, u64::MAX - 1)]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.get(1), u64::MAX);
+        assert_eq!(merged.get(2), u64::MAX);
+        assert_eq!(merged.total(), u64::MAX, "total saturates too");
+        let scaled = Multiplicities::from_iter([(7, MAX_MULTIPLICITY)]).scale(u64::MAX);
+        assert_eq!(scaled.get(7), u64::MAX);
+    }
+
+    #[test]
+    fn wire_rejects_overflowing_count() {
+        use iniva_net::wire::Codec;
+        // A count just past the cap is Malformed; the cap itself decodes.
+        for (count, ok) in [
+            (MAX_MULTIPLICITY, true),
+            (MAX_MULTIPLICITY + 1, false),
+            (u64::MAX, false),
+        ] {
+            let mut enc = Encoder::new();
+            enc.put_u32(1);
+            enc.put_u32(3).put_u64(count);
+            let got = Multiplicities::from_frame(enc.finish());
+            if ok {
+                assert_eq!(got.unwrap().get(3), count);
+            } else {
+                assert!(
+                    matches!(got, Err(DecodeError::Malformed { .. })),
+                    "count {count} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_verify_batch_agrees_with_per_item_verify() {
+        use crate::sim_scheme::SimScheme;
+        let s = SimScheme::new(4, b"batch-default");
+        let m1: &[u8] = b"msg-1";
+        let m2: &[u8] = b"msg-2";
+        let good1 = s.sign(0, m1);
+        let mut forged = s.sign(1, m1);
+        forged.mults = Multiplicities::singleton(2);
+        let good2 = s.sign(3, m2);
+        let groups: Vec<(&[u8], &[_])> = vec![
+            (m1, std::slice::from_ref(&good1)),
+            (m1, std::slice::from_ref(&forged)),
+            (m2, std::slice::from_ref(&good2)),
+        ];
+        assert_eq!(s.verify_batch(&groups), BatchOutcome::Invalid(vec![(1, 0)]));
+        let all_good: Vec<(&[u8], &[_])> = vec![
+            (m1, std::slice::from_ref(&good1)),
+            (m2, std::slice::from_ref(&good2)),
+        ];
+        assert!(s.verify_batch(&all_good).all_valid());
     }
 
     #[test]

@@ -168,23 +168,71 @@ pub fn pairing(p: &G1, q: &G2) -> Gt {
     final_exponentiation(&miller_loop(p, q))
 }
 
+/// An incremental multi-pairing: accumulates Miller loops and shares one
+/// final exponentiation across every accumulated pair.
+///
+/// This is the cost structure batch verification exploits: checking `k`
+/// aggregates individually costs `2k` Miller loops and `k` final
+/// exponentiations, while a random-linear-combination batch collapses to
+/// one accumulator with `1 + #distinct-messages` Miller loops and a
+/// *single* final exponentiation.
+#[derive(Clone)]
+pub struct MultiPairing {
+    acc: Fp12,
+    any: bool,
+}
+
+impl MultiPairing {
+    /// An empty product (evaluates to `1`).
+    pub fn new() -> Self {
+        MultiPairing {
+            acc: Fp12::one(),
+            any: false,
+        }
+    }
+
+    /// Folds `e(p, q)` into the product (one Miller loop, no final
+    /// exponentiation yet). Infinity on either side contributes the
+    /// identity and is skipped.
+    pub fn add(&mut self, p: &G1, q: &G2) {
+        if p.is_infinity() || q.is_infinity() {
+            return;
+        }
+        self.acc = self.acc.mul(&miller_loop(p, q));
+        self.any = true;
+    }
+
+    /// The number of Miller loops accumulated so far is not tracked;
+    /// `finish` runs the one shared final exponentiation.
+    pub fn finish(self) -> Gt {
+        if !self.any {
+            return Fp12::one();
+        }
+        final_exponentiation(&self.acc)
+    }
+
+    /// True when the accumulated product final-exponentiates to `1` — the
+    /// shape every pairing-equation check reduces to.
+    pub fn is_one(self) -> bool {
+        self.finish() == Fp12::one()
+    }
+}
+
+impl Default for MultiPairing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Computes `∏ e(p_i, q_i)` with a single final exponentiation —
 /// the building block for signature verification
 /// (`e(sig, -g2) · e(H(m), pk) == 1`).
 pub fn pairing_product(pairs: &[(G1, G2)]) -> Gt {
-    let mut acc = Fp12::one();
-    let mut any = false;
+    let mut mp = MultiPairing::new();
     for (p, q) in pairs {
-        if p.is_infinity() || q.is_infinity() {
-            continue;
-        }
-        acc = acc.mul(&miller_loop(p, q));
-        any = true;
+        mp.add(p, q);
     }
-    if !any {
-        return Fp12::one();
-    }
-    final_exponentiation(&acc)
+    mp.finish()
 }
 
 /// A faster pairing-equality check `e(a1, a2) == e(b1, b2)`, implemented as
@@ -249,6 +297,25 @@ mod tests {
         let q = g2::generator();
         assert!(pairing_eq(&p.mul_u64(6), &q, &p.mul_u64(2), &q.mul_u64(3)));
         assert!(!pairing_eq(&p.mul_u64(6), &q, &p.mul_u64(2), &q.mul_u64(4)));
+    }
+
+    #[test]
+    fn multi_pairing_matches_pairing_products() {
+        let p = g1::generator();
+        let q = g2::generator();
+        // e(2P, 3Q) · e(6P, Q)^-1 == 1, via the incremental accumulator.
+        let mut mp = MultiPairing::new();
+        mp.add(&p.mul_u64(2), &q.mul_u64(3));
+        mp.add(&p.mul_u64(6).negate(), &q);
+        assert!(mp.is_one());
+        // A lopsided product is not 1.
+        let mut mp = MultiPairing::new();
+        mp.add(&p.mul_u64(2), &q.mul_u64(3));
+        mp.add(&p.mul_u64(7).negate(), &q);
+        assert!(!mp.is_one());
+        // Empty accumulator is the identity.
+        assert!(MultiPairing::new().is_one());
+        assert_eq!(MultiPairing::new().finish(), Fp12::one());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Property coverage for `VoteScheme::verify_batch`: the batch path must
+//! agree with per-item `verify` on arbitrary mixed batches (all-good,
+//! some-bad, all-bad), the BLS bisection fallback must name *exactly* the
+//! bad aggregates, and the per-message hash-to-curve cache must never
+//! serve a stale message across views.
+
+use iniva_crypto::bls::{BlsAggregate, BlsScheme};
+use iniva_crypto::multisig::{BatchOutcome, Multiplicities, VoteScheme};
+use iniva_crypto::sim_scheme::{SimAggregate, SimScheme};
+use proptest::prelude::*;
+
+/// How an item of a randomized batch is corrupted (0 = honest).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Corruption {
+    Honest,
+    /// Signed bytes differ from the group message.
+    WrongMessage,
+    /// Multiplicity table tampered after signing.
+    TamperedMults,
+}
+
+fn corruption(kind: u8) -> Corruption {
+    match kind % 4 {
+        0 | 1 => Corruption::Honest, // bias toward mixed batches
+        2 => Corruption::WrongMessage,
+        _ => Corruption::TamperedMults,
+    }
+}
+
+/// Builds one aggregate for `scheme` under the given corruption. The
+/// honest shape mirrors protocol aggregates: one or two signers with
+/// small multiplicities.
+fn build_item<S: VoteScheme>(
+    scheme: &S,
+    n: u32,
+    msg: &[u8],
+    signer: u32,
+    second: Option<u32>,
+    kind: Corruption,
+) -> (S::Aggregate, bool)
+where
+    S::Aggregate: Clone,
+{
+    let signer = signer % n;
+    let base_msg: Vec<u8> = match kind {
+        Corruption::WrongMessage => [msg, b"-forged"].concat(),
+        _ => msg.to_vec(),
+    };
+    let mut agg = scheme.sign(signer, &base_msg);
+    if let Some(s2) = second {
+        let s2 = s2 % n;
+        if s2 != signer {
+            agg = scheme.combine(&agg, &scheme.scale(&scheme.sign(s2, &base_msg), 2));
+        }
+    }
+    (agg, kind == Corruption::Honest)
+}
+
+/// Tampers the multiplicity table of a built aggregate (SimScheme).
+fn tamper_sim(agg: &mut SimAggregate) {
+    let bumped: Multiplicities = agg
+        .mults
+        .iter()
+        .map(|(s, c)| (s, c + 1))
+        .collect::<Multiplicities>();
+    agg.mults = bumped;
+}
+
+fn tamper_bls(agg: &mut BlsAggregate) {
+    let bumped: Multiplicities = agg
+        .mults
+        .iter()
+        .map(|(s, c)| (s, c + 1))
+        .collect::<Multiplicities>();
+    agg.mults = bumped;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SimScheme (exercises the default per-item implementation): batch
+    /// outcome == per-item verification on random mixed batches spanning
+    /// several messages.
+    #[test]
+    fn sim_batch_agrees_with_per_item(
+        spec in collection::vec(
+            collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), any::<u8>()), 0..5),
+            1..4,
+        )
+    ) {
+        let n = 6u32;
+        let scheme = SimScheme::new(n as usize, b"batch-prop");
+        let msgs: Vec<Vec<u8>> = (0..spec.len())
+            .map(|g| format!("group-msg-{g}").into_bytes())
+            .collect();
+        let mut groups_data: Vec<Vec<SimAggregate>> = Vec::new();
+        for (g, items) in spec.iter().enumerate() {
+            let mut aggs = Vec::new();
+            for &(signer, second, pair, kind) in items {
+                let kind = corruption(kind);
+                let (mut agg, _) = build_item(
+                    &scheme,
+                    n,
+                    &msgs[g],
+                    signer,
+                    pair.then_some(second),
+                    kind,
+                );
+                if kind == Corruption::TamperedMults {
+                    tamper_sim(&mut agg);
+                }
+                aggs.push(agg);
+            }
+            groups_data.push(aggs);
+        }
+        let groups: Vec<(&[u8], &[SimAggregate])> = msgs
+            .iter()
+            .zip(&groups_data)
+            .map(|(m, aggs)| (m.as_slice(), aggs.as_slice()))
+            .collect();
+        let outcome = scheme.verify_batch(&groups);
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (g, (msg, aggs)) in groups.iter().enumerate() {
+            for (i, agg) in aggs.iter().enumerate() {
+                if !scheme.verify(msg, agg) {
+                    expected.push((g, i));
+                }
+            }
+        }
+        let want = if expected.is_empty() {
+            BatchOutcome::AllValid
+        } else {
+            BatchOutcome::Invalid(expected)
+        };
+        prop_assert_eq!(outcome, want);
+    }
+
+    /// Hostile multiplicity tables combined through the public API never
+    /// panic or wrap — saturating arithmetic end to end.
+    #[test]
+    fn hostile_multiplicities_never_panic(
+        a in collection::vec((0u32..8, any::<u64>()), 0..6),
+        b in collection::vec((0u32..8, any::<u64>()), 0..6),
+        k in any::<u64>(),
+    ) {
+        let ma: Multiplicities = a.into_iter().collect();
+        let mb: Multiplicities = b.into_iter().collect();
+        let merged = ma.merge(&mb);
+        let scaled = merged.scale(k);
+        // Saturation invariants: every derived count is at least the
+        // inputs' floor and never wraps below them.
+        for (s, c) in ma.iter() {
+            prop_assert!(merged.get(s) >= c);
+        }
+        let _ = scaled.total();
+        let _ = merged.total();
+    }
+}
+
+proptest! {
+    // Real pairings are ~ms each even with the batch path; keep the BLS
+    // property at a handful of cases (the SimScheme property above covers
+    // the combinatorics at volume).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// BLS (the RLC multi-pairing override): outcome == per-item verify,
+    /// and the bisection fallback names exactly the bad aggregates.
+    #[test]
+    fn bls_batch_agrees_with_per_item_and_names_culprits(
+        spec in collection::vec((any::<u32>(), any::<u8>()), 1..6),
+        two_groups in any::<bool>(),
+    ) {
+        let n = 4u32;
+        let scheme = BlsScheme::new(n as usize, b"bls-batch-prop");
+        let m1: &[u8] = b"bls-group-1";
+        let m2: &[u8] = b"bls-group-2";
+        let mut g1: Vec<BlsAggregate> = Vec::new();
+        let mut g2: Vec<BlsAggregate> = Vec::new();
+        for (i, &(signer, kind)) in spec.iter().enumerate() {
+            let kind = corruption(kind);
+            let target_msg = if two_groups && i % 2 == 1 { m2 } else { m1 };
+            let (mut agg, _) = build_item(&scheme, n, target_msg, signer, None, kind);
+            if kind == Corruption::TamperedMults {
+                tamper_bls(&mut agg);
+            }
+            if two_groups && i % 2 == 1 {
+                g2.push(agg);
+            } else {
+                g1.push(agg);
+            }
+        }
+        let mut groups: Vec<(&[u8], &[BlsAggregate])> = vec![(m1, g1.as_slice())];
+        if !g2.is_empty() {
+            groups.push((m2, g2.as_slice()));
+        }
+        let outcome = scheme.verify_batch(&groups);
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (g, (msg, aggs)) in groups.iter().enumerate() {
+            for (i, agg) in aggs.iter().enumerate() {
+                if !scheme.verify(msg, agg) {
+                    expected.push((g, i));
+                }
+            }
+        }
+        let want = if expected.is_empty() {
+            BatchOutcome::AllValid
+        } else {
+            BatchOutcome::Invalid(expected)
+        };
+        prop_assert_eq!(outcome, want);
+    }
+
+    /// The per-message hash-to-curve cache is keyed by full message bytes:
+    /// across a random sequence of views, signatures only ever verify
+    /// against their own view's message, cold or cached.
+    #[test]
+    fn bls_h2c_cache_never_stale_across_views(views in collection::vec(1u64..50, 2..5)) {
+        let scheme = BlsScheme::new(3, b"bls-cache-prop");
+        let msg_of = |v: u64| [b"vote".as_slice(), &v.to_be_bytes()].concat();
+        let sigs: Vec<(u64, BlsAggregate)> = views
+            .iter()
+            .map(|&v| (v, scheme.sign(0, &msg_of(v))))
+            .collect();
+        for (v, sig) in &sigs {
+            // Cold then cached.
+            prop_assert!(scheme.verify(&msg_of(*v), sig));
+            prop_assert!(scheme.verify(&msg_of(*v), sig));
+        }
+        for (v, sig) in &sigs {
+            for (w, _) in &sigs {
+                if v != w {
+                    prop_assert!(
+                        !scheme.verify(&msg_of(*w), sig),
+                        "view {v} signature verified under cached view-{w} message"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic pin of the "no per-item re-verification" acceptance
+/// criterion: isolating one culprit in an 8-item batch costs O(log n)
+/// multi-pairing probes, strictly fewer than the 8 pairing equations the
+/// per-item fallback would evaluate.
+#[test]
+fn bisection_probe_budget_is_logarithmic() {
+    let scheme = BlsScheme::new(8, b"bls-probe-budget");
+    let msg: &[u8] = b"probe-budget";
+    let mut aggs: Vec<BlsAggregate> = (0..8).map(|i| scheme.sign(i, msg)).collect();
+    aggs[3].mults = Multiplicities::singleton(4);
+    let before = scheme.batch_probe_count();
+    let groups: Vec<(&[u8], &[BlsAggregate])> = vec![(msg, aggs.as_slice())];
+    assert_eq!(
+        scheme.verify_batch(&groups),
+        BatchOutcome::Invalid(vec![(0, 3)])
+    );
+    let probes = scheme.batch_probe_count() - before;
+    // 1 initial + at most 2 per bisection level (log2(8) = 3 levels).
+    assert!(
+        probes <= 1 + 2 * 3,
+        "expected O(log n) probes, got {probes}"
+    );
+}

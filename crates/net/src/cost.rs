@@ -58,6 +58,22 @@ impl CostModel {
         self.verify_aggregate_base + self.verify_aggregate_per_signer * signers as Time
     }
 
+    /// Cost of batch-verifying aggregates spanning `groups` distinct
+    /// messages and `signers` total distinct signers, via a
+    /// random-linear-combination multi-pairing: one shared final
+    /// exponentiation plus the signature-side Miller loop
+    /// (`verify_aggregate_base / 2` together), one message-side Miller
+    /// loop per distinct message (another `base / 2` each), and the usual
+    /// per-signer apk accumulation (the per-item challenge scalar muls
+    /// fold into the same term). A batch of one group degenerates to
+    /// exactly [`Self::verify_aggregate`], so call sites can charge this
+    /// unconditionally.
+    pub fn verify_batch(&self, groups: usize, signers: usize) -> Time {
+        self.verify_aggregate_base / 2
+            + (groups as Time) * (self.verify_aggregate_base / 2)
+            + self.verify_aggregate_per_signer * signers as Time
+    }
+
     /// Cost of validating a block body of `bytes` payload bytes.
     pub fn validate_block(&self, bytes: usize) -> Time {
         self.hash_per_byte * bytes as Time
@@ -91,6 +107,17 @@ mod tests {
             c.verify_aggregate(10) - c.verify_aggregate(1),
             9 * c.verify_aggregate_per_signer
         );
+    }
+
+    #[test]
+    fn batch_of_one_group_degenerates_to_aggregate_verification() {
+        let c = CostModel::default();
+        assert_eq!(c.verify_batch(1, 5), c.verify_aggregate(5));
+        // Each extra distinct message adds one Miller loop, far below a
+        // full standalone verification.
+        let extra = c.verify_batch(4, 5) - c.verify_batch(1, 5);
+        assert_eq!(extra, 3 * (c.verify_aggregate_base / 2));
+        assert!(c.verify_batch(4, 20) < 4 * c.verify_aggregate(5));
     }
 
     #[test]

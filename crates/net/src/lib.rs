@@ -83,6 +83,18 @@ pub trait Actor {
     /// Called when a message is delivered to this node.
     fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
 
+    /// Called when a runtime delivers several already-queued messages in
+    /// one handler turn (the live transport drains its inbound queue into
+    /// a batch; the discrete-event simulator delivers per-event and never
+    /// calls this). The default preserves per-message semantics exactly;
+    /// actors whose verification cost amortizes across messages — batch
+    /// pairing verification over a view's signatures — override it.
+    fn on_messages(&mut self, ctx: &mut Context<Self::Msg>, batch: Vec<(NodeId, Self::Msg)>) {
+        for (from, msg) in batch {
+            self.on_message(ctx, from, msg);
+        }
+    }
+
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<Self::Msg>, _timer: u64) {}
 }

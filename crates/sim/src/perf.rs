@@ -211,8 +211,15 @@ mod tests {
 
     #[test]
     fn hotstuff_outperforms_iniva_fault_free() {
-        // Fig. 3a headline: Iniva's throughput is ~33% below HotStuff, and
-        // No2C sits in between (about half the overhead).
+        // Fig. 3a headline: HotStuff's star outruns Iniva's tree in the
+        // fault-free case, with No2C in between. The paper's star leader
+        // verifies each vote individually (~33% gap); since batch pairing
+        // verification landed, the collecting leader verifies a quorum's
+        // votes under ONE multi-pairing, so the modeled star baseline is
+        // considerably faster than the paper's and the gap is wider than
+        // Fig. 3a's — the ordering claims and a looser overhead floor are
+        // what remain pinned. (Iniva's round-based tree keeps its
+        // latency/CPU/inclusion advantages; see the sibling tests.)
         let hs = run(&PerfParams::base(Protocol::HotStuff, 64, 100, 100_000));
         let iniva = run(&PerfParams::base(Protocol::Iniva, 64, 100, 100_000));
         let no2c = run(&PerfParams::base(Protocol::InivaNo2C, 64, 100, 100_000));
@@ -229,8 +236,10 @@ mod tests {
             iniva.throughput
         );
         assert!(
-            iniva.throughput > hs.throughput * 0.35,
-            "overhead too large"
+            iniva.throughput > hs.throughput * 0.25,
+            "overhead too large: HotStuff {} vs Iniva {}",
+            hs.throughput,
+            iniva.throughput
         );
     }
 

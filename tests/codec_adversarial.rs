@@ -441,3 +441,48 @@ fn non_canonical_multiplicities_rejected() {
     enc.put_u32(4).put_u64(0);
     assert!(Multiplicities::from_frame(enc.finish()).is_err());
 }
+
+/// A hostile peer sending a multiplicity count near `u64::MAX` must be
+/// stopped at decode: before the [`MAX_MULTIPLICITY`] cap, such a count
+/// survived into protocol state and made a later `merge`/`scale` combine
+/// wrap in release builds (panic in debug). The cap also rides inside
+/// full aggregates — the shapes that actually cross the wire.
+#[test]
+fn overflowing_multiplicity_counts_rejected_at_decode() {
+    use iniva_crypto::multisig::MAX_MULTIPLICITY;
+    for hostile in [MAX_MULTIPLICITY + 1, u64::MAX / 2, u64::MAX] {
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        enc.put_u32(2).put_u64(hostile);
+        assert!(
+            Multiplicities::from_frame(enc.finish()).is_err(),
+            "count {hostile} must be rejected"
+        );
+
+        // Embedded in a SimAggregate (the sim transport's wire shape).
+        let s = scheme(4);
+        let honest = s.sign(2, b"m");
+        let mut enc = Encoder::new();
+        enc.put_u128(honest.tag.0).put_u128(honest.tag.1);
+        enc.put_u32(1);
+        enc.put_u32(2).put_u64(hostile);
+        assert!(SimAggregate::from_frame(enc.finish()).is_err());
+
+        // Embedded in a BlsAggregate (the real-crypto wire shape).
+        let bls = bls_scheme();
+        let point = bls.sign(1, b"m").point;
+        let mut enc = Encoder::new();
+        enc.put_array(&iniva_crypto::g1::serialize_compressed(&point));
+        enc.put_u32(1);
+        enc.put_u32(1).put_u64(hostile);
+        assert!(BlsAggregate::from_frame(enc.finish()).is_err());
+    }
+    // The cap itself decodes (boundary inclusive).
+    let mut enc = Encoder::new();
+    enc.put_u32(1);
+    enc.put_u32(2).put_u64(MAX_MULTIPLICITY);
+    assert_eq!(
+        Multiplicities::from_frame(enc.finish()).unwrap().get(2),
+        MAX_MULTIPLICITY
+    );
+}
