@@ -10,6 +10,22 @@
 //! #                     optional: path, n, duration_secs, cpu_scale
 //! ```
 //!
+//! `--trace <dir>` runs every live cell with consensus event tracing:
+//! each cell dumps per-node `trace-<id>.jsonl` + `metrics-<id>.json`
+//! under `<dir>/<variant>-f<faults>/`, the merged per-view budget
+//! (failed-view causes; timer vs network vs verify split) is printed and
+//! recorded in the output JSON next to the bench numbers, and the dumps
+//! stay on disk for `view_timeline`. `--only <variant>:<faults>` (e.g.
+//! `--only carousel5:4`) restricts the sweep to one cell — the Carousel
+//! collapse diagnosis loop:
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin resilience_live -- \
+//!     --trace /tmp/iniva-trace --only carousel5:4 carousel4.json
+//! cargo run --release -p iniva-bench --bin view_timeline -- \
+//!     /tmp/iniva-trace/carousel5-f4 --views
+//! ```
+//!
 //! `cpu_scale` multiplies the calibrated BLS cost model **in both
 //! backends** (the cost model lives in the shared replica config), so the
 //! comparison stays apples-to-apples on hosts with fewer cores than the
@@ -18,10 +34,15 @@
 //! real ones.
 
 use iniva_net::faults::FaultPlan;
+use iniva_obs::timeline::parse_dump;
+use iniva_obs::{Timeline, TimelineSummary};
 use iniva_sim::resilience::{self, ResiliencePoint, Variant};
-use iniva_transport::cluster::run_local_iniva_cluster_with_plan;
+use iniva_transport::cluster::{
+    run_local_iniva_cluster_observed, run_local_iniva_cluster_with_plan, ObsOptions,
+};
 use iniva_transport::CpuMode;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Duration;
 
 const VARIANTS: [Variant; 3] = [Variant::Delta5, Variant::Delta10, Variant::Carousel5];
@@ -35,8 +56,97 @@ fn point_json(p: &ResiliencePoint) -> String {
     )
 }
 
+/// Stable directory/CLI key of a variant (the labels carry δ glyphs).
+fn variant_key(v: Variant) -> &'static str {
+    match v {
+        Variant::Delta5 => "delta5",
+        Variant::Delta10 => "delta10",
+        Variant::Carousel5 => "carousel5",
+    }
+}
+
+/// Merges the per-node dumps a traced cell just wrote and returns the
+/// run-level accounting.
+fn merge_cell_dumps(dir: &Path) -> Result<TimelineSummary, String> {
+    let mut dumps = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("trace-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        dumps.push(parse_dump(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    if dumps.is_empty() {
+        return Err(format!("no trace dumps in {}", dir.display()));
+    }
+    Ok(Timeline::merge(&dumps).summary())
+}
+
+/// The per-view breakdown recorded next to a traced cell's bench numbers.
+fn trace_json(s: &TimelineSummary) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    format!(
+        "{{\"views_total\": {}, \"views_failed\": {}, \
+         \"failed_no_proposal\": {}, \"failed_no_quorum\": {}, \"failed_after_qc\": {}, \
+         \"failed_budget_ms\": {{\"span\": {:.1}, \"timer\": {:.1}, \"network\": {:.1}, \"verify\": {:.1}}}, \
+         \"advanced_budget_ms\": {{\"span\": {:.1}, \"timer\": {:.1}, \"network\": {:.1}, \"verify\": {:.1}}}}}",
+        s.views_total,
+        s.views_failed,
+        s.failed_no_proposal,
+        s.failed_no_quorum,
+        s.failed_after_qc,
+        ms(s.failed_budget.span_ns),
+        ms(s.failed_budget.timer_ns),
+        ms(s.failed_budget.network_ns),
+        ms(s.failed_budget.verify_ns),
+        ms(s.advanced_budget.span_ns),
+        ms(s.advanced_budget.timer_ns),
+        ms(s.advanced_budget.network_ns),
+        ms(s.advanced_budget.verify_ns),
+    )
+}
+
+fn take_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> { take_flag(&raw, name) };
+    let trace_dir = flag("--trace");
+    let only = flag("--only").map(|v| {
+        let (key, f) = v
+            .split_once(':')
+            .unwrap_or_else(|| panic!("--only wants <variant>:<faults>, got '{v}'"));
+        let faults: usize = f.parse().unwrap_or_else(|_| panic!("--only faults: '{f}'"));
+        (key.to_string(), faults)
+    });
+    let args: Vec<String> = {
+        let mut skip = std::collections::HashSet::new();
+        for name in ["--trace", "--only"] {
+            if let Some(i) = raw.iter().position(|a| a == name) {
+                skip.insert(i);
+                skip.insert(i + 1);
+            }
+        }
+        raw.iter()
+            .enumerate()
+            .filter(|&(i, _)| !skip.contains(&i))
+            .map(|(_, a)| a.clone())
+            .collect()
+    };
     let path = args
         .first()
         .map(String::as_str)
@@ -50,6 +160,11 @@ fn main() {
         // The observer is the (faults+1)-th shuffled member, so a
         // committee of n supports at most n-1 injected crashes.
         for faults in (0..=4usize).take_while(|&f| f < n) {
+            if let Some((key, f)) = &only {
+                if variant_key(variant) != key || faults != *f {
+                    continue;
+                }
+            }
             let mut cfg = resilience::variant_config(variant);
             if n != resilience::FIG4_N {
                 cfg.n = n;
@@ -62,12 +177,26 @@ fn main() {
 
             let sim = resilience::run_sim_plan(&cfg, &plan, faults, observer, duration_secs, seed);
 
-            let run = run_local_iniva_cluster_with_plan::<iniva_crypto::sim_scheme::SimScheme>(
-                &cfg,
-                Duration::from_secs(duration_secs),
-                CpuMode::Real,
-                &plan,
-            )
+            let cell_dir = trace_dir
+                .as_ref()
+                .map(|d| Path::new(d).join(format!("{}-f{faults}", variant_key(variant))));
+            let run = match &cell_dir {
+                None => run_local_iniva_cluster_with_plan::<iniva_crypto::sim_scheme::SimScheme>(
+                    &cfg,
+                    Duration::from_secs(duration_secs),
+                    CpuMode::Real,
+                    &plan,
+                ),
+                Some(dir) => {
+                    run_local_iniva_cluster_observed::<iniva_crypto::sim_scheme::SimScheme>(
+                        &cfg,
+                        Duration::from_secs(duration_secs),
+                        CpuMode::Real,
+                        &plan,
+                        &ObsOptions::new(dir),
+                    )
+                }
+            }
             .expect("cluster starts");
             let live = resilience::measure(
                 &run.nodes[observer as usize].replica.chain.metrics,
@@ -94,10 +223,27 @@ fn main() {
                 live.failed_views_pct,
                 sim.failed_views_pct,
             );
+            let trace_field = cell_dir.as_ref().map(|dir| {
+                let summary = merge_cell_dumps(dir).expect("merge cell trace dumps");
+                println!(
+                    "  trace [{}]:\n{}",
+                    dir.display(),
+                    summary
+                        .render()
+                        .lines()
+                        .map(|l| format!("    {l}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+                trace_json(&summary)
+            });
+            let trace_json_field = trace_field
+                .map(|t| format!(",\n     \"live_trace\": {t}"))
+                .unwrap_or_default();
             cells.push(format!(
                 "    {{\"variant\": \"{}\", \"policy\": \"{policy}\", \"faults\": {faults},\n     \
                  \"live\": {},\n     \"sim\": {},\n     \
-                 \"throughput_delta_pct\": {tp_delta:.1}}}",
+                 \"throughput_delta_pct\": {tp_delta:.1}{trace_json_field}}}",
                 variant.label(),
                 point_json(&live),
                 point_json(&sim),

@@ -231,6 +231,26 @@ fn main() {
         bls_individual8_ms / bls_batch8_ms
     );
 
+    // The pre-retune reference cell: the same BLS cluster under the old
+    // hand-guessed widening (Δ = 300 ms, 2 s view timeout) that
+    // `tune_for_real_crypto` used before the timer-lag/verify histograms
+    // existed to size it. Measured every run so the tuned cell above
+    // stays an apples-to-apples before/after pair — the gap between the
+    // two *is* the win from measuring instead of guessing.
+    let mut widened_cfg = bls_cfg.clone();
+    widened_cfg.delta = 300 * iniva_net::MILLIS;
+    widened_cfg.view_timeout = 2 * iniva_net::SECS;
+    let widened_run: ClusterRun<BlsScheme> =
+        run_local_iniva_cluster(&widened_cfg, Duration::from_secs(bls_secs), CpuMode::Real)
+            .expect("widened BLS cluster starts");
+    let widened_busy: Vec<u64> = widened_run.nodes.iter().map(|nd| nd.runtime.busy).collect();
+    let widened_point = PerfSummary::from_metrics(
+        &widened_run.nodes[0].replica.chain.metrics,
+        bls_secs as f64,
+        &widened_busy,
+    );
+    println!("{}", widened_point.table_row("live-tcp[bls,Δ=300ms]"));
+
     // Hand-rolled JSON: the workspace is offline (no serde); the schema is
     // flat numbers only.
     let json = format!(
@@ -252,7 +272,10 @@ fn main() {
          \"bls_body_bytes_sent\": {bls_bytes},\n  \
          \"bls_batch_individual8_ms\": {bls_individual8_ms:.3},\n  \
          \"bls_batch_verify8_ms\": {bls_batch8_ms:.3},\n  \
-         \"bls_batch_speedup_x\": {speedup:.2}\n}}\n",
+         \"bls_batch_speedup_x\": {speedup:.2},\n  \
+         \"bls_widened_delta_ms\": 300,\n  \
+         \"bls_widened_committed_throughput_per_sec\": {widened_tp:.1},\n  \
+         \"bls_widened_median_latency_ms\": {widened_med:.3}\n}}\n",
         speedup = bls_individual8_ms / bls_batch8_ms,
         rate = cfg.request_rate,
         tp = point.throughput,
@@ -263,6 +286,8 @@ fn main() {
         bls_tp = bls_point.throughput,
         bls_med = bls_point.median_latency_ms,
         bls_mean = bls_point.latency_ms,
+        widened_tp = widened_point.throughput,
+        widened_med = widened_point.median_latency_ms,
     );
     std::fs::write(path, &json).expect("write baseline json");
     println!("\nwrote {path}");

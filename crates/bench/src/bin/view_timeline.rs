@@ -1,0 +1,177 @@
+//! Merges per-node consensus trace dumps (`trace-<id>.jsonl`, written by
+//! `live_cluster --metrics-dir`, the observed cluster harnesses, or
+//! `resilience_live --trace`) into one cross-replica per-view timeline
+//! and reports where the time went: who led each view, when each replica
+//! entered, and how the view's span splits into network, verify and
+//! timer wait.
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin view_timeline -- <dump-dir>
+//! cargo run --release -p iniva-bench --bin view_timeline -- <dump-dir> --views
+//! cargo run --release -p iniva-bench --bin view_timeline -- <dump-dir> --check
+//! ```
+//!
+//! `--views` prints the per-view table on top of the summary. `--check`
+//! is the CI smoke gate: exit 0 only when every dump parses, at least
+//! one view committed, and every replica that was alive near the end of
+//! the run (events in the last 20% of the traced span) observed at
+//! least one commit — a revived node that caught up via state transfer
+//! passes, a stuck one fails.
+
+use iniva_obs::timeline::parse_dump;
+use iniva_obs::trace::EventKind;
+use iniva_obs::{NodeDump, Timeline, ViewOutcome};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Collects `trace-*.jsonl` files under `dir`, ascending by name.
+fn trace_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("trace-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn outcome_label(o: ViewOutcome) -> &'static str {
+    match o {
+        ViewOutcome::Advanced => "advanced",
+        ViewOutcome::FailedNoProposal => "FAILED no-proposal",
+        ViewOutcome::FailedNoQuorum => "FAILED no-quorum",
+        ViewOutcome::FailedAfterQc => "FAILED after-QC",
+        ViewOutcome::Unknown => "(window end)",
+    }
+}
+
+fn print_views(tl: &Timeline) {
+    println!(
+        "{:>6} {:>7} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}  outcome",
+        "view", "leader", "span ms", "net ms", "verify", "timer", "entered", "commits"
+    );
+    for r in &tl.views {
+        let b = r.budget();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "{:>6} {:>7} {:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>8}  {}",
+            r.view,
+            r.leader.map_or("?".into(), |l| l.to_string()),
+            ms(b.span_ns),
+            ms(b.network_ns),
+            ms(b.verify_ns),
+            ms(b.timer_ns),
+            r.entered.len(),
+            r.commits.len(),
+            outcome_label(r.outcome),
+        );
+    }
+}
+
+/// The CI gate: every parsed node that was still producing events in
+/// the last `tail_fraction` of the traced span must have observed at
+/// least one commit.
+fn check(dumps: &[NodeDump], tl: &Timeline) -> Result<(), String> {
+    if tl.views.iter().all(|r| r.commits.is_empty()) {
+        return Err("no committed view anywhere in the traces".into());
+    }
+    let span_end = dumps
+        .iter()
+        .flat_map(|d| d.events.iter().map(|e| e.at))
+        .max()
+        .unwrap_or(0);
+    let tail_start = span_end.saturating_sub(span_end / 5);
+    for d in dumps {
+        let alive_at_end = d.events.iter().any(|e| e.at >= tail_start);
+        if !alive_at_end {
+            continue; // crashed and never revived: exempt
+        }
+        let committed = d
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Committed { .. }));
+        if !committed {
+            return Err(format!(
+                "replica {} was alive at the end of the run but never observed a commit",
+                d.node
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or(".");
+    let want_views = args.iter().any(|a| a == "--views");
+    let want_check = args.iter().any(|a| a == "--check");
+
+    let files = match trace_files(Path::new(dir)) {
+        Ok(f) if !f.is_empty() => f,
+        Ok(_) => {
+            eprintln!("no trace-*.jsonl files in {dir}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut dumps = Vec::new();
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_dump(&text) {
+            Ok(d) => dumps.push(d),
+            Err(e) => {
+                eprintln!("{}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let tl = Timeline::merge(&dumps);
+    println!(
+        "merged {} dumps from {dir} ({} views observed)",
+        dumps.len(),
+        tl.views.len()
+    );
+    for (node, off) in &tl.offsets_ns {
+        if *off != 0 {
+            println!(
+                "  node {node}: clock offset {:+.3} ms applied",
+                *off as f64 / 1e6
+            );
+        }
+    }
+    if want_views {
+        print_views(&tl);
+        println!();
+    }
+    print!("{}", tl.summary().render());
+
+    if want_check {
+        match check(&dumps, &tl) {
+            Ok(()) => println!("check: OK"),
+            Err(e) => {
+                eprintln!("check: FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

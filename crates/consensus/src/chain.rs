@@ -55,6 +55,9 @@ pub struct ChainMetrics {
     /// excluded from `committed_blocks`/`commit_points`, so those keep
     /// meaning "commits this replica reached through the protocol").
     pub state_transfer_blocks: u64,
+    /// How many of `latency_samples` have been fed to the registry
+    /// histogram already (see [`ChainMetrics::export`]).
+    pub exported_latency_samples: usize,
 }
 
 impl ChainMetrics {
@@ -104,6 +107,41 @@ impl ChainMetrics {
             .iter()
             .filter(|&&(at, _)| at >= t)
             .count() as u64
+    }
+
+    /// Mirrors the chain's cumulative stats into `registry` under the
+    /// `chain.` prefix, and feeds the recorded per-request latencies
+    /// into a `chain.commit_latency_ns` histogram. Counters are stored
+    /// (not added), so re-exporting the same metrics is idempotent; the
+    /// histogram only ingests samples recorded since the last export.
+    pub fn export(&mut self, registry: &iniva_obs::Registry) {
+        registry
+            .counter("chain.committed_reqs")
+            .store(self.committed_reqs);
+        registry
+            .counter("chain.committed_blocks")
+            .store(self.committed_blocks);
+        registry
+            .counter("chain.failed_views")
+            .store(self.failed_views);
+        registry
+            .counter("chain.total_views")
+            .store(self.total_views);
+        registry
+            .counter("chain.qc_signers_sum")
+            .store(self.qc_signers_sum);
+        registry.counter("chain.qc_count").store(self.qc_count);
+        registry
+            .counter("chain.recovered_blocks")
+            .store(self.recovered_blocks);
+        registry
+            .counter("chain.state_transfer_blocks")
+            .store(self.state_transfer_blocks);
+        let hist = registry.histogram("chain.commit_latency_ns");
+        for &ns in &self.latency_samples[self.exported_latency_samples..] {
+            hist.record(ns);
+        }
+        self.exported_latency_samples = self.latency_samples.len();
     }
 }
 

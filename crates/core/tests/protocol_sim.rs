@@ -23,6 +23,49 @@ fn build(
     Simulation::new(NetConfig::default(), replicas)
 }
 
+/// Observability is opt-in and must cost nothing when left off: a
+/// default-constructed replica carries the disabled no-op tracer, retains
+/// no events across a full run, and an identically-seeded run with
+/// tracing enabled commits the exact same chain — the instrumentation
+/// observes the protocol, it never perturbs it.
+#[test]
+fn default_tracing_is_disabled_and_free() {
+    let mut sim = build(7, 2, |_| {});
+    sim.run_until(3 * SECS);
+    let baseline = sim.actor(0).chain.committed_height();
+    assert!(baseline > 5, "baseline run must make progress");
+    for id in 0..7 {
+        let t = sim.actor(id).tracer();
+        assert!(!t.enabled(), "replica {id}: tracing must default off");
+        assert_eq!(
+            t.dump_jsonl(),
+            "",
+            "replica {id}: a disabled tracer must retain nothing"
+        );
+    }
+
+    // The same seeded run with tracing on: identical protocol outcome,
+    // and this time the events are actually retained.
+    let registry = iniva_obs::Registry::new();
+    let mut traced = build(7, 2, |_| {});
+    for id in 0..7u32 {
+        traced
+            .actor_mut(id)
+            .set_observability(&registry, iniva_obs::Tracer::new(id, 4096));
+    }
+    traced.run_until(3 * SECS);
+    assert_eq!(
+        traced.actor(0).chain.committed_height(),
+        baseline,
+        "enabling tracing must not change what the protocol does"
+    );
+    let dump = traced.actor(0).tracer().dump_jsonl();
+    assert!(
+        dump.contains("view_entered") && dump.contains("committed"),
+        "traced run must have recorded consensus events"
+    );
+}
+
 #[test]
 fn fault_free_run_commits_blocks() {
     let mut sim = build(21, 4, |_| {});

@@ -162,6 +162,15 @@ impl BlsScheme {
         self.batch_probes.load(Ordering::Relaxed)
     }
 
+    /// Mirrors the scheme's cumulative verification stats into
+    /// `registry` under the `crypto.` prefix (idempotent: values are
+    /// stored, not added).
+    pub fn export(&self, registry: &iniva_obs::Registry) {
+        registry
+            .counter("crypto.batch_probes")
+            .store(self.batch_probe_count());
+    }
+
     /// `hash_to_curve(msg)` through the bounded per-message cache. The
     /// try-and-increment map costs a sqrt plus a cofactor mul per call;
     /// every signature of a view hashes the same `vote_message`, so the
@@ -429,6 +438,10 @@ impl WireScheme for BlsScheme {
 
     fn new_committee(n: usize, seed: &[u8]) -> Self {
         BlsScheme::new(n, seed)
+    }
+
+    fn export_observability(&self, registry: &iniva_obs::Registry) {
+        self.export(registry);
     }
 }
 

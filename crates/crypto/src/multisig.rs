@@ -307,6 +307,12 @@ pub trait WireScheme:
     /// Rebuilds the committee keyring every replica derives from common
     /// knowledge: committee size and the shared seed.
     fn new_committee(n: usize, seed: &[u8]) -> Self;
+
+    /// Mirrors the scheme's cumulative verification stats into a metrics
+    /// registry (no-op by default; the BLS scheme exports its
+    /// multi-pairing probe counter). Harnesses call this at dump time, so
+    /// it must be idempotent — store, don't add.
+    fn export_observability(&self, _registry: &iniva_obs::Registry) {}
 }
 
 #[cfg(test)]

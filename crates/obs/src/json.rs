@@ -1,0 +1,237 @@
+//! A minimal flat-JSON reader for the observability dump formats.
+//!
+//! Every line the obs layer writes — registry snapshots, trace events,
+//! dump metadata — is one flat JSON object whose values are unsigned
+//! integers, booleans or strings. This parser accepts exactly that
+//! subset (the workspace builds offline, so there is no serde to reach
+//! for) and rejects anything else with a descriptive error rather than
+//! guessing.
+
+/// A scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonVal {
+    /// An unsigned integer (the only number form the dumps emit).
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escapes limited to `\"` and `\\`).
+    Str(String),
+}
+
+impl JsonVal {
+    /// The numeric value, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": 1, "s": "x", "b": true}`) into
+/// key/value pairs, preserving order.
+///
+/// # Errors
+/// Returns a description of the first syntax problem: nested containers,
+/// floats, negative numbers and trailing garbage are all rejected.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            out.push((key, val));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at {}", p.pos));
+    }
+    Ok(out)
+}
+
+/// Convenience: the value of `key` in `pairs` as a u64, or an error
+/// naming the missing/mistyped field.
+pub fn field_u64(pairs: &[(String, JsonVal)], key: &str) -> Result<u64, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_u64())
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+/// Writes a JSON string literal (escaping `"` `\` and control bytes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => s.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonVal::Bool(true)),
+            Some(b'f') => self.literal("false", JsonVal::Bool(false)),
+            Some(b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                    return Err("floats are not part of the dump format".into());
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(JsonVal::Num)
+                    .ok_or_else(|| "number out of u64 range".into())
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: JsonVal) -> Result<JsonVal, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(format!("expected literal {word:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_dump_subset() {
+        let pairs =
+            parse_flat_object(r#"{"at": 12, "k": "view_entered", "failed": true, "s": "a\"b"}"#)
+                .unwrap();
+        assert_eq!(pairs[0], ("at".into(), JsonVal::Num(12)));
+        assert_eq!(pairs[1].1.as_str(), Some("view_entered"));
+        assert_eq!(pairs[2].1.as_bool(), Some(true));
+        assert_eq!(pairs[3].1.as_str(), Some("a\"b"));
+        assert_eq!(field_u64(&pairs, "at"), Ok(12));
+        assert!(field_u64(&pairs, "nope").is_err());
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_what_the_dumps_never_write() {
+        for bad in [
+            "{\"a\": 1.5}",
+            "{\"a\": -1}",
+            "{\"a\": [1]}",
+            "{\"a\": {\"b\": 1}}",
+            "{\"a\": 1} trailing",
+            "{\"a\" 1}",
+            "not json",
+            "{\"a\": nul}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        let line = format!("{{\"s\": {out}}}");
+        let pairs = parse_flat_object(&line).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("a\"b\\c\nd"));
+    }
+}

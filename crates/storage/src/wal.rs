@@ -43,6 +43,15 @@ pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
 /// Bytes of framing per record (length + checksum).
 const RECORD_HEADER: usize = 8;
 
+/// Observability sink of a [`Wal`], bound via [`Wal::set_observability`]:
+/// fsync latency and volume series plus per-fsync trace events.
+struct WalObs {
+    fsync_ns: iniva_obs::Histogram,
+    syncs: iniva_obs::Counter,
+    bytes: iniva_obs::Counter,
+    tracer: iniva_obs::Tracer,
+}
+
 /// The raw CRC-framed append-only segment.
 pub struct Wal {
     file: File,
@@ -52,6 +61,8 @@ pub struct Wal {
     /// Data syncs issued so far (test/diagnostic hook: batch appends must
     /// not multiply fsyncs).
     syncs: u64,
+    /// Metrics/tracing sink; `None` (free) unless bound.
+    obs: Option<WalObs>,
 }
 
 impl Wal {
@@ -105,9 +116,23 @@ impl Wal {
                 path: path.to_path_buf(),
                 len: offset as u64,
                 syncs: 0,
+                obs: None,
             },
             records,
         ))
+    }
+
+    /// Binds fsync metrics (`wal.fsync_ns`, `wal.syncs`, `wal.bytes`) and
+    /// per-fsync trace events. The tracer timestamps events with its own
+    /// clock ([`iniva_obs::Tracer::live`]), so hand it one built on the
+    /// same epoch as the replica's runtime.
+    pub fn set_observability(&mut self, registry: &iniva_obs::Registry, tracer: iniva_obs::Tracer) {
+        self.obs = Some(WalObs {
+            fsync_ns: registry.histogram("wal.fsync_ns"),
+            syncs: registry.counter("wal.syncs"),
+            bytes: registry.counter("wal.bytes"),
+            tracer,
+        });
     }
 
     /// Frames one record body into `framed`, validating its size.
@@ -159,10 +184,24 @@ impl Wal {
         for body in bodies {
             Self::frame_into(&mut framed, body)?;
         }
+        let t0 = self.obs.as_ref().map(|_| std::time::Instant::now());
         self.file.write_all(&framed)?;
         self.file.sync_data()?;
         self.syncs += 1;
         self.len += framed.len() as u64;
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs.fsync_ns.record(wall_ns);
+            obs.syncs.inc();
+            obs.bytes.add(framed.len() as u64);
+            obs.tracer.emit(
+                obs.tracer.now(),
+                iniva_obs::EventKind::WalFsync {
+                    wall_ns,
+                    bytes: framed.len() as u64,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -421,6 +460,12 @@ where
     /// The underlying segment (test/diagnostic hook).
     pub fn segment(&self) -> &Wal {
         &self.wal
+    }
+
+    /// Binds fsync observability on the underlying segment (see
+    /// [`Wal::set_observability`]).
+    pub fn set_observability(&mut self, registry: &iniva_obs::Registry, tracer: iniva_obs::Tracer) {
+        self.wal.set_observability(registry, tracer);
     }
 }
 

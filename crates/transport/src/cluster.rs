@@ -25,13 +25,16 @@
 //! reading naturally.
 
 use crate::faults::{LinkFaults, NodeFaults};
-use crate::runtime::{CpuMode, Runtime, RuntimeStats};
-use crate::transport::{Transport, TransportOptions, TransportSnapshot};
+use crate::runtime::{export_runtime_stats, CpuMode, Runtime, RuntimeStats};
+use crate::transport::{
+    export_transport_snapshot, Transport, TransportOptions, TransportSnapshot, TransportStats,
+};
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::multisig::WireScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::faults::{FaultEvent, FaultPlan};
 use iniva_net::NodeId;
+use iniva_obs::{Registry, Tracer};
 use iniva_storage::ChainWal;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
@@ -43,6 +46,45 @@ use std::time::{Duration, Instant};
 /// The committee seed every replica of a local cluster derives its keyring
 /// from (common knowledge, like the peer list).
 pub const CLUSTER_SEED: &[u8] = b"live-cluster";
+
+/// Observability options for a cluster run: where each node dumps its
+/// metrics registry (`metrics-<id>.json`) and event trace
+/// (`trace-<id>.jsonl`), and how many events the per-node ring keeps.
+/// The dump directory is the input to the `view_timeline` analyzer.
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// Directory receiving per-node dumps (created if missing).
+    pub metrics_dir: PathBuf,
+    /// Ring capacity of each node's tracer; oldest events are shed (and
+    /// counted as dropped) beyond it.
+    pub trace_capacity: usize,
+}
+
+impl ObsOptions {
+    /// Options dumping into `metrics_dir` with the default ring capacity
+    /// (64 Ki events — hours of consensus at benchmark view rates).
+    pub fn new(metrics_dir: impl Into<PathBuf>) -> Self {
+        ObsOptions {
+            metrics_dir: metrics_dir.into(),
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+/// Writes one node's registry + trace dumps into `obs.metrics_dir`.
+fn dump_node_obs(
+    obs: &ObsOptions,
+    id: NodeId,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> io::Result<()> {
+    std::fs::create_dir_all(&obs.metrics_dir)?;
+    std::fs::write(
+        obs.metrics_dir.join(format!("metrics-{id}.json")),
+        registry.to_json(),
+    )?;
+    tracer.write_jsonl(&obs.metrics_dir.join(format!("trace-{id}.jsonl")))
+}
 
 /// Result of one replica's run.
 pub struct NodeRun<S: WireScheme = SimScheme> {
@@ -477,6 +519,33 @@ pub fn run_local_iniva_cluster_with_plan<S: WireScheme>(
     cpu: CpuMode,
     plan: &FaultPlan,
 ) -> io::Result<ClusterRun<S>> {
+    run_plan_impl::<S>(cfg, duration, cpu, plan, None)
+}
+
+/// [`run_local_iniva_cluster_with_plan`] with observability: every
+/// replica runs with a live tracer and a metrics registry, and dumps
+/// `metrics-<id>.json` + `trace-<id>.jsonl` into `obs.metrics_dir` when
+/// the run ends — ready for the `view_timeline` analyzer.
+///
+/// # Errors
+/// Propagates socket, thread and dump-file I/O failures.
+pub fn run_local_iniva_cluster_observed<S: WireScheme>(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
+    obs: &ObsOptions,
+) -> io::Result<ClusterRun<S>> {
+    run_plan_impl::<S>(cfg, duration, cpu, plan, Some(obs))
+}
+
+fn run_plan_impl<S: WireScheme>(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
+    obs: Option<&ObsOptions>,
+) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
     let listeners: Vec<TcpListener> = (0..n)
@@ -526,16 +595,41 @@ pub fn run_local_iniva_cluster_with_plan<S: WireScheme>(
             .expect("one transport per replica id");
         let cfg = cfg.clone();
         let scheme = Arc::clone(&scheme);
+        let obs = obs.cloned();
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
             .spawn(move || -> io::Result<NodeRun<S>> {
-                let replica = InivaReplica::new(id as u32, cfg, scheme);
+                let mut replica = InivaReplica::new(id as u32, cfg, Arc::clone(&scheme));
                 if !gate.arrive_and_wait() {
                     return Err(io::Error::other("cluster setup aborted"));
                 }
-                let mut runtime = Runtime::new(replica, transport, cpu);
+                // The gate released every replica together, so these
+                // per-thread epochs are within microseconds of each
+                // other; the tracer's wall-clock anchor absorbs the
+                // residue at merge time.
+                let epoch = Instant::now();
+                let node_obs = obs.as_ref().map(|o| {
+                    let registry = Registry::new();
+                    let tracer = Tracer::live(id as u32, o.trace_capacity, epoch);
+                    replica.set_observability(&registry, tracer.clone());
+                    (registry, tracer)
+                });
+                let mut runtime = Runtime::with_epoch(replica, transport, cpu, epoch);
+                if let Some((registry, _)) = &node_obs {
+                    runtime.set_observability(registry);
+                }
                 runtime.run_for(duration);
-                let (replica, runtime, transport) = runtime.finish();
+                let (mut replica, runtime, transport) = runtime.finish();
+                if let (Some(o), Some((registry, tracer))) = (&obs, &node_obs) {
+                    export_runtime_stats(&runtime, registry);
+                    export_transport_snapshot(&transport, registry);
+                    replica.chain.metrics.export(registry);
+                    // One keyring is shared by the whole in-process
+                    // cluster, so `crypto.*` reads as the cluster total
+                    // on every node.
+                    scheme.export_observability(registry);
+                    dump_node_obs(o, id as u32, registry, tracer)?;
+                }
                 Ok(NodeRun {
                     replica,
                     runtime,
@@ -544,22 +638,6 @@ pub fn run_local_iniva_cluster_with_plan<S: WireScheme>(
             })
     })?;
     Ok(ClusterRun { nodes, duration })
-}
-
-/// Folds one incarnation's transport counters into a per-node total
-/// (restart-capable runs tear transports down and rebuild them; the
-/// reported stats span every incarnation). `queue_depth` is a gauge: the
-/// last incarnation's value wins.
-fn fold_snapshot(total: &mut TransportSnapshot, inc: TransportSnapshot) {
-    total.msgs_sent += inc.msgs_sent;
-    total.bytes_sent += inc.bytes_sent;
-    total.msgs_received += inc.msgs_received;
-    total.bytes_received += inc.bytes_received;
-    total.dups_dropped += inc.dups_dropped;
-    total.reconnects += inc.reconnects;
-    total.faults_dropped += inc.faults_dropped;
-    total.lane_evicted += inc.lane_evicted;
-    total.queue_depth = inc.queue_depth;
 }
 
 /// Folds one incarnation's event-loop counters into a per-node total.
@@ -615,6 +693,39 @@ pub fn run_local_iniva_cluster_with_wal<S: WireScheme>(
     wal_root: &Path,
     options: TransportOptions,
 ) -> io::Result<ClusterRun<S>> {
+    run_wal_impl::<S>(cfg, duration, cpu, plan, wal_root, options, None)
+}
+
+/// [`run_local_iniva_cluster_with_wal`] with observability (see
+/// [`run_local_iniva_cluster_observed`]): one registry and one tracer
+/// per node span *every incarnation* of that node — a replica rebuilt
+/// from its WAL keeps counting into the same series and tracing onto
+/// the same ring, so restarts lose nothing.
+///
+/// # Errors
+/// Propagates socket, WAL-I/O, thread and dump-file I/O failures.
+pub fn run_local_iniva_cluster_with_wal_observed<S: WireScheme>(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
+    wal_root: &Path,
+    options: TransportOptions,
+    obs: &ObsOptions,
+) -> io::Result<ClusterRun<S>> {
+    run_wal_impl::<S>(cfg, duration, cpu, plan, wal_root, options, Some(obs))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_wal_impl<S: WireScheme>(
+    cfg: &InivaConfig,
+    duration: Duration,
+    cpu: CpuMode,
+    plan: &FaultPlan,
+    wal_root: &Path,
+    options: TransportOptions,
+    obs: Option<&ObsOptions>,
+) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     std::fs::create_dir_all(wal_root)?;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
@@ -649,6 +760,7 @@ pub fn run_local_iniva_cluster_with_wal<S: WireScheme>(
         let link_faults = faults.links();
         let control = faults.control(id as u32);
         let wal_dir: PathBuf = wal_root.join(format!("replica-{id}"));
+        let obs = obs.cloned();
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
             .spawn(move || -> io::Result<NodeRun<S>> {
@@ -667,6 +779,7 @@ pub fn run_local_iniva_cluster_with_wal<S: WireScheme>(
                     duration,
                     cpu,
                     &wal_dir,
+                    obs,
                 )
             })
     })?;
@@ -695,6 +808,7 @@ fn replica_lifecycle<S: WireScheme>(
     duration: Duration,
     cpu: CpuMode,
     wal_dir: &Path,
+    obs: Option<ObsOptions>,
 ) -> io::Result<NodeRun<S>> {
     let mut pending_listener = Some(listener);
     if !gate.arrive_and_wait() {
@@ -703,8 +817,19 @@ fn replica_lifecycle<S: WireScheme>(
     let time_zero = Instant::now();
     let deadline = time_zero + duration;
     let mut runtime_total = RuntimeStats::default();
-    let mut transport_total = TransportSnapshot::default();
     let mut last_incarnation: Option<InivaReplica<S>> = None;
+    // One stats block and (when observing) one registry + tracer span
+    // every incarnation of this node: restarts keep counting into the
+    // same series instead of starting fresh blocks whose predecessors'
+    // tails (lane evictions counted while a lane died, say) got lost
+    // with the torn-down transport.
+    let shared_stats = Arc::new(TransportStats::default());
+    let node_obs = obs.as_ref().map(|o| {
+        (
+            Registry::new(),
+            Tracer::live(id, o.trace_capacity, time_zero),
+        )
+    });
     loop {
         if control.is_down() {
             // The process is dead: close the listening socket too, so
@@ -722,15 +847,16 @@ fn replica_lifecycle<S: WireScheme>(
             Some(l) => l,
             None => bind_retry(addr, deadline)?,
         };
-        let transport = Transport::start_with(
+        let transport = Transport::start_with_stats(
             id,
             listener,
             peers,
             options,
             Arc::clone(&node_faults),
             Arc::clone(&link_faults),
+            Arc::clone(&shared_stats),
         )?;
-        let (wal, recovered) = ChainWal::<S>::open(wal_dir)?;
+        let (mut wal, recovered) = ChainWal::<S>::open(wal_dir)?;
         let mut replica = InivaReplica::recover(
             id,
             cfg.clone(),
@@ -738,25 +864,42 @@ fn replica_lifecycle<S: WireScheme>(
             recovered.commits,
             recovered.view,
         );
+        if let Some((registry, tracer)) = &node_obs {
+            wal.set_observability(registry, tracer.clone());
+            replica.set_observability(registry, tracer.clone());
+        }
         replica.chain.set_commit_sink(Box::new(wal));
         // Every incarnation shares the cluster's time zero, so metrics
         // stay on one time axis across restarts.
         let mut runtime = Runtime::with_epoch(replica, transport, cpu, time_zero);
+        if let Some((registry, _)) = &node_obs {
+            runtime.set_observability(registry);
+        }
         runtime.run_deadline(deadline, || control.stop_requested());
-        let (replica, stats, snapshot) = runtime.finish();
+        let (replica, stats, _snapshot) = runtime.finish();
         fold_runtime(&mut runtime_total, stats);
-        fold_snapshot(&mut transport_total, snapshot);
         last_incarnation = Some(replica);
     }
-    let replica = match last_incarnation {
+    // The shared block is cumulative across incarnations, so the final
+    // snapshot *is* the node total — no per-incarnation folding (which
+    // would now double-count).
+    let transport_total = shared_stats.snapshot();
+    let mut replica = match last_incarnation {
         Some(r) => r,
         None => {
             // Crashed at time zero and never restarted: report whatever
             // the disk holds (an empty log for a fresh run).
             let (_, recovered) = ChainWal::<S>::open(wal_dir)?;
-            InivaReplica::recover(id, cfg, scheme, recovered.commits, recovered.view)
+            InivaReplica::recover(id, cfg, scheme.clone(), recovered.commits, recovered.view)
         }
     };
+    if let (Some(o), Some((registry, tracer))) = (&obs, &node_obs) {
+        export_runtime_stats(&runtime_total, registry);
+        export_transport_snapshot(&transport_total, registry);
+        replica.chain.metrics.export(registry);
+        scheme.export_observability(registry);
+        dump_node_obs(o, id, registry, tracer)?;
+    }
     Ok(NodeRun {
         replica,
         runtime: runtime_total,

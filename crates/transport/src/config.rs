@@ -12,6 +12,7 @@
 //! payload = 64          # bytes per request
 //! rate = 10000          # open-loop client requests/second
 //! duration_secs = 10    # load duration
+//! # metrics_dir = "/tmp/iniva-obs"   # optional: per-process observability dumps
 //!
 //! [[peers]]
 //! id = 0
@@ -59,6 +60,12 @@ pub struct ClusterConfig {
     /// launchers validate their compiled scheme against this field and
     /// fail by name instead.
     pub scheme: String,
+    /// Directory for observability dumps (`metrics-<id>.json`,
+    /// `trace-<id>.jsonl` per process), shared like the peer list so one
+    /// key turns tracing on for the whole cluster and `view_timeline`
+    /// finds every node's dump in one place. `None` (default) disables
+    /// observability.
+    pub metrics_dir: Option<String>,
 }
 
 impl ClusterConfig {
@@ -101,6 +108,7 @@ impl ClusterConfig {
             request_rate: 10_000,
             duration_secs: 10,
             scheme: "sim".to_string(),
+            metrics_dir: None,
         }
     }
 
@@ -180,6 +188,7 @@ impl ClusterConfig {
                         }
                         cfg.scheme = s;
                     }
+                    "metrics_dir" => cfg.metrics_dir = Some(parse_string(value, lineno)?),
                     _ => return Err(ConfigError::at(lineno, "unknown [cluster] key")),
                 },
                 Section::Peer => {
@@ -266,6 +275,7 @@ mod tests {
 internal = 1
 batch = 200
 rate = 20_000
+metrics_dir = "/tmp/iniva-metrics"
 
 [[peers]]
 id = 1
@@ -289,6 +299,9 @@ addr = "127.0.0.1:7102"
         assert_eq!(cfg.request_rate, 20_000);
         assert_eq!(cfg.payload_per_req, 64, "unset keys keep defaults");
         assert_eq!(cfg.scheme, "sim", "unset scheme defaults to sim");
+        assert_eq!(cfg.metrics_dir.as_deref(), Some("/tmp/iniva-metrics"));
+        let bare = ClusterConfig::parse("[[peers]]\nid = 0\naddr = \"127.0.0.1:7100\"").unwrap();
+        assert_eq!(bare.metrics_dir, None, "observability defaults off");
         // Peers come out sorted by id regardless of file order.
         assert_eq!(cfg.peers[0].id, 0);
         assert_eq!(cfg.addr_of(2).unwrap().port(), 7102);

@@ -57,6 +57,18 @@ pub struct RuntimeStats {
     pub timers_fired: u64,
 }
 
+/// Registry handles kept by an observed runtime (see
+/// [`Runtime::set_observability`]).
+struct RuntimeObs {
+    /// How late past its deadline each timer fired — the live analogue
+    /// of the simulator's zero-lag timer wheel, and the series
+    /// [`tune_for_real_crypto`](iniva_net::Actor) consumers use to size
+    /// Δ against scheduling noise rather than guesswork.
+    timer_lag_ns: iniva_obs::Histogram,
+    /// Real time per handler dispatch (including charged CPU spends).
+    handler_ns: iniva_obs::Histogram,
+}
+
 /// Drives one [`Actor`] over a [`Transport`].
 pub struct Runtime<A: Actor>
 where
@@ -70,6 +82,7 @@ where
     timer_seq: u64,
     stats: RuntimeStats,
     started: bool,
+    obs: Option<RuntimeObs>,
 }
 
 impl<A: Actor> Runtime<A>
@@ -102,6 +115,7 @@ where
             timer_seq: 0,
             stats: RuntimeStats::default(),
             started: false,
+            obs: None,
         }
     }
 
@@ -110,9 +124,41 @@ where
         self.epoch.elapsed().as_nanos() as Time
     }
 
+    /// The instant this runtime's clock reads zero at. Harnesses use it
+    /// to build a live [`iniva_obs::Tracer`] on the same time axis.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Registers the runtime's latency series (`runtime.timer_lag_ns`,
+    /// `runtime.handler_ns`) in `registry` and starts recording into
+    /// them. Unobserved runtimes skip both `Instant` reads.
+    pub fn set_observability(&mut self, registry: &iniva_obs::Registry) {
+        self.obs = Some(RuntimeObs {
+            timer_lag_ns: registry.histogram("runtime.timer_lag_ns"),
+            handler_ns: registry.histogram("runtime.handler_ns"),
+        });
+    }
+
+    /// Mirrors the runtime's and transport's cumulative counters into
+    /// `registry` (idempotent: values are stored, not added). Counters
+    /// land under `runtime.` and `transport.`; `transport.queue_depth`
+    /// is a gauge of frames currently queued in outbound lanes.
+    pub fn export_stats(&self, registry: &iniva_obs::Registry) {
+        export_runtime_stats(&self.stats, registry);
+        crate::transport::export_transport_snapshot(&self.transport.snapshot(), registry);
+    }
+
     /// The driven actor (for metric harvesting).
     pub fn actor(&self) -> &A {
         &self.actor
+    }
+
+    /// Mutable access to the driven actor, for harvesting between run
+    /// slices (periodic metric exports need `&mut` to track what was
+    /// already exported). Only call between `run_*` calls.
+    pub fn actor_mut(&mut self) -> &mut A {
+        &mut self.actor
     }
 
     /// Runtime counters.
@@ -182,8 +228,11 @@ where
                 if !due {
                     break;
                 }
-                let Reverse((_, _, id)) = self.timers.pop().expect("peeked a due timer");
+                let Reverse((at, _, id)) = self.timers.pop().expect("peeked a due timer");
                 self.stats.timers_fired += 1;
+                if let Some(obs) = &self.obs {
+                    obs.timer_lag_ns.record(self.now().saturating_sub(at));
+                }
                 let node = self.transport.node();
                 let ctx = Context::external(node, self.now());
                 let ctx = self.dispatch(ctx, |actor, ctx| actor.on_timer(ctx, id));
@@ -236,7 +285,11 @@ where
     {
         let start = Instant::now();
         f(&mut self.actor, &mut ctx);
-        self.stats.busy += start.elapsed().as_nanos() as Time;
+        let elapsed = start.elapsed().as_nanos() as Time;
+        self.stats.busy += elapsed;
+        if let Some(obs) = &self.obs {
+            obs.handler_ns.record(elapsed);
+        }
         ctx
     }
 
@@ -264,6 +317,22 @@ where
             self.timers.push(Reverse((now + delay, self.timer_seq, id)));
         }
     }
+}
+
+/// Mirrors event-loop counters into `registry` under the `runtime.`
+/// prefix (idempotent: values are stored, not added). Pass per-node
+/// *totals* — a restart-capable harness folds incarnations first.
+pub fn export_runtime_stats(stats: &RuntimeStats, registry: &iniva_obs::Registry) {
+    registry
+        .counter("runtime.cpu_charged_ns")
+        .store(stats.cpu_charged);
+    registry.counter("runtime.busy_ns").store(stats.busy);
+    registry
+        .counter("runtime.msgs_delivered")
+        .store(stats.msgs_delivered);
+    registry
+        .counter("runtime.timers_fired")
+        .store(stats.timers_fired);
 }
 
 /// Spends `d` of real time on this thread. Sleeps for the bulk and spins

@@ -126,6 +126,39 @@ impl TransportStats {
     }
 }
 
+/// Mirrors a transport snapshot into `registry` under the `transport.`
+/// prefix (idempotent: values are stored, not added). `queue_depth` lands
+/// as a gauge; everything else as counters.
+pub fn export_transport_snapshot(snap: &TransportSnapshot, registry: &iniva_obs::Registry) {
+    registry
+        .counter("transport.msgs_sent")
+        .store(snap.msgs_sent);
+    registry
+        .counter("transport.bytes_sent")
+        .store(snap.bytes_sent);
+    registry
+        .counter("transport.msgs_received")
+        .store(snap.msgs_received);
+    registry
+        .counter("transport.bytes_received")
+        .store(snap.bytes_received);
+    registry
+        .counter("transport.dups_dropped")
+        .store(snap.dups_dropped);
+    registry
+        .counter("transport.reconnects")
+        .store(snap.reconnects);
+    registry
+        .counter("transport.faults_dropped")
+        .store(snap.faults_dropped);
+    registry
+        .counter("transport.lane_evicted")
+        .store(snap.lane_evicted);
+    registry
+        .gauge("transport.queue_depth")
+        .set(snap.queue_depth);
+}
+
 /// How many `(sender, epoch, seq)` triples the duplicate filter remembers.
 const DEDUP_CAPACITY: usize = 4096;
 
@@ -302,9 +335,37 @@ impl<M: Codec + Send + 'static> Transport<M> {
         node_faults: Arc<NodeFaults>,
         link_faults: Arc<LinkFaults>,
     ) -> io::Result<Self> {
+        Self::start_with_stats(
+            node,
+            listener,
+            peers,
+            options,
+            node_faults,
+            link_faults,
+            Arc::new(TransportStats::default()),
+        )
+    }
+
+    /// [`Transport::start_with`], but counting into a caller-provided
+    /// stats block instead of a fresh one. A restart-capable harness
+    /// passes the *same* `Arc` to every incarnation of a node, so the
+    /// counters are cumulative across rebuilds: nothing a dying lane
+    /// counted (evictions, fault drops) is lost when the next
+    /// incarnation starts from zero. Callers doing so must treat the
+    /// final snapshot as the node's total, not fold per-incarnation
+    /// snapshots on top (that would double-count).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_stats(
+        node: NodeId,
+        listener: TcpListener,
+        peers: &[(NodeId, SocketAddr)],
+        options: TransportOptions,
+        node_faults: Arc<NodeFaults>,
+        link_faults: Arc<LinkFaults>,
+        stats: Arc<TransportStats>,
+    ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let (incoming_tx, incoming_rx) = mpsc::channel();
-        let stats = Arc::new(TransportStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let listener_handle = {

@@ -321,3 +321,60 @@ fn bounded_lane_sheds_oldest_while_peer_unreachable() {
         snap.lane_evicted
     );
 }
+
+/// Rebuilding a node's transport (what a restart-capable harness does on
+/// every revive) must not lose the stats the dying incarnation counted:
+/// both incarnations write into one shared [`TransportStats`], so the
+/// final snapshot is the node's cumulative total — lane evictions from
+/// before the rebuild included.
+#[test]
+fn rebuilt_transport_keeps_cumulative_stats() {
+    use iniva_transport::TransportStats;
+
+    let loopback = "127.0.0.1:0".to_socket_addrs().unwrap().next().unwrap();
+    // A peer address nothing listens on, so every send backs up the lane.
+    let dead_addr = {
+        let l = TcpListener::bind(loopback).unwrap();
+        l.local_addr().unwrap()
+    };
+    let shared = Arc::new(TransportStats::default());
+    let start = |stats: &Arc<TransportStats>| {
+        Transport::<Num>::start_with_stats(
+            0,
+            TcpListener::bind(loopback).unwrap(),
+            &[(1, dead_addr)],
+            TransportOptions { lane_capacity: 8 },
+            Arc::new(NodeFaults::new()),
+            Arc::new(LinkFaults::new()),
+            Arc::clone(stats),
+        )
+        .unwrap()
+    };
+
+    // Incarnation 1 floods the unreachable peer and dies.
+    let mut t1 = start(&shared);
+    for i in 0..50 {
+        t1.send(1, &Num(i));
+    }
+    let before = shared.snapshot();
+    assert_eq!(before.msgs_sent, 50);
+    assert!(before.lane_evicted >= 41, "first incarnation must evict");
+    t1.shutdown();
+    drop(t1);
+
+    // Incarnation 2 starts from the same stats block; its traffic lands
+    // on top of the first life's counters instead of a fresh zero.
+    let mut t2 = start(&shared);
+    for i in 0..50 {
+        t2.send(1, &Num(i));
+    }
+    let after = shared.snapshot();
+    assert_eq!(after.msgs_sent, 100, "counters span both incarnations");
+    assert!(
+        after.lane_evicted >= before.lane_evicted + 41,
+        "evictions counted before the rebuild ({}) must survive it ({})",
+        before.lane_evicted,
+        after.lane_evicted
+    );
+    t2.shutdown();
+}

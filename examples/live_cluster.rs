@@ -56,6 +56,18 @@
 //! cargo run --release --example live_cluster -- --config /tmp/cluster.toml --id 2 --wal-dir /tmp/iniva-wal
 //! # ... kill -9 that process, then run the identical command again
 //! ```
+//!
+//! Observability — `--metrics-dir <dir>` (any mode; in multi-process
+//! mode, a `metrics_dir = "..."` key in the `[cluster]` table covers the
+//! whole cluster) makes every replica trace consensus events and dump
+//! `metrics-<id>.json` + `trace-<id>.jsonl` into the directory, refreshed
+//! every ~2 s in `--config`/`--id` mode so killed processes leave usable
+//! traces. Merge the dumps into a cross-replica per-view timeline:
+//!
+//! ```sh
+//! cargo run --release --example live_cluster -- --chaos --metrics-dir /tmp/iniva-obs
+//! cargo run --release -p iniva-bench --bin view_timeline -- /tmp/iniva-obs
+//! ```
 
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_consensus::PerfSummary;
@@ -63,13 +75,15 @@ use iniva_crypto::bls::BlsScheme;
 use iniva_crypto::multisig::WireScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::{NetConfig, Simulation, SECS};
+use iniva_obs::{Registry, Tracer};
 use iniva_storage::ChainWal;
 use iniva_transport::cluster::{
-    chaos_demo_scenario, run_local_iniva_cluster, run_local_iniva_cluster_with_plan, CLUSTER_SEED,
+    chaos_demo_scenario, run_local_iniva_cluster, run_local_iniva_cluster_observed,
+    run_local_iniva_cluster_with_plan, ObsOptions, CLUSTER_SEED,
 };
 use iniva_transport::{ClusterConfig, CpuMode, Runtime, Transport};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn iniva_config(n: usize, internal: u32, rate: u64, batch: u32, payload: u32) -> InivaConfig {
     let mut cfg = InivaConfig::for_tests(n, internal);
@@ -92,7 +106,7 @@ fn simulated_point(cfg: &InivaConfig, duration_secs: u64) -> PerfSummary {
     iniva_sim::perf::harvest(&sim, &metrics, duration_secs)
 }
 
-fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64) {
+fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64, metrics_dir: Option<&str>) {
     let (n, internal, rate) = (cfg.n, cfg.internal, cfg.request_rate);
     if S::REAL_CRYPTO {
         cfg.tune_for_real_crypto();
@@ -102,8 +116,22 @@ fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64) {
          {rate} req/s offered, {duration_secs} s over loopback TCP ==",
         scheme = S::NAME
     );
-    let run = run_local_iniva_cluster::<S>(&cfg, Duration::from_secs(duration_secs), CpuMode::Real)
-        .expect("cluster starts");
+    let duration = Duration::from_secs(duration_secs);
+    let run = match metrics_dir {
+        None => run_local_iniva_cluster::<S>(&cfg, duration, CpuMode::Real),
+        Some(dir) => {
+            let obs = ObsOptions::new(dir);
+            let plan = iniva_net::faults::FaultPlan::new();
+            run_local_iniva_cluster_observed::<S>(&cfg, duration, CpuMode::Real, &plan, &obs)
+        }
+    }
+    .expect("cluster starts");
+    if let Some(dir) = metrics_dir {
+        println!(
+            "observability dumps in {dir}/ — merge with: \
+             cargo run --release -p iniva-bench --bin view_timeline -- {dir}"
+        );
+    }
 
     let agreed = match run.agreed_prefix_height() {
         Ok(h) => h,
@@ -130,7 +158,26 @@ fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64) {
     println!("frames shipped          : {sent} ({bytes} body bytes, {dups} duplicates dropped)");
 }
 
-fn one_process<S: WireScheme>(cluster: &ClusterConfig, id: u32, wal_dir: Option<&str>) {
+/// Writes one process's registry + trace dumps into `dir` (best-effort:
+/// a dump failure mid-run is reported, not fatal — the consensus process
+/// should outlive a full disk).
+fn dump_process_obs(dir: &str, id: u32, registry: &Registry, tracer: &Tracer) {
+    let metrics = std::path::Path::new(dir).join(format!("metrics-{id}.json"));
+    let trace = std::path::Path::new(dir).join(format!("trace-{id}.jsonl"));
+    if let Err(e) = std::fs::write(&metrics, registry.to_json()) {
+        eprintln!("metrics dump failed ({}): {e}", metrics.display());
+    }
+    if let Err(e) = tracer.write_jsonl(&trace) {
+        eprintln!("trace dump failed ({}): {e}", trace.display());
+    }
+}
+
+fn one_process<S: WireScheme>(
+    cluster: &ClusterConfig,
+    id: u32,
+    wal_dir: Option<&str>,
+    metrics_dir: Option<&str>,
+) {
     // The scheme is cluster-wide common knowledge (see ClusterConfig):
     // a process decoding frames under the wrong scheme would drop every
     // connection and stall silently, so mismatches die by name here.
@@ -161,6 +208,15 @@ fn one_process<S: WireScheme>(cluster: &ClusterConfig, id: u32, wal_dir: Option<
     );
     let transport = Transport::bind(id, addr, &cluster.peer_addrs()).expect("bind listener");
     let scheme = Arc::new(S::new_committee(cluster.n(), CLUSTER_SEED));
+    let scheme_handle = Arc::clone(&scheme);
+    // Observability: one registry + tracer for the process, both on the
+    // runtime's epoch, dumped periodically so a kill -9'd replica still
+    // leaves an (almost-current) trace for `view_timeline`.
+    let epoch = Instant::now();
+    let node_obs = metrics_dir.map(|dir| {
+        std::fs::create_dir_all(dir).expect("create metrics dir");
+        (Registry::new(), Tracer::live(id, 65_536, epoch), dir)
+    });
     // With a WAL directory this process is durable: it rehydrates the
     // committed prefix a previous incarnation logged (state transfer
     // closes the rest of the gap once a peer message reveals it) and
@@ -170,22 +226,48 @@ fn one_process<S: WireScheme>(cluster: &ClusterConfig, id: u32, wal_dir: Option<
         None => InivaReplica::new(id, cfg, scheme),
         Some(dir) => {
             let dir = std::path::Path::new(dir).join(format!("replica-{id}"));
-            let (wal, recovered) = ChainWal::<S>::open(&dir).expect("open write-ahead log");
+            let (mut wal, recovered) = ChainWal::<S>::open(&dir).expect("open write-ahead log");
             println!(
                 "WAL {}: recovered {} committed blocks, view {}",
                 dir.display(),
                 recovered.commits.len(),
                 recovered.view
             );
+            if let Some((registry, tracer, _)) = &node_obs {
+                wal.set_observability(registry, tracer.clone());
+            }
             let mut replica =
                 InivaReplica::recover(id, cfg, scheme, recovered.commits, recovered.view);
             replica.chain.set_commit_sink(Box::new(wal));
             replica
         }
     };
-    let mut runtime = Runtime::new(replica, transport, CpuMode::Real);
-    runtime.run_for(duration);
-    let (replica, stats, transport) = runtime.finish();
+    let mut runtime = Runtime::with_epoch(replica, transport, CpuMode::Real, epoch);
+    match &node_obs {
+        None => runtime.run_for(duration),
+        Some((registry, tracer, dir)) => {
+            runtime
+                .actor_mut()
+                .set_observability(registry, tracer.clone());
+            runtime.set_observability(registry);
+            // Run in slices, flushing the dumps every couple of seconds.
+            let deadline = Instant::now() + duration;
+            while Instant::now() < deadline {
+                let slice = (deadline - Instant::now()).min(Duration::from_secs(2));
+                runtime.run_deadline(Instant::now() + slice, || false);
+                runtime.export_stats(registry);
+                runtime.actor_mut().chain.metrics.export(registry);
+                dump_process_obs(dir, id, registry, tracer);
+            }
+        }
+    }
+    let (mut replica, stats, transport) = runtime.finish();
+    if let Some((registry, tracer, dir)) = &node_obs {
+        replica.chain.metrics.export(registry);
+        scheme_handle.export_observability(registry);
+        dump_process_obs(dir, id, registry, tracer);
+        println!("observability dumps in {dir}/ (metrics-{id}.json, trace-{id}.jsonl)");
+    }
 
     let point = PerfSummary::from_metrics(
         &replica.chain.metrics,
@@ -214,19 +296,26 @@ fn one_process<S: WireScheme>(cluster: &ClusterConfig, id: u32, wal_dir: Option<
 /// (`iniva_transport::cluster::chaos_demo_scenario`) — crash a seeded
 /// victim at t=0, cut the survivors below quorum at 2 s, heal at 3.5 s —
 /// replayed on sockets and on the simulator.
-fn chaos(duration_secs: u64) {
+fn chaos(duration_secs: u64, metrics_dir: Option<&str>) {
     let (cfg, plan, victim, o) = chaos_demo_scenario(0xC4A05);
     let n = cfg.n;
     println!(
         "== chaos: n = {n}, crash replica {victim} at 0 s, partition 3|4 at 2 s, heal at 3.5 s =="
     );
 
-    let run = run_local_iniva_cluster_with_plan::<SimScheme>(
-        &cfg,
-        Duration::from_secs(duration_secs),
-        CpuMode::Real,
-        &plan,
-    )
+    let duration = Duration::from_secs(duration_secs);
+    let run = match metrics_dir {
+        None => {
+            run_local_iniva_cluster_with_plan::<SimScheme>(&cfg, duration, CpuMode::Real, &plan)
+        }
+        Some(dir) => run_local_iniva_cluster_observed::<SimScheme>(
+            &cfg,
+            duration,
+            CpuMode::Real,
+            &plan,
+            &ObsOptions::new(dir),
+        ),
+    }
     .expect("cluster starts");
     let survivors: Vec<usize> = o.iter().map(|&id| id as usize).collect();
     let agreed = match run.agreed_prefix_height_of(&survivors) {
@@ -256,6 +345,12 @@ fn chaos(duration_secs: u64) {
     let dropped: u64 = run.nodes.iter().map(|nd| nd.transport.faults_dropped).sum();
     let evicted: u64 = run.nodes.iter().map(|nd| nd.transport.lane_evicted).sum();
     println!("frames dropped by injected faults  : {dropped} ({evicted} shed by bounded lanes)");
+    if let Some(dir) = metrics_dir {
+        println!(
+            "observability dumps in {dir}/ — merge with: \
+             cargo run --release -p iniva-bench --bin view_timeline -- {dir}"
+        );
+    }
 }
 
 fn write_config(path: &str, n: usize, scheme: &str) {
@@ -300,11 +395,12 @@ fn main() {
         write_config(&path, parse("--n", 4) as usize, &scheme);
         return;
     }
+    let metrics_dir = flag("--metrics-dir");
     if args.iter().any(|a| a == "--chaos") {
         // The chaos demo's whole point is the sockets-vs-simulator
         // comparison, which only the calibrated sim scheme supports.
         assert_eq!(scheme, "sim", "--chaos compares against the simulator");
-        chaos(parse("--duration", 6));
+        chaos(parse("--duration", 6), metrics_dir.as_deref());
         return;
     }
     if let Some(path) = flag("--config") {
@@ -325,9 +421,13 @@ fn main() {
                 cluster.scheme
             );
         }
+        // A process dumps observability when the shared config says so
+        // (so one key covers the whole cluster) or when this process got
+        // an explicit --metrics-dir (which wins).
+        let obs_dir = metrics_dir.or_else(|| cluster.metrics_dir.clone());
         match cluster.scheme.as_str() {
-            "bls" => one_process::<BlsScheme>(&cluster, id, wal.as_deref()),
-            _ => one_process::<SimScheme>(&cluster, id, wal.as_deref()),
+            "bls" => one_process::<BlsScheme>(&cluster, id, wal.as_deref(), obs_dir.as_deref()),
+            _ => one_process::<SimScheme>(&cluster, id, wal.as_deref(), obs_dir.as_deref()),
         }
         return;
     }
@@ -349,7 +449,7 @@ fn main() {
     );
     let duration = parse("--duration", if bls { 15 } else { 5 });
     match scheme.as_str() {
-        "bls" => in_process::<BlsScheme>(cfg, duration),
-        _ => in_process::<SimScheme>(cfg, duration),
+        "bls" => in_process::<BlsScheme>(cfg, duration, metrics_dir.as_deref()),
+        _ => in_process::<SimScheme>(cfg, duration, metrics_dir.as_deref()),
     }
 }
