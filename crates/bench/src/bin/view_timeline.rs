@@ -16,7 +16,9 @@
 //! one view committed, and every replica that was alive near the end of
 //! the run (events in the last 20% of the traced span) observed at
 //! least one commit — a revived node that caught up via state transfer
-//! passes, a stuck one fails.
+//! passes, a stuck one fails. `--max-failed-pct <pct>` tightens the gate
+//! with a ceiling on the failed-view share (the resilience regression
+//! gate: the Carousel fix holds the 4-crash cell under 25%).
 
 use iniva_obs::timeline::parse_dump;
 use iniva_obs::trace::EventKind;
@@ -75,9 +77,21 @@ fn print_views(tl: &Timeline) {
 /// The CI gate: every parsed node that was still producing events in
 /// the last `tail_fraction` of the traced span must have observed at
 /// least one commit.
-fn check(dumps: &[NodeDump], tl: &Timeline) -> Result<(), String> {
+fn check(dumps: &[NodeDump], tl: &Timeline, max_failed_pct: Option<f64>) -> Result<(), String> {
     if tl.views.iter().all(|r| r.commits.is_empty()) {
         return Err("no committed view anywhere in the traces".into());
+    }
+    if let Some(ceiling) = max_failed_pct {
+        let s = tl.summary();
+        if s.views_total > 0 {
+            let failed_pct = 100.0 * s.views_failed as f64 / s.views_total as f64;
+            if failed_pct > ceiling {
+                return Err(format!(
+                    "failed-view share {failed_pct:.1}% ({}/{}) exceeds the {ceiling:.1}% ceiling",
+                    s.views_failed, s.views_total
+                ));
+            }
+        }
     }
     let span_end = dumps
         .iter()
@@ -108,11 +122,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dir = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--max-failed-pct"))
+        .map(|(_, a)| a.as_str())
         .unwrap_or(".");
     let want_views = args.iter().any(|a| a == "--views");
     let want_check = args.iter().any(|a| a == "--check");
+    let max_failed_pct = args
+        .iter()
+        .position(|a| a == "--max-failed-pct")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<f64>()
+                .unwrap_or_else(|_| panic!("--max-failed-pct wants a number, got '{v}'"))
+        });
 
     let files = match trace_files(Path::new(dir)) {
         Ok(f) if !f.is_empty() => f,
@@ -165,7 +188,7 @@ fn main() -> ExitCode {
     print!("{}", tl.summary().render());
 
     if want_check {
-        match check(&dumps, &tl) {
+        match check(&dumps, &tl, max_failed_pct) {
             Ok(()) => println!("check: OK"),
             Err(e) => {
                 eprintln!("check: FAILED — {e}");

@@ -531,6 +531,49 @@ impl<S: VoteScheme> ChainState<S> {
         &self.committed_log
     }
 
+    /// The QC certifying the latest *committed* block, if retained — the
+    /// stable anchor Carousel derives its leader pool from. Unlike the
+    /// volatile high QC (which diverges across replicas during failed
+    /// views), the committed prefix is converged by state transfer, so
+    /// every replica sharing it derives the same pool. `None` until the
+    /// first commit, or if the tip committed without an observed QC (a
+    /// 2ND-CHANCE catch-up can do that) — callers keep their previous pool.
+    pub fn committed_tip_qc(&self) -> Option<&Qc<S>> {
+        self.committed_qcs.get(&self.committed_height)
+    }
+
+    /// Proposers of the last `count` committed blocks, oldest first — the
+    /// recent-leader window Carousel excludes (Cohen et al.). Derived from
+    /// the committed log, so it is identical on every replica that shares
+    /// the committed prefix. Entries whose block body was never delivered
+    /// (committed via a QC-only ancestor walk) are skipped.
+    pub fn recent_committed_proposers(&self, count: usize) -> Vec<u32> {
+        let start = self.committed_log.len().saturating_sub(count);
+        self.committed_log[start..]
+            .iter()
+            .filter_map(|(_, hash)| self.blocks.get(hash).map(|b| b.proposer))
+            .collect()
+    }
+
+    /// Proposers of the `count` committed blocks at heights in
+    /// `(boundary - count, boundary]`, oldest first. This is the
+    /// epoch-sampled recent-leader window: callers pass a `boundary`
+    /// quantized to a fixed epoch length, so the result only changes when
+    /// the committed height crosses an epoch boundary. A window that slid
+    /// with *every* commit would differ between two replicas whose
+    /// committed heights are transiently skewed (one missed a proposal and
+    /// is catching up via state transfer) — and a divergent window means
+    /// divergent leaders and failed views. Quantizing the boundary keeps
+    /// the window identical across replicas whose skew stays inside one
+    /// epoch. Entries whose block body was never delivered are skipped.
+    pub fn committed_proposers_ending_at(&self, boundary: u64, count: usize) -> Vec<u32> {
+        self.committed_log
+            .iter()
+            .filter(|&&(h, _)| h <= boundary && h + count as u64 > boundary)
+            .filter_map(|(_, hash)| self.blocks.get(hash).map(|b| b.proposer))
+            .collect()
+    }
+
     /// Looks up a block.
     pub fn block(&self, h: &BlockHash) -> Option<&Block> {
         self.blocks.get(h)
@@ -860,6 +903,81 @@ mod tests {
         }
         assert!(chain.committed_entry(4).is_none());
         assert!(chain.committed_entry(0).is_none());
+    }
+
+    #[test]
+    fn committed_tip_qc_tracks_commits_not_high_qc() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        assert!(chain.committed_tip_qc().is_none(), "no commit yet");
+        extend(&mut chain, 1, &s);
+        extend(&mut chain, 2, &s);
+        assert!(
+            chain.committed_tip_qc().is_none(),
+            "high QC advanced but nothing committed"
+        );
+        extend(&mut chain, 3, &s); // commits height 1
+        let qc = chain.committed_tip_qc().expect("committed tip QC retained");
+        assert_eq!(qc.height, 1);
+        assert_eq!(qc.view, 1);
+        extend(&mut chain, 4, &s); // commits height 2
+        assert_eq!(chain.committed_tip_qc().unwrap().height, 2);
+    }
+
+    #[test]
+    fn recent_committed_proposers_come_from_log_tail() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        assert!(chain.recent_committed_proposers(3).is_empty());
+        // Each view's block is proposed by a distinct replica.
+        for v in 1..=6u64 {
+            let mut b = chain.draft_block(v, 0, 0, 0, 0);
+            b.proposer = v as u32;
+            chain.insert_block(b.clone());
+            chain.on_qc(qc_for(&s, &b), 1000, &s);
+        }
+        // Views 1..=6 commit heights 1..=4 (three-chain lag of 2).
+        assert_eq!(chain.committed_height(), 4);
+        // The last two committed blocks were proposed in views 3 and 4.
+        assert_eq!(chain.recent_committed_proposers(2), vec![3, 4]);
+        // Asking for more than the log holds returns the whole log.
+        assert_eq!(chain.recent_committed_proposers(10), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn committed_proposers_ending_at_ignores_commits_past_the_boundary() {
+        let s = scheme();
+        let mut chain = ChainState::new(0);
+        for v in 1..=6u64 {
+            let mut b = chain.draft_block(v, 0, 0, 0, 0);
+            b.proposer = v as u32;
+            chain.insert_block(b.clone());
+            chain.on_qc(qc_for(&s, &b), 1000, &s);
+        }
+        assert_eq!(chain.committed_height(), 4);
+        // Boundary 2: heights (0, 2] regardless of how far the tip ran.
+        assert_eq!(chain.committed_proposers_ending_at(2, 2), vec![1, 2]);
+        // A replica one commit behind derives the same window for the same
+        // boundary — the agreement property the quantization buys.
+        let mut lagging = ChainState::new(1);
+        for v in 1..=5u64 {
+            let mut b = lagging.draft_block(v, 0, 0, 0, 0);
+            b.proposer = v as u32;
+            lagging.insert_block(b.clone());
+            lagging.on_qc(qc_for(&s, &b), 1000, &s);
+        }
+        assert_eq!(lagging.committed_height(), 3);
+        assert_eq!(
+            lagging.committed_proposers_ending_at(2, 2),
+            chain.committed_proposers_ending_at(2, 2)
+        );
+        // Boundary at the tip degenerates to the sliding window.
+        assert_eq!(
+            chain.committed_proposers_ending_at(4, 2),
+            chain.recent_committed_proposers(2)
+        );
+        // Boundary 0 (no epoch completed yet): empty window.
+        assert!(chain.committed_proposers_ending_at(0, 2).is_empty());
     }
 
     #[test]

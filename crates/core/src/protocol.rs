@@ -16,7 +16,7 @@
 
 use crate::rewards::validate_subtree_multiplicities;
 use iniva_consensus::chain::ChainState;
-use iniva_consensus::leader::{LeaderContext, LeaderPolicy};
+use iniva_consensus::leader::{LeaderContext, LeaderPolicy, CAROUSEL_WINDOW_EPOCH};
 use iniva_consensus::types::{
     quorum, vote_message, Block, Qc, AGG_SIG_BYTES, GENESIS_HASH, PER_SIGNER_BYTES,
 };
@@ -167,6 +167,19 @@ pub enum InivaMsg<S: VoteScheme> {
     /// State transfer: a chunk of committed blocks, each paired with the
     /// QC certifying it, so the requester verifies before adopting.
     StateResponse(StateResponse<Block, Qc<S>>),
+    /// `TIMEOUT` (HotStuff-style new-view exchange): broadcast when a view
+    /// times out, carrying the sender's high QC so replicas that diverged
+    /// during failed views converge on one certificate — and therefore one
+    /// Carousel leader — within a single timeout round. The carried QC is
+    /// verified before adoption; the unauthenticated `view` field is never
+    /// trusted on its own (the pacemaker only fast-forwards to a view a
+    /// *verified* QC proves the cluster reached).
+    Timeout {
+        /// The view that timed out at the sender.
+        view: u64,
+        /// The sender's highest known QC (None before any QC forms).
+        high_qc: Option<Qc<S>>,
+    },
 }
 
 impl<S: VoteScheme> Clone for InivaMsg<S> {
@@ -193,6 +206,10 @@ impl<S: VoteScheme> Clone for InivaMsg<S> {
                 blocks: resp.blocks.clone(),
                 qcs: resp.qcs.clone(),
             }),
+            InivaMsg::Timeout { view, high_qc } => InivaMsg::Timeout {
+                view: *view,
+                high_qc: high_qc.clone(),
+            },
         }
     }
 }
@@ -229,6 +246,10 @@ where
                 enc.put_u8(5);
                 resp.encode(enc);
             }
+            InivaMsg::Timeout { view, high_qc } => {
+                enc.put_u8(6).put_u64(*view);
+                enc.put_opt(high_qc);
+            }
         }
     }
 }
@@ -257,6 +278,10 @@ where
             }),
             4 => Ok(InivaMsg::StateRequest(StateRequest::decode(dec)?)),
             5 => Ok(InivaMsg::StateResponse(StateResponse::decode(dec)?)),
+            6 => Ok(InivaMsg::Timeout {
+                view: dec.get_u64()?,
+                high_qc: dec.get_opt()?,
+            }),
             tag => Err(DecodeError::InvalidTag {
                 tag,
                 context: "InivaMsg",
@@ -326,6 +351,7 @@ struct ReplicaObs {
     views_failed: iniva_obs::Counter,
     second_chances: iniva_obs::Counter,
     state_chunks: iniva_obs::Counter,
+    leader_fallbacks: iniva_obs::Counter,
 }
 
 /// Per-view metrics of the aggregation layer.
@@ -357,10 +383,12 @@ pub struct InivaReplica<S: VoteScheme> {
     /// reordering under jitter); replayed once the proposal is delivered.
     early_sigs: Vec<(NodeId, u64, S::Aggregate)>,
     /// Rate limiter for state-transfer requests: committed height at the
-    /// last request and when it was sent. A new request goes out only
-    /// after progress (a response advanced the prefix) or a view-timeout
-    /// of silence (the asked peer was unhelpful; try the next sender).
-    last_state_request: Option<(u64, Time)>,
+    /// last request, when it was sent, and whom it was sent to. A new
+    /// request goes out only after progress (a response advanced the
+    /// prefix) or a view-timeout of silence — and a retry after silence
+    /// never re-asks the peer that just stayed silent (it may be dead; the
+    /// next *different* sender gets the request instead).
+    last_state_request: Option<(u64, Time, NodeId)>,
     /// Consensus event tracer; disabled (free) unless
     /// [`Self::set_observability`] was called.
     tracer: Tracer,
@@ -405,6 +433,7 @@ where
             views_failed: registry.counter("consensus.views_failed"),
             second_chances: registry.counter("consensus.second_chances"),
             state_chunks: registry.counter("consensus.state_chunks"),
+            leader_fallbacks: registry.counter("consensus.leader_fallbacks"),
         });
         self.tracer = tracer;
     }
@@ -523,11 +552,24 @@ where
     }
 
     /// Leader of `view` = root of the tree of view `view - 1`; equivalently
-    /// the policy pick for `view`.
+    /// the policy pick for `view`. If the policy yields an id outside the
+    /// committee (a Carousel pool corrupted by a hostile aggregate's signer
+    /// claims), the round-robin pick stands in — mirroring the fallback in
+    /// [`tree_for_view`] so this function always names the pinned tree
+    /// root — and the event is counted in `consensus.leader_fallbacks`
+    /// instead of aborting consensus.
     fn leader_of(&self, view: u64) -> u32 {
-        self.cfg
+        let pick = self
+            .cfg
             .leader_policy
-            .leader(view, self.cfg.n, &self.leader_ctx)
+            .leader(view, self.cfg.n, &self.leader_ctx);
+        if pick < self.cfg.n as u32 {
+            return pick;
+        }
+        if let Some(obs) = &self.obs {
+            obs.leader_fallbacks.inc();
+        }
+        (view % self.cfg.n as u64) as u32
     }
 
     fn enter_view(&mut self, ctx: &mut Context<InivaMsg<S>>, view: u64, failed: bool) {
@@ -1303,14 +1345,20 @@ where
             return;
         }
         let now = ctx.now();
-        if let Some((at_height, at_time)) = self.last_state_request {
+        if let Some((at_height, at_time, target)) = self.last_state_request {
             let progressed = committed > at_height;
             let timed_out = now.saturating_sub(at_time) > self.cfg.view_timeout;
             if !progressed && !timed_out {
                 return;
             }
+            // The previous target went a full view-timeout without helping
+            // (likely dead): retry only against a *different* peer, or the
+            // limiter re-arms on the dead one and the gap never closes.
+            if !progressed && timed_out && from == target {
+                return;
+            }
         }
-        self.last_state_request = Some((committed, now));
+        self.last_state_request = Some((committed, now, from));
         ctx.send(
             from,
             InivaMsg::StateRequest(StateRequest {
@@ -1410,14 +1458,122 @@ where
         self.update_carousel();
     }
 
-    /// Refreshes the Carousel context from chain state: voters of the high
-    /// QC, and the proposers of the last `f` blocks as the recent-leader
-    /// window. Both are pure functions of the high QC, so replicas agree
-    /// as soon as they see the same certificate.
+    /// Handles a peer's `TIMEOUT` broadcast: verifies the carried high QC
+    /// and, if it beats the local one, adopts it — converging leader
+    /// election with the sender — and fast-forwards the pacemaker to the
+    /// view *the certificate proves* the cluster reached. Ordering is
+    /// strict: cheap structural checks (quorum size) run before the
+    /// pairing-equivalent batch verification, and nothing about the
+    /// message is trusted until the QC verifies; in particular the
+    /// unauthenticated `view` field alone never moves the pacemaker, so a
+    /// hostile flood of far-future TIMEOUTs cannot drag honest replicas
+    /// out of their views.
+    fn handle_timeout(
+        &mut self,
+        ctx: &mut Context<InivaMsg<S>>,
+        from: NodeId,
+        timeout_view: u64,
+        high_qc: Option<Qc<S>>,
+    ) {
+        if from == self.id {
+            return;
+        }
+        let Some(qc) = high_qc else { return };
+        // Dedup before crypto: a QC no better than what we hold teaches us
+        // nothing (the height comparison mirrors `ChainState::on_qc`).
+        if self
+            .chain
+            .highest_qc()
+            .is_some_and(|held| qc.height <= held.height)
+        {
+            return;
+        }
+        let signers = qc.signer_count(&self.scheme);
+        if signers < quorum(self.cfg.n) {
+            return;
+        }
+        // The existing batch path: one group, one multi-pairing under BLS.
+        let charged_ns = self.cfg.cost.verify_batch(1, signers);
+        ctx.charge_cpu(charged_ns);
+        let msg = vote_message(&qc.block_hash, qc.view);
+        let verify_t0 = self.observing_verify().then(std::time::Instant::now);
+        let outcome = self
+            .scheme
+            .verify_batch(&[(msg.as_slice(), std::slice::from_ref(&qc.agg))]);
+        if let Some(t0) = verify_t0 {
+            self.note_verify(ctx.now(), timeout_view, 1, t0, charged_ns);
+        }
+        if !outcome.culprits().is_empty() {
+            return;
+        }
+        let qc_view = qc.view;
+        let before = self.chain.committed_height();
+        self.chain.on_qc(qc, ctx.now(), &self.scheme);
+        self.trace_commits(ctx.now(), before);
+        self.update_carousel();
+        self.tracer.emit(
+            ctx.now(),
+            EventKind::TimeoutQcAdopted {
+                view: timeout_view,
+                qc_view,
+            },
+        );
+        // Certificate-anchored fast-forward: a verified QC for view `v`
+        // proves a quorum reached `v`, so entering `v + 1` is safe and
+        // re-synchronizes a replica whose pacemaker fell behind. (The
+        // post-dispatch state-transfer probe then closes any committed-
+        // prefix gap the adopted QC just revealed.)
+        if qc_view >= self.current_view {
+            let next = qc_view + 1;
+            self.enter_view(ctx, next, false);
+            // Same shape as the view-timer path: if the fast-forwarded view
+            // elects this replica, proposing now saves a full timeout.
+            if self.leader_of(next) == self.id {
+                self.propose(ctx);
+            }
+        }
+    }
+
+    /// Refreshes the Carousel context from chain state: voters of the QC
+    /// certifying the latest *committed* block, and the proposers of the
+    /// last `f` committed blocks — sampled at [`CAROUSEL_WINDOW_EPOCH`]
+    /// boundaries — as the recent-leader window (Cohen et al.'s
+    /// exclusion). Both are pure functions of the committed prefix — which
+    /// state transfer already converges across replicas — so every replica
+    /// sharing the prefix elects the same leader. (The previous
+    /// implementation read the volatile high QC, which diverges during
+    /// failed views with nothing circulating certificates: the root cause
+    /// of the live Carousel collapse.) The window additionally must not
+    /// slide with every commit: replicas transiently skewed by one
+    /// committed block would exclude different candidates and diverge
+    /// again — quantizing the sample boundary keeps them in agreement
+    /// whenever the skew stays inside one epoch. The pool's anchor view
+    /// arms the fault-adaptive fallback in [`LeaderPolicy::Carousel`].
     fn update_carousel(&mut self) {
-        if let Some(qc) = self.chain.highest_qc() {
+        // Anchor on the committed tip once one exists. Before the first
+        // commit the high QC is the only certificate available, and the
+        // TIMEOUT exchange converges it across replicas within one
+        // timeout round — rotating over its voters beats burning view
+        // timeouts on crashed replicas picked round-robin from the full
+        // committee. After the first commit the high QC is never
+        // consulted again: post-commit high QCs legitimately diverge
+        // across replicas during failed views, and electing from them
+        // is exactly what caused the live collapse.
+        let qc = if self.chain.committed_height() == 0 {
+            self.chain.highest_qc()
+        } else {
+            self.chain.committed_tip_qc()
+        };
+        if let Some(qc) = qc {
             let voters: Vec<u32> = self.scheme.multiplicities(&qc.agg).signers().collect();
+            let anchor = qc.view;
             self.leader_ctx.set_committed_voters(voters);
+            self.leader_ctx.anchor_view = anchor;
+            let f = (self.cfg.n - 1) / 3;
+            let h = self.chain.committed_height();
+            let boundary = h - h % CAROUSEL_WINDOW_EPOCH;
+            self.leader_ctx
+                .set_recent_leaders(self.chain.committed_proposers_ending_at(boundary, f));
         }
     }
 
@@ -1451,10 +1607,20 @@ pub fn tree_for_view(
         (0..n as u32).map(|p| a.member_at(p)).collect()
     };
     let next_leader = policy.leader(view + 1, n, leader_ctx);
+    // A policy fed corrupt context (e.g. a Carousel pool holding an
+    // out-of-committee id from a hostile aggregate) must not abort
+    // consensus: fall back to the round-robin pick, which is always a
+    // committee member. Callers with metrics count the event via
+    // [`InivaReplica::tree_for_view`].
     let pos = perm
         .iter()
         .position(|&m| m == next_leader)
-        .expect("leader in committee");
+        .unwrap_or_else(|| {
+            let rr = (view + 1) % n as u64;
+            perm.iter()
+                .position(|&m| m as u64 == rr)
+                .expect("round-robin leader in committee")
+        });
     perm.swap(0, pos);
     let topology = Topology::new(n as u32, internal).expect("valid topology");
     TreeView::with_assignment(topology, Assignment::from_permutation(perm), view)
@@ -1467,18 +1633,15 @@ where
     type Msg = InivaMsg<S>;
 
     fn on_start(&mut self, ctx: &mut Context<InivaMsg<S>>) {
-        self.chain.metrics.total_views += 1;
         // A fresh replica starts in view 1; a WAL-recovered one resumes at
         // the view it had entered before the crash and waits to be
         // contacted (its view timer keeps the pacemaker rotating if the
-        // cluster is gone too).
+        // cluster is gone too). Entering through `enter_view` (its guard
+        // passes here: no view has been counted yet) journals the starting
+        // view via `ChainState::note_view` — a replica crashing in view 1
+        // must not restart believing it never entered it.
         let view = self.current_view;
-        self.tracer.emit_with(ctx.now(), || EventKind::ViewEntered {
-            view,
-            leader: self.leader_of(view),
-            failed: false,
-        });
-        ctx.set_timer(self.cfg.view_timeout, timer_id(view, TIMER_VIEW));
+        self.enter_view(ctx, view, false);
         if view == 1 && self.leader_of(1) == self.id {
             self.propose(ctx);
         }
@@ -1523,6 +1686,9 @@ where
                         InivaMsg::StateResponse(resp) => {
                             self.handle_state_response(ctx, from, resp)
                         }
+                        InivaMsg::Timeout { view, high_qc } => {
+                            self.handle_timeout(ctx, from, view, high_qc)
+                        }
                         InivaMsg::Signature { .. } => unreachable!("matched above"),
                     }
                 }
@@ -1550,6 +1716,29 @@ where
                         kind: TimerKind::View,
                     },
                 );
+                // New-view exchange: broadcast our high QC so replicas that
+                // diverged during the failed view converge on one
+                // certificate (and one Carousel pool) before re-electing.
+                // Without this nothing circulates QCs while views fail, and
+                // divergent replicas elect divergent leaders indefinitely.
+                let high_qc = self.chain.highest_qc().cloned();
+                self.tracer.emit_with(ctx.now(), || EventKind::TimeoutSent {
+                    view,
+                    high_qc_view: high_qc.as_ref().map_or(0, |q| q.view),
+                });
+                let bytes = 16 + high_qc.as_ref().map_or(0, |q| q.wire_bytes(&self.scheme));
+                for peer in 0..self.cfg.n as u32 {
+                    if peer != self.id {
+                        ctx.send(
+                            peer,
+                            InivaMsg::Timeout {
+                                view,
+                                high_qc: high_qc.clone(),
+                            },
+                            bytes,
+                        );
+                    }
+                }
                 let next = self.current_view + 1;
                 self.enter_view(ctx, next, true);
                 if self.leader_of(next) == self.id {
@@ -2004,8 +2193,16 @@ mod wire_tests {
             InivaMsg::StateRequest(StateRequest { from_height: 42 }),
             InivaMsg::StateResponse(StateResponse {
                 blocks: vec![b.clone(), b],
-                qcs: vec![qc.clone(), qc],
+                qcs: vec![qc.clone(), qc.clone()],
             }),
+            InivaMsg::Timeout {
+                view: 7,
+                high_qc: Some(qc),
+            },
+            InivaMsg::Timeout {
+                view: 8,
+                high_qc: None,
+            },
         ]
     }
 
@@ -2093,5 +2290,478 @@ mod wire_tests {
         assert_codec::<BlsAggregate>();
         assert_codec::<Qc<BlsScheme>>();
         assert_codec::<Block>();
+    }
+}
+
+#[cfg(test)]
+mod leader_agreement_tests {
+    use super::*;
+    use iniva_crypto::multisig::Multiplicities;
+    use iniva_crypto::sim_scheme::SimScheme;
+
+    const N: usize = 4;
+
+    fn carousel_cfg() -> InivaConfig {
+        let mut cfg = InivaConfig::for_tests(N, 2);
+        cfg.leader_policy = LeaderPolicy::Carousel;
+        cfg
+    }
+
+    /// A properly signed committed prefix of `count` chained blocks —
+    /// unlike `state_sync_tests::committed_prefix`, the QCs here are real
+    /// sign/combine aggregates over `vote_message`, so the adopting
+    /// replica's batch verification accepts them. Proposers rotate so the
+    /// recent-leader window is non-trivial.
+    fn signed_prefix(
+        scheme: &SimScheme,
+        count: u64,
+        signers: &[u32],
+    ) -> Vec<(Block, Qc<SimScheme>)> {
+        let mut parent = GENESIS_HASH;
+        let mut out = Vec::new();
+        for h in 1..=count {
+            let block = Block {
+                view: h,
+                height: h,
+                parent,
+                proposer: (h % N as u64) as u32,
+                batch_start: 0,
+                batch_len: 0,
+                payload_per_req: 0,
+            };
+            parent = block.hash();
+            let msg = vote_message(&block.hash(), block.view);
+            let mut agg = scheme.sign(signers[0], &msg);
+            for &s in &signers[1..] {
+                agg = scheme.combine(&agg, &scheme.sign(s, &msg));
+            }
+            let qc = Qc {
+                block_hash: block.hash(),
+                view: block.view,
+                height: block.height,
+                agg,
+            };
+            out.push((block, qc));
+        }
+        out
+    }
+
+    /// Delivers one message through the full dispatch path (including the
+    /// post-dispatch state-transfer probe) and returns the outbox.
+    fn deliver(
+        r: &mut InivaReplica<SimScheme>,
+        from: u32,
+        msg: InivaMsg<SimScheme>,
+        now: Time,
+    ) -> Vec<(NodeId, InivaMsg<SimScheme>, usize)> {
+        let mut ctx = Context::external(r.id, now);
+        r.on_message(&mut ctx, from, msg);
+        ctx.into_effects().outbox
+    }
+
+    fn fire_view_timer(
+        r: &mut InivaReplica<SimScheme>,
+        now: Time,
+    ) -> Vec<(NodeId, InivaMsg<SimScheme>, usize)> {
+        let view = r.current_view();
+        let mut ctx = Context::external(r.id, now);
+        r.on_timer(&mut ctx, timer_id(view, TIMER_VIEW));
+        ctx.into_effects().outbox
+    }
+
+    /// The tentpole property: two replicas whose QC knowledge diverged (one
+    /// saw a committed prefix the other never did) elect divergent leaders;
+    /// a single timeout round — the TIMEOUT broadcast plus the state
+    /// transfer its adopted QC triggers — converges them.
+    #[test]
+    fn timeout_round_converges_diverged_leader_election() {
+        let scheme = Arc::new(SimScheme::new(N, b"leader-agree"));
+        let cfg = carousel_cfg();
+        let mut a = InivaReplica::new(0, cfg.clone(), Arc::clone(&scheme));
+        let mut b = InivaReplica::new(1, cfg, Arc::clone(&scheme));
+
+        // Deliver a committed prefix (voters {0, 2, 3}) to A only.
+        let prefix = signed_prefix(&scheme, 6, &[0, 2, 3]);
+        let (blocks, qcs): (Vec<_>, Vec<_>) = prefix.into_iter().unzip();
+        deliver(
+            &mut a,
+            2,
+            InivaMsg::StateResponse(StateResponse { blocks, qcs }),
+            0,
+        );
+        assert_eq!(a.chain.committed_height(), 6, "A adopted the prefix");
+        assert_eq!(b.chain.committed_height(), 0, "B never saw it");
+
+        // Divergence: A elects from its Carousel pool, B round-robins.
+        assert!(
+            (1..=8).any(|v| a.leader_of(v) != b.leader_of(v)),
+            "diverged replicas should elect divergent leaders"
+        );
+
+        // One timeout round. A's view timer fires: it broadcasts TIMEOUT
+        // with its high QC to every peer.
+        let out = fire_view_timer(&mut a, 1);
+        let to_b = out
+            .iter()
+            .find_map(|(to, msg, _)| match (to, msg) {
+                (1, InivaMsg::Timeout { .. }) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("A broadcasts TIMEOUT to B");
+        // B verifies + adopts the carried QC, fast-forwards, and its
+        // state-transfer probe fires at A.
+        let out = deliver(&mut b, 0, to_b, 2);
+        assert!(
+            b.chain.highest_qc().is_some_and(|qc| qc.height == 6),
+            "B adopted A's high QC"
+        );
+        let req = out
+            .into_iter()
+            .find(|(to, msg, _)| *to == 0 && matches!(msg, InivaMsg::StateRequest(_)))
+            .map(|(_, msg, _)| msg)
+            .expect("the adopted QC opens a gap; B asks A for state");
+        // A serves the request; B adopts the committed prefix.
+        let out = deliver(&mut a, 1, req, 3);
+        let resp = out
+            .into_iter()
+            .find(|(to, msg, _)| *to == 1 && matches!(msg, InivaMsg::StateResponse(_)))
+            .map(|(_, msg, _)| msg)
+            .expect("A serves the committed prefix");
+        deliver(&mut b, 0, resp, 4);
+        assert_eq!(b.chain.committed_height(), 6, "B caught up");
+
+        // Agreement: both replicas now elect the same leader for every
+        // upcoming view.
+        for v in 1..=20 {
+            assert_eq!(
+                a.leader_of(v),
+                b.leader_of(v),
+                "replicas disagree on the leader of view {v}"
+            );
+        }
+        // And the pool really is the committed-tip voter set (minus the
+        // recent-leader window), not round-robin.
+        assert!(
+            (7..=15).any(|v| a.leader_of(v) != (v % N as u64) as u32),
+            "Carousel should deviate from round-robin for some view"
+        );
+    }
+
+    /// The recent-leader window is sampled at [`CAROUSEL_WINDOW_EPOCH`]
+    /// boundaries of the committed height, not slid on every commit: a
+    /// per-commit window differs between replicas transiently skewed by
+    /// one block, re-diverging the very election the committed-tip pool
+    /// just converged.
+    #[test]
+    fn recent_leader_window_is_epoch_sampled() {
+        let scheme = Arc::new(SimScheme::new(N, b"epoch-window"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+        // One block past an epoch boundary; proposers rotate `h % N`.
+        let count = CAROUSEL_WINDOW_EPOCH + 1;
+        let prefix = signed_prefix(&scheme, count, &[0, 2, 3]);
+        let (blocks, qcs): (Vec<_>, Vec<_>) = prefix.into_iter().unzip();
+        deliver(
+            &mut r,
+            2,
+            InivaMsg::StateResponse(StateResponse { blocks, qcs }),
+            0,
+        );
+        assert_eq!(r.chain.committed_height(), count);
+        // f = (4-1)/3 = 1: the window holds the proposer of the *boundary*
+        // block (height 8), not the tip (height 9) a sliding window would
+        // name.
+        let window: Vec<u32> = r.leader_ctx.recent_leaders.iter().copied().collect();
+        let boundary_proposer = (CAROUSEL_WINDOW_EPOCH % N as u64) as u32;
+        let tip_proposer = (count % N as u64) as u32;
+        assert_eq!(window, vec![boundary_proposer]);
+        assert_ne!(window, vec![tip_proposer]);
+    }
+
+    /// Hostile TIMEOUT: a forged high QC (claimed quorum, bad signature)
+    /// and a sub-quorum one are both rejected — nothing adopted, the
+    /// pacemaker unmoved; the unauthenticated `view` field alone never
+    /// drags the replica forward.
+    #[test]
+    fn hostile_timeout_qc_is_rejected_and_not_adopted() {
+        let scheme = Arc::new(SimScheme::new(N, b"hostile-timeout"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+
+        let block = Block {
+            view: 9,
+            height: 9,
+            parent: [7u8; 32],
+            proposer: 1,
+            batch_start: 0,
+            batch_len: 0,
+            payload_per_req: 0,
+        };
+        // Forged: signature over the wrong message, multiplicity table
+        // rewritten to claim a quorum of signers.
+        let mut forged = scheme.sign(1, b"wrong message");
+        forged.mults = Multiplicities::from_iter((0..3).map(|s| (s, 1)));
+        let forged_qc = Qc {
+            block_hash: block.hash(),
+            view: block.view,
+            height: block.height,
+            agg: forged,
+        };
+        deliver(
+            &mut r,
+            1,
+            InivaMsg::Timeout {
+                view: 50,
+                high_qc: Some(forged_qc),
+            },
+            0,
+        );
+        assert!(r.chain.highest_qc().is_none(), "forged QC must not adopt");
+        assert_eq!(
+            r.current_view(),
+            1,
+            "claimed view must not move the pacemaker"
+        );
+        assert!(r.leader_ctx.committed_voters.is_empty());
+
+        // Sub-quorum: honestly signed by 2 of 4 (< quorum of 3); rejected
+        // by the cheap structural check before any crypto.
+        let msg = vote_message(&block.hash(), block.view);
+        let weak = scheme.combine(&scheme.sign(0, &msg), &scheme.sign(1, &msg));
+        let weak_qc = Qc {
+            block_hash: block.hash(),
+            view: block.view,
+            height: block.height,
+            agg: weak,
+        };
+        deliver(
+            &mut r,
+            2,
+            InivaMsg::Timeout {
+                view: 50,
+                high_qc: Some(weak_qc),
+            },
+            1,
+        );
+        assert!(
+            r.chain.highest_qc().is_none(),
+            "sub-quorum QC must not adopt"
+        );
+        assert_eq!(r.current_view(), 1);
+
+        // A TIMEOUT with no QC at all is a no-op.
+        deliver(
+            &mut r,
+            3,
+            InivaMsg::Timeout {
+                view: 50,
+                high_qc: None,
+            },
+            2,
+        );
+        assert_eq!(r.current_view(), 1);
+    }
+
+    /// A valid TIMEOUT QC fast-forwards the pacemaker only to the view the
+    /// *certificate* proves (qc.view + 1), never to the sender's claimed
+    /// timeout view.
+    #[test]
+    fn timeout_fast_forward_is_certificate_anchored() {
+        let scheme = Arc::new(SimScheme::new(N, b"ff-timeout"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+        let prefix = signed_prefix(&scheme, 1, &[0, 1, 2]);
+        let (_, qc) = prefix.into_iter().next().unwrap();
+        deliver(
+            &mut r,
+            1,
+            InivaMsg::Timeout {
+                view: 1_000_000, // hostile far-future claim
+                high_qc: Some(qc),
+            },
+            0,
+        );
+        assert!(r.chain.highest_qc().is_some_and(|q| q.height == 1));
+        assert_eq!(
+            r.current_view(),
+            2,
+            "pacemaker follows the certified view (qc.view + 1), not the claim"
+        );
+    }
+
+    /// The Carousel pool is derived from the *committed* tip, not the
+    /// volatile high QC: adopting a bare QC (no committed block) must not
+    /// move the pool.
+    #[test]
+    fn carousel_pool_anchors_to_committed_tip_not_high_qc() {
+        let scheme = Arc::new(SimScheme::new(N, b"pool-anchor"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+
+        // Before the first commit, the pool bootstraps from the high QC:
+        // it is the only certificate there is, and the TIMEOUT exchange
+        // converges it, so rotating over its voters beats round-robin
+        // over a committee that may include crashed replicas.
+        let (_, qc) = signed_prefix(&scheme, 1, &[1, 2, 3])
+            .into_iter()
+            .next()
+            .unwrap();
+        deliver(
+            &mut r,
+            1,
+            InivaMsg::Timeout {
+                view: 1,
+                high_qc: Some(qc),
+            },
+            0,
+        );
+        assert!(r.chain.highest_qc().is_some(), "QC adopted");
+        assert_eq!(
+            r.leader_ctx.committed_voters,
+            vec![1, 2, 3],
+            "pre-commit, the pool bootstraps from the high QC"
+        );
+
+        // Commit a prefix: the pool re-anchors to the committed tip's QC.
+        let prefix = signed_prefix(&scheme, 6, &[0, 2, 3]);
+        let (blocks, qcs): (Vec<_>, Vec<_>) = prefix.into_iter().unzip();
+        deliver(
+            &mut r,
+            2,
+            InivaMsg::StateResponse(StateResponse { blocks, qcs }),
+            0,
+        );
+        assert!(r.chain.committed_height() > 0, "prefix committed");
+        assert_eq!(r.leader_ctx.committed_voters, vec![0, 2, 3]);
+        let anchored = r.leader_ctx.anchor_view;
+
+        // Once a commit exists, a higher uncommitted QC must NOT move the
+        // pool: post-commit high QCs diverge across replicas during
+        // failed views, and following them is the live-collapse bug.
+        let (_, high) = signed_prefix(&scheme, 8, &[0, 1, 2])
+            .into_iter()
+            .last()
+            .unwrap();
+        deliver(
+            &mut r,
+            1,
+            InivaMsg::Timeout {
+                view: 8,
+                high_qc: Some(high),
+            },
+            1,
+        );
+        assert_eq!(
+            r.leader_ctx.committed_voters,
+            vec![0, 2, 3],
+            "post-commit, the pool must not follow an uncommitted QC"
+        );
+        assert_eq!(r.leader_ctx.anchor_view, anchored);
+    }
+
+    /// An out-of-committee id in the Carousel pool (hostile aggregate
+    /// claiming phantom signers) must not panic tree derivation: the
+    /// round-robin pick takes the root instead.
+    #[test]
+    fn out_of_committee_pool_falls_back_to_round_robin() {
+        let scheme = Arc::new(SimScheme::new(N, b"oob-pool"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+        r.leader_ctx.set_committed_voters(vec![99]);
+        for view in 1..=6u64 {
+            r.leader_ctx.anchor_view = view; // keep the stall fallback quiet
+            let rr = ((view + 1) % N as u64) as u32;
+            assert_eq!(r.leader_of(view + 1), rr, "leader_of falls back");
+            let tree = r.tree_for_view(view);
+            assert_eq!(tree.root(), rr, "tree root matches the fallback leader");
+        }
+    }
+
+    /// A timed-out state request is retried against a *different* peer —
+    /// re-asking the silent (likely dead) target would wedge catch-up.
+    #[test]
+    fn state_request_retry_avoids_the_silent_target() {
+        let scheme = Arc::new(SimScheme::new(N, b"retry-target"));
+        let cfg = carousel_cfg();
+        let timeout = cfg.view_timeout;
+        let mut r = InivaReplica::new(0, cfg, Arc::clone(&scheme));
+        // Open a gap: a high QC at height 6 with nothing committed.
+        let (_, qc) = signed_prefix(&scheme, 6, &[0, 1, 2]).pop().unwrap();
+        r.chain.on_qc(qc, 0, &scheme);
+        assert_eq!(r.chain.committed_height(), 0);
+
+        let probe = |r: &mut InivaReplica<SimScheme>, from: u32, now: Time| {
+            let mut ctx = Context::external(0, now);
+            r.maybe_request_state(&mut ctx, from);
+            ctx.into_effects().outbox
+        };
+        // First probe: request goes to peer 1.
+        let out = probe(&mut r, 1, 0);
+        assert!(
+            matches!(out.as_slice(), [(1, InivaMsg::StateRequest(_), _)]),
+            "first request targets peer 1"
+        );
+        // Within the timeout: rate-limited, regardless of sender.
+        assert!(probe(&mut r, 2, timeout / 2).is_empty());
+        // Past the timeout with no progress: the silent target is skipped…
+        assert!(
+            probe(&mut r, 1, timeout + 1).is_empty(),
+            "the dead peer must not be re-asked"
+        );
+        // …but a different live peer gets the retry.
+        let out = probe(&mut r, 2, timeout + 2);
+        assert!(
+            matches!(out.as_slice(), [(2, InivaMsg::StateRequest(_), _)]),
+            "retry targets a different peer"
+        );
+    }
+
+    /// `on_start` journals the starting view: a replica crashing in view 1
+    /// must not restart believing it never entered it.
+    #[test]
+    fn on_start_journals_the_first_view() {
+        use iniva_consensus::chain::CommitSink;
+        #[derive(Default)]
+        struct ViewSink(std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
+        impl CommitSink<SimScheme> for ViewSink {
+            fn committed(&mut self, _: &Block, _: Option<&Qc<SimScheme>>) {}
+            fn entered_view(&mut self, view: u64) {
+                self.0.lock().unwrap().push(view);
+            }
+        }
+        let scheme = Arc::new(SimScheme::new(N, b"start-journal"));
+        let mut r = InivaReplica::new(2, carousel_cfg(), Arc::clone(&scheme));
+        let sink = ViewSink::default();
+        let views = std::sync::Arc::clone(&sink.0);
+        r.chain.set_commit_sink(Box::new(sink));
+        let mut ctx = Context::external(2, 0);
+        r.on_start(&mut ctx);
+        assert_eq!(&*views.lock().unwrap(), &[1], "view 1 journaled on start");
+        assert_eq!(r.chain.metrics.total_views, 1, "counted exactly once");
+        let timers = ctx.into_effects().timers;
+        assert!(
+            timers.iter().any(|&(_, id)| id == timer_id(1, TIMER_VIEW)),
+            "view timer armed"
+        );
+    }
+
+    /// Every view timeout broadcasts TIMEOUT to all peers, carrying the
+    /// sender's high QC (None before any QC forms).
+    #[test]
+    fn view_timeout_broadcasts_to_all_peers() {
+        let scheme = Arc::new(SimScheme::new(N, b"timeout-bcast"));
+        let mut r = InivaReplica::new(0, carousel_cfg(), Arc::clone(&scheme));
+        let out = fire_view_timer(&mut r, 1);
+        let mut targets: Vec<u32> = out
+            .iter()
+            .filter_map(|(to, msg, _)| {
+                matches!(
+                    msg,
+                    InivaMsg::Timeout {
+                        view: 1,
+                        high_qc: None
+                    }
+                )
+                .then_some(*to)
+            })
+            .collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2, 3], "every peer hears the timeout");
+        assert_eq!(r.current_view(), 2, "the pacemaker still advances");
     }
 }

@@ -310,7 +310,9 @@ impl Timeline {
                     }
                     EventKind::FaultInjected { .. }
                     | EventKind::WalFsync { .. }
-                    | EventKind::StateChunk { .. } => {}
+                    | EventKind::StateChunk { .. }
+                    | EventKind::TimeoutSent { .. }
+                    | EventKind::TimeoutQcAdopted { .. } => {}
                 }
             }
             per_node_commits.push((d.node, commits));

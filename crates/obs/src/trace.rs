@@ -147,6 +147,22 @@ pub enum EventKind {
         /// Blocks adopted from it.
         blocks: u64,
     },
+    /// This replica's view timed out and it broadcast a TIMEOUT message
+    /// carrying its high QC (the HotStuff-style new-view exchange).
+    TimeoutSent {
+        /// The view that timed out.
+        view: u64,
+        /// View of the carried high QC (0 when the replica has none yet).
+        high_qc_view: u64,
+    },
+    /// A QC carried by a peer's TIMEOUT message verified and was adopted,
+    /// converging this replica's leader-election state with the sender's.
+    TimeoutQcAdopted {
+        /// The timed-out view the peer announced.
+        view: u64,
+        /// View of the adopted QC.
+        qc_view: u64,
+    },
 }
 
 /// A timestamped [`EventKind`] on the node's runtime time axis.
@@ -232,6 +248,16 @@ impl Event {
                     "\"state_chunk\", \"from\": {from}, \"blocks\": {blocks}"
                 ));
             }
+            EventKind::TimeoutSent { view, high_qc_view } => {
+                s.push_str(&format!(
+                    "\"timeout_sent\", \"view\": {view}, \"high_qc_view\": {high_qc_view}"
+                ));
+            }
+            EventKind::TimeoutQcAdopted { view, qc_view } => {
+                s.push_str(&format!(
+                    "\"timeout_qc_adopted\", \"view\": {view}, \"qc_view\": {qc_view}"
+                ));
+            }
         }
         s.push('}');
         s
@@ -306,6 +332,14 @@ impl Event {
             "state_chunk" => EventKind::StateChunk {
                 from: u("from")? as u32,
                 blocks: u("blocks")?,
+            },
+            "timeout_sent" => EventKind::TimeoutSent {
+                view: u("view")?,
+                high_qc_view: u("high_qc_view")?,
+            },
+            "timeout_qc_adopted" => EventKind::TimeoutQcAdopted {
+                view: u("view")?,
+                qc_view: u("qc_view")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -584,6 +618,20 @@ mod tests {
                 kind: EventKind::StateChunk {
                     from: 4,
                     blocks: 32,
+                },
+            },
+            Event {
+                at: 16,
+                kind: EventKind::TimeoutSent {
+                    view: 9,
+                    high_qc_view: 7,
+                },
+            },
+            Event {
+                at: 17,
+                kind: EventKind::TimeoutQcAdopted {
+                    view: 9,
+                    qc_view: 8,
                 },
             },
         ]
