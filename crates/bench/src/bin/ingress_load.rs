@@ -1,0 +1,455 @@
+//! Records the client-ingress baseline: open-loop client fleets driving
+//! a live loopback cluster through the `iniva-ingress` tier, written to
+//! `BENCH_ingress.json`. Three cells per run:
+//!
+//! * **unloaded** — the same cluster with no ingress tier, drafting from
+//!   the synthetic open-loop model: the consensus-throughput reference
+//!   the flood cell is gated against.
+//! * **sustained** — thousands of concurrent client connections (one
+//!   thread + one TCP connection each), each submitting on its own pace
+//!   without waiting for commits. Records p50/p99/p999 submit-to-commit
+//!   latency from the mempool's own histogram, plus admitted/shed rates.
+//!   The mempool is deliberately small relative to the offered load, so
+//!   the cell also exercises drop-lowest-fee eviction under pressure.
+//! * **hostile flood** — a modest honest fleet bidding high fees beside
+//!   a hostile fleet flooding cheap submits far over its token-bucket
+//!   budget. The hostile traffic must be shed at the ingress edge (a
+//!   `Busy` ack costs one bucket check, no shared state), leaving
+//!   consensus throughput within 20% of the unloaded cell.
+//!
+//! ```sh
+//! cargo run --release -p iniva-bench --bin ingress_load
+//! cargo run --release -p iniva-bench --bin ingress_load -- out.json
+//! cargo run --release -p iniva-bench --bin ingress_load -- --check
+//! ```
+//!
+//! `--check` is the CI smoke gate: the same three cells at a fraction of
+//! the scale (connections and seconds), asserting structural health —
+//! clients admitted, requests committed through consensus, shedding
+//! active, the flood contained — and exiting nonzero on any failure
+//! without touching the committed baseline.
+
+use bytes::Bytes;
+use iniva::protocol::InivaConfig;
+use iniva_ingress::{
+    read_frame, write_frame, ClientMsg, IngressOptions, IngressStats, SubmitStatus,
+};
+use iniva_transport::cluster::ClusterBuilder;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Client threads only hold a frame buffer and a shallow call tree; the
+/// default stack would waste address space at thousands of connections.
+const CLIENT_STACK: usize = 96 * 1024;
+
+/// What one fleet of identically-behaving clients should do.
+#[derive(Clone, Copy)]
+struct FleetSpec {
+    /// Number of connections (= threads).
+    conns: usize,
+    /// Pause between submits per client; `None` floods back-to-back.
+    pace: Option<Duration>,
+    /// Fee bid on every submit.
+    fee: u64,
+    /// Payload bytes per submit.
+    payload: usize,
+}
+
+/// Ack counts observed by a client fleet (its side of the ledger; the
+/// mempool's [`IngressStats`] is the server side).
+#[derive(Default)]
+struct FleetCounts {
+    sent: AtomicU64,
+    accepted: AtomicU64,
+    busy: AtomicU64,
+}
+
+/// One open-loop client: connect (with retry — thousands of peers race
+/// the accept loop), then submit on the spec's pace until stopped or the
+/// server goes away, reading one ack per submit.
+fn client_loop(
+    addr: SocketAddr,
+    spec: FleetSpec,
+    seed: u64,
+    stop: &AtomicBool,
+    counts: &FleetCounts,
+) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline && !stop.load(Ordering::Relaxed) => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let payload = Bytes::from(vec![0x5au8; spec.payload]);
+    let mut nonce = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let msg = ClientMsg::Submit {
+            // Spread fees a little within the fleet so eviction order is
+            // exercised even inside one fee class.
+            fee: spec.fee + (seed + nonce) % 4,
+            nonce,
+            payload: payload.clone(),
+        };
+        if write_frame(&mut stream, &msg).is_err() {
+            return; // server shut down: the run is over
+        }
+        counts.sent.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(ClientMsg::SubmitAck { status, .. })) => {
+                    match status {
+                        SubmitStatus::Accepted => counts.accepted.fetch_add(1, Ordering::Relaxed),
+                        SubmitStatus::Busy => counts.busy.fetch_add(1, Ordering::Relaxed),
+                        SubmitStatus::Duplicate => 0,
+                    };
+                    break;
+                }
+                Ok(Some(_)) => break,
+                Ok(None) => return,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        nonce += 1;
+        if let Some(pace) = spec.pace {
+            thread::sleep(pace);
+        }
+    }
+}
+
+/// Spawns a fleet round-robin across the replicas' client addresses.
+fn spawn_fleet(
+    addrs: &[SocketAddr],
+    spec: FleetSpec,
+    stop: &Arc<AtomicBool>,
+    counts: &Arc<FleetCounts>,
+) -> Vec<thread::JoinHandle<()>> {
+    (0..spec.conns)
+        .map(|i| {
+            let addr = addrs[i % addrs.len()];
+            let stop = Arc::clone(stop);
+            let counts = Arc::clone(counts);
+            thread::Builder::new()
+                .name(format!("ingress-client-{i}"))
+                .stack_size(CLIENT_STACK)
+                .spawn(move || client_loop(addr, spec, i as u64, &stop, &counts))
+                .expect("spawn client thread")
+        })
+        .collect()
+}
+
+/// The shared cluster shape: 4 replicas, near the loopback saturation
+/// batch size. `request_rate` only matters for the unloaded cell (with
+/// ingress enabled the mempool replaces the synthetic model).
+fn cluster_config() -> InivaConfig {
+    let mut cfg = InivaConfig::for_tests(4, 1);
+    cfg.request_rate = 2_500;
+    cfg
+}
+
+/// Result of one ingress-driven cell.
+struct CellResult {
+    stats: IngressStats,
+    client_sent: u64,
+    client_busy: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    blocks_per_sec: f64,
+    committed_reqs_per_sec: f64,
+}
+
+/// Runs the cluster with an ingress tier and the given fleets against it.
+fn run_ingress_cell(
+    cfg: &InivaConfig,
+    opts: IngressOptions,
+    fleets: &[FleetSpec],
+    secs: u64,
+) -> CellResult {
+    let handle = ClusterBuilder::new(cfg, Duration::from_secs(secs))
+        .ingress(opts)
+        .launch()
+        .expect("cluster starts");
+    let ingress = handle.ingress().expect("ingress enabled").clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts = Arc::new(FleetCounts::default());
+    let mut clients = Vec::new();
+    for fleet in fleets {
+        clients.extend(spawn_fleet(&ingress.client_addrs, *fleet, &stop, &counts));
+    }
+    let run = handle.join().expect("cluster run");
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        let _ = c.join();
+    }
+
+    let stats = ingress.mempool.stats();
+    let hist = ingress.mempool.latency();
+    let to_ms = |ns: u64| ns as f64 / 1e6;
+    let blocks = run
+        .nodes
+        .iter()
+        .map(|n| n.replica.chain.metrics.committed_blocks)
+        .max()
+        .unwrap_or(0);
+    CellResult {
+        client_sent: counts.sent.load(Ordering::Relaxed),
+        client_busy: counts.busy.load(Ordering::Relaxed),
+        p50_ms: to_ms(hist.quantile(0.50)),
+        p99_ms: to_ms(hist.quantile(0.99)),
+        p999_ms: to_ms(hist.quantile(0.999)),
+        blocks_per_sec: blocks as f64 / secs as f64,
+        committed_reqs_per_sec: stats.committed as f64 / secs as f64,
+        stats,
+    }
+}
+
+/// Runs the reference cell: same cluster, no ingress, synthetic model.
+fn run_unloaded_cell(cfg: &InivaConfig, secs: u64) -> f64 {
+    let run = ClusterBuilder::new(cfg, Duration::from_secs(secs))
+        .spawn()
+        .expect("cluster starts");
+    let blocks = run
+        .nodes
+        .iter()
+        .map(|n| n.replica.chain.metrics.committed_blocks)
+        .max()
+        .unwrap_or(0);
+    blocks as f64 / secs as f64
+}
+
+struct Scale {
+    sustained_conns: usize,
+    sustained_secs: u64,
+    honest_conns: usize,
+    hostile_conns: usize,
+    /// Pause between honest submits in the flood cell (ms).
+    honest_pace_ms: u64,
+    /// Pause between hostile submits in the flood cell (ms).
+    hostile_pace_ms: u64,
+    flood_secs: u64,
+    unloaded_secs: u64,
+}
+
+const FULL: Scale = Scale {
+    sustained_conns: 2_400,
+    sustained_secs: 12,
+    honest_conns: 32,
+    hostile_conns: 32,
+    honest_pace_ms: 100,
+    hostile_pace_ms: 20,
+    flood_secs: 8,
+    unloaded_secs: 8,
+};
+
+/// CI smoke: same cells, a fraction of the scale.
+const SMOKE: Scale = Scale {
+    sustained_conns: 96,
+    sustained_secs: 4,
+    honest_conns: 8,
+    hostile_conns: 8,
+    honest_pace_ms: 100,
+    hostile_pace_ms: 20,
+    flood_secs: 4,
+    unloaded_secs: 4,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("BENCH_ingress.json");
+    let scale = if check { SMOKE } else { FULL };
+    let cfg = cluster_config();
+
+    // Reference cell first: consensus cadence with no client tier at all.
+    let unloaded_blocks_per_sec = run_unloaded_cell(&cfg, scale.unloaded_secs);
+    println!(
+        "unloaded  : {unloaded_blocks_per_sec:.1} blocks/s (synthetic model, no ingress tier)"
+    );
+
+    // Sustained open-loop cell: a small mempool relative to the offered
+    // load, so backlog pressure exercises eviction and Busy shedding
+    // while the proposer drains highest-fee-first.
+    let sustained = run_ingress_cell(
+        &cfg,
+        IngressOptions {
+            capacity: 8_192,
+            rate_per_client: 1_000,
+            burst: 256,
+        },
+        &[FleetSpec {
+            conns: scale.sustained_conns,
+            pace: Some(Duration::from_millis(250)),
+            fee: 10,
+            payload: 64,
+        }],
+        scale.sustained_secs,
+    );
+    let s = &sustained.stats;
+    let shed = s.shed_busy + s.shed_full;
+    let shed_rate = shed as f64 / s.offered.max(1) as f64;
+    println!(
+        "sustained : {} conns, {} offered, {} admitted, {} shed ({:.1}%), {} evicted, \
+         {:.0} reqs/s committed, p50 {:.1} ms, p99 {:.1} ms, p999 {:.1} ms",
+        scale.sustained_conns,
+        s.offered,
+        s.admitted,
+        shed,
+        shed_rate * 100.0,
+        s.evicted,
+        sustained.committed_reqs_per_sec,
+        sustained.p50_ms,
+        sustained.p99_ms,
+        sustained.p999_ms,
+    );
+
+    // Hostile flood cell: hostile clients bid fee 1 and offer several
+    // times their token budget; honest clients bid high and stay under
+    // theirs. The token bucket must turn the excess into cheap `Busy`
+    // acks at the edge so consensus keeps its unloaded cadence.
+    let flood = run_ingress_cell(
+        &cfg,
+        IngressOptions {
+            capacity: 8_192,
+            rate_per_client: 15,
+            burst: 16,
+        },
+        &[
+            FleetSpec {
+                conns: scale.honest_conns,
+                pace: Some(Duration::from_millis(scale.honest_pace_ms)),
+                fee: 1_000,
+                payload: 64,
+            },
+            FleetSpec {
+                conns: scale.hostile_conns,
+                pace: Some(Duration::from_millis(scale.hostile_pace_ms)),
+                fee: 1,
+                payload: 64,
+            },
+        ],
+        scale.flood_secs,
+    );
+    let f = &flood.stats;
+    let flood_ratio = flood.blocks_per_sec / unloaded_blocks_per_sec.max(f64::MIN_POSITIVE);
+    println!(
+        "flood     : {} honest + {} hostile conns, {} offered, {} admitted, \
+         {} rate-limited, {:.1} blocks/s vs unloaded {:.1} ({:.0}%)",
+        scale.honest_conns,
+        scale.hostile_conns,
+        f.offered,
+        f.admitted,
+        f.shed_busy,
+        flood.blocks_per_sec,
+        unloaded_blocks_per_sec,
+        flood_ratio * 100.0,
+    );
+
+    if check {
+        // Structural health, not absolute numbers: CI machines vary.
+        let mut failures = Vec::new();
+        if s.admitted == 0 {
+            failures.push("sustained cell admitted nothing".to_string());
+        }
+        if s.committed == 0 {
+            failures.push("sustained cell committed nothing through consensus".to_string());
+        }
+        if sustained.p50_ms <= 0.0 {
+            failures.push("sustained cell recorded no latency samples".to_string());
+        }
+        if f.shed_busy == 0 {
+            failures.push("flood cell never rate-limited the hostile fleet".to_string());
+        }
+        if f.committed == 0 {
+            failures.push("flood cell committed nothing through consensus".to_string());
+        }
+        if flood_ratio < 0.8 {
+            failures.push(format!(
+                "hostile flood dragged consensus to {:.0}% of unloaded (gate: 80%)",
+                flood_ratio * 100.0
+            ));
+        }
+        if failures.is_empty() {
+            println!("ingress smoke: OK");
+        } else {
+            for f in &failures {
+                eprintln!("ingress smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Hand-rolled JSON: the workspace is offline (no serde); the schema
+    // is flat numbers only, like BENCH_transport.json.
+    let json = format!(
+        "{{\n  \"benchmark\": \"iniva-ingress open-loop client tier\",\n  \
+         \"n\": {n},\n  \
+         \"unloaded_secs\": {unloaded_secs},\n  \
+         \"unloaded_blocks_per_sec\": {unloaded_blocks_per_sec:.1},\n  \
+         \"sustained_connections\": {sus_conns},\n  \
+         \"sustained_secs\": {sus_secs},\n  \
+         \"sustained_offered\": {sus_offered},\n  \
+         \"sustained_admitted\": {sus_admitted},\n  \
+         \"sustained_shed\": {sus_shed},\n  \
+         \"sustained_shed_rate\": {shed_rate:.4},\n  \
+         \"sustained_evicted\": {sus_evicted},\n  \
+         \"sustained_committed_reqs_per_sec\": {sus_committed:.1},\n  \
+         \"sustained_p50_ms\": {p50:.3},\n  \
+         \"sustained_p99_ms\": {p99:.3},\n  \
+         \"sustained_p999_ms\": {p999:.3},\n  \
+         \"sustained_client_sent\": {sus_sent},\n  \
+         \"flood_honest_connections\": {honest},\n  \
+         \"flood_hostile_connections\": {hostile},\n  \
+         \"flood_secs\": {flood_secs},\n  \
+         \"flood_offered\": {fl_offered},\n  \
+         \"flood_admitted\": {fl_admitted},\n  \
+         \"flood_rate_limited\": {fl_busy},\n  \
+         \"flood_client_busy_acks\": {fl_client_busy},\n  \
+         \"flood_blocks_per_sec\": {fl_blocks:.1},\n  \
+         \"flood_vs_unloaded_ratio\": {flood_ratio:.3}\n}}\n",
+        n = cfg.n,
+        unloaded_secs = scale.unloaded_secs,
+        sus_conns = scale.sustained_conns,
+        sus_secs = scale.sustained_secs,
+        sus_offered = s.offered,
+        sus_admitted = s.admitted,
+        sus_shed = shed,
+        sus_evicted = s.evicted,
+        sus_committed = sustained.committed_reqs_per_sec,
+        p50 = sustained.p50_ms,
+        p99 = sustained.p99_ms,
+        p999 = sustained.p999_ms,
+        sus_sent = sustained.client_sent,
+        honest = scale.honest_conns,
+        hostile = scale.hostile_conns,
+        flood_secs = scale.flood_secs,
+        fl_offered = f.offered,
+        fl_admitted = f.admitted,
+        fl_busy = f.shed_busy,
+        fl_client_busy = flood.client_busy,
+        fl_blocks = flood.blocks_per_sec,
+    );
+    std::fs::write(path, &json).expect("write ingress baseline json");
+    println!("\nwrote {path}");
+}

@@ -37,10 +37,7 @@ use iniva_net::faults::FaultPlan;
 use iniva_obs::timeline::parse_dump;
 use iniva_obs::{Timeline, TimelineSummary};
 use iniva_sim::resilience::{self, ResiliencePoint, Variant};
-use iniva_transport::cluster::{
-    run_local_iniva_cluster_observed, run_local_iniva_cluster_with_plan, ObsOptions,
-};
-use iniva_transport::CpuMode;
+use iniva_transport::cluster::{ClusterBuilder, ObsOptions};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
@@ -180,24 +177,13 @@ fn main() {
             let cell_dir = trace_dir
                 .as_ref()
                 .map(|d| Path::new(d).join(format!("{}-f{faults}", variant_key(variant))));
-            let run = match &cell_dir {
-                None => run_local_iniva_cluster_with_plan::<iniva_crypto::sim_scheme::SimScheme>(
-                    &cfg,
-                    Duration::from_secs(duration_secs),
-                    CpuMode::Real,
-                    &plan,
-                ),
-                Some(dir) => {
-                    run_local_iniva_cluster_observed::<iniva_crypto::sim_scheme::SimScheme>(
-                        &cfg,
-                        Duration::from_secs(duration_secs),
-                        CpuMode::Real,
-                        &plan,
-                        &ObsOptions::new(dir),
-                    )
-                }
+            let mut builder = ClusterBuilder::new(&cfg, Duration::from_secs(duration_secs))
+                .scheme::<iniva_crypto::sim_scheme::SimScheme>()
+                .faults(&plan);
+            if let Some(dir) = &cell_dir {
+                builder = builder.observe(ObsOptions::new(dir));
             }
-            .expect("cluster starts");
+            let run = builder.spawn().expect("cluster starts");
             let live = resilience::measure(
                 &run.nodes[observer as usize].replica.chain.metrics,
                 faults,

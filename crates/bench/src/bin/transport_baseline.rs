@@ -31,8 +31,7 @@ use iniva_consensus::PerfSummary;
 use iniva_crypto::bls::{BlsAggregate, BlsScheme};
 use iniva_crypto::multisig::VoteScheme;
 use iniva_crypto::sim_scheme::SimScheme;
-use iniva_transport::cluster::{run_local_iniva_cluster, ClusterRun};
-use iniva_transport::CpuMode;
+use iniva_transport::cluster::{ClusterBuilder, ClusterRun};
 use std::time::{Duration, Instant};
 
 /// Regression gate: measured throughput below, or median latency above,
@@ -111,12 +110,10 @@ fn main() {
     // rate (the proposer-side draft cursor keeps uncommitted ranges from
     // being re-batched and double-counted).
     cfg.request_rate = 2_000;
-    let run = run_local_iniva_cluster::<SimScheme>(
-        &cfg,
-        Duration::from_secs(duration_secs),
-        CpuMode::Real,
-    )
-    .expect("cluster starts");
+    let run = ClusterBuilder::new(&cfg, Duration::from_secs(duration_secs))
+        .scheme::<SimScheme>()
+        .spawn()
+        .expect("cluster starts");
     let agreed = run
         .agreed_prefix_height()
         .expect("committed prefixes agree");
@@ -206,7 +203,9 @@ fn main() {
     // pairing, a short run would record single-digit samples.
     let bls_secs = duration_secs * 3;
     let bls_run: ClusterRun<BlsScheme> =
-        run_local_iniva_cluster(&bls_cfg, Duration::from_secs(bls_secs), CpuMode::Real)
+        ClusterBuilder::new(&bls_cfg, Duration::from_secs(bls_secs))
+            .scheme::<BlsScheme>()
+            .spawn()
             .expect("BLS cluster starts");
     let bls_agreed = bls_run
         .agreed_prefix_height()
@@ -241,7 +240,9 @@ fn main() {
     widened_cfg.delta = 300 * iniva_net::MILLIS;
     widened_cfg.view_timeout = 2 * iniva_net::SECS;
     let widened_run: ClusterRun<BlsScheme> =
-        run_local_iniva_cluster(&widened_cfg, Duration::from_secs(bls_secs), CpuMode::Real)
+        ClusterBuilder::new(&widened_cfg, Duration::from_secs(bls_secs))
+            .scheme::<BlsScheme>()
+            .spawn()
             .expect("widened BLS cluster starts");
     let widened_busy: Vec<u64> = widened_run.nodes.iter().map(|nd| nd.runtime.busy).collect();
     let widened_point = PerfSummary::from_metrics(

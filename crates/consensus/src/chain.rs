@@ -11,6 +11,7 @@ use crate::types::{quorum, vote_message, Block, BlockHash, Qc, GENESIS_HASH};
 use iniva_crypto::multisig::VoteScheme;
 use iniva_net::Time;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cap on recorded per-request latency samples (for percentile metrics);
 /// past it only the running sum continues, so long simulator runs don't
@@ -20,6 +21,33 @@ pub const LATENCY_SAMPLE_CAP: usize = 100_000;
 /// Cap on the committed-block log kept for cross-replica agreement checks;
 /// bounds memory on long runs the same way [`LATENCY_SAMPLE_CAP`] does.
 pub const COMMITTED_LOG_CAP: usize = 65_536;
+
+/// An external supply of client requests backing the proposer's block
+/// drafts — the hook a live mempool (`iniva-ingress`) plugs into. When a
+/// source is attached ([`ChainState::set_request_source`]) it replaces
+/// the synthetic `ns_per_req` arrival model as the block source: `draft`
+/// decides how many admitted requests fill a block's sequence range, and
+/// `committed` settles a committed range and reports each request's
+/// submit-to-commit latency on the *source's* clock (the chain's `now`
+/// and the source's admission timestamps need not share an epoch).
+///
+/// Blocks keep carrying pure `(batch_start, batch_len)` ranges either
+/// way, so the wire format and the committed ≤ admitted ≤ offered
+/// accounting invariant are identical in both modes.
+pub trait RequestSource: Send + Sync {
+    /// Claims up to `max` admitted requests for the contiguous sequence
+    /// range beginning at `start`, returning how many were claimed.
+    /// Ranges claimed for views that later fail are abandoned by the
+    /// source — the same open-loop trade-off as the draft cursor.
+    fn draft(&self, start: u64, max: u32) -> u32;
+
+    /// Settles the committed range `start..start+len` at block `height`,
+    /// returning the submit-to-commit latency (ns) of every request in
+    /// the range this source still had in flight. A range may settle
+    /// fewer than `len` entries (another replica already settled it, or
+    /// part of it was abandoned).
+    fn committed(&self, height: u64, start: u64, len: u32) -> Vec<u64>;
+}
 
 /// Per-chain metrics harvested by the experiment harness.
 #[derive(Debug, Clone, Default)]
@@ -229,6 +257,9 @@ pub struct ChainState<S: VoteScheme> {
     committed_qcs: HashMap<u64, Qc<S>>,
     /// Durability hook: observes commits and view entries as they happen.
     sink: Option<Box<dyn CommitSink<S> + Send>>,
+    /// Client-request supply: when set, drafts pull admitted requests
+    /// from here instead of the synthetic arrival model.
+    source: Option<Arc<dyn RequestSource>>,
     /// Metrics.
     pub metrics: ChainMetrics,
 }
@@ -252,8 +283,17 @@ impl<S: VoteScheme> ChainState<S> {
             seen_qcs: HashMap::new(),
             committed_qcs: HashMap::new(),
             sink: None,
+            source: None,
             metrics: ChainMetrics::default(),
         }
+    }
+
+    /// Attaches a client-request source (a live mempool): subsequent
+    /// drafts claim admitted requests from it, and commits settle their
+    /// ranges against it; the synthetic `request_rate_per_sec` arrival
+    /// model stops applying.
+    pub fn set_request_source(&mut self, source: Arc<dyn RequestSource>) {
+        self.source = Some(source);
     }
 
     /// Attaches a durability sink: every subsequent commit (and view entry
@@ -600,7 +640,9 @@ impl<S: VoteScheme> ChainState<S> {
         let (parent_hash, parent_height) = self.high_tip();
         let batch_start = self.next_req.max(self.draft_cursor);
         let mut batch_len = 0u32;
-        if let Some(arrived) = now.checked_div(self.ns_per_req) {
+        if let Some(src) = &self.source {
+            batch_len = src.draft(batch_start, max_batch);
+        } else if let Some(arrived) = now.checked_div(self.ns_per_req) {
             // Requests 0..=arrived have arrived by `now`; those below the
             // draft cursor are already claimed by in-flight blocks.
             let pending = (arrived + 1).saturating_sub(batch_start);
@@ -657,6 +699,7 @@ impl<S: VoteScheme> ChainState<S> {
     }
 
     fn commit_chain(&mut self, tip: &Block, now: Time) {
+        let source = self.source.clone();
         // Commit tip and all uncommitted ancestors (recursively, oldest
         // first for metric ordering; order does not affect the totals).
         let mut chain = Vec::new();
@@ -697,7 +740,17 @@ impl<S: VoteScheme> ChainState<S> {
             }
             self.metrics.committed_blocks += 1;
             self.metrics.committed_reqs += b.batch_len as u64;
-            if self.ns_per_req > 0 {
+            if let Some(src) = &source {
+                // Live mempool: settle the range and take the latencies
+                // it measured on its own clock (only one replica settles
+                // a shared pool's range — the others record none).
+                for latency in src.committed(b.height, b.batch_start, b.batch_len) {
+                    self.metrics.latency_sum += latency as u128;
+                    if self.metrics.latency_samples.len() < LATENCY_SAMPLE_CAP {
+                        self.metrics.latency_samples.push(latency);
+                    }
+                }
+            } else if self.ns_per_req > 0 {
                 for i in 0..b.batch_len as u64 {
                     let arrival = (b.batch_start + i) * self.ns_per_req;
                     let latency = now.saturating_sub(arrival);

@@ -1,0 +1,29 @@
+//! Client ingress tier for the Iniva reproduction.
+//!
+//! Everything upstream of consensus lives here: the client wire
+//! protocol ([`wire`]), the fee-ordered bounded [`mempool`] the
+//! proposer drafts real blocks from, per-connection token-bucket
+//! admission control ([`limiter`]), and the TCP [`server`] that ties
+//! them together. The consensus side sees none of it directly — the
+//! only coupling is the [`RequestSource`] hook on `ChainState`, which
+//! the [`Mempool`] implements.
+//!
+//! Enable it on a live cluster with `ClusterBuilder::ingress` (shared
+//! pool across in-process replicas) or `live_cluster --client-listen`
+//! (one pool per process); drive it with the `ingress_load` bench.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod limiter;
+pub mod mempool;
+pub mod server;
+pub mod wire;
+
+pub use iniva_consensus::chain::RequestSource;
+pub use limiter::TokenBucket;
+pub use mempool::{IngressOptions, IngressStats, Mempool};
+pub use server::IngressServer;
+pub use wire::{
+    read_frame, write_frame, ClientMsg, SubmitStatus, MAX_CLIENT_FRAME, MAX_CLIENT_PAYLOAD,
+};

@@ -1,0 +1,486 @@
+//! Bounded, fee-ordered mempool with (client, nonce) dedup.
+//!
+//! The mempool is the bridge between untrusted client traffic and the
+//! proposer: admission happens on ingress connection threads via
+//! [`Mempool::submit`], and whichever replica currently proposes drains
+//! it through the [`RequestSource`] hook (`draft` claims the
+//! highest-fee entries for a block's sequence range, `committed`
+//! settles a range once the commit rule fires and returns
+//! submit-to-commit latencies).
+//!
+//! Accounting invariant, preserved end to end:
+//! `committed ≤ drafted ≤ admitted ≤ offered`. Every counter below is
+//! monotone; `admitted − (drafted + evicted)` is the current queue
+//! depth, and drafted entries either commit or are eventually
+//! abandoned (their block's view failed) — the same open-loop
+//! trade-off the synthetic draft cursor makes.
+//!
+//! Policy:
+//! - **ordering** — highest fee drafts first; FIFO within a fee level.
+//! - **full** — a new submission evicts the cheapest queued entry only
+//!   if it outbids it (strictly higher fee); the evicted client may
+//!   resubmit. Otherwise the newcomer is shed with an explicit `Busy`.
+//! - **dedup** — (client, nonce) pairs stay reserved from admission
+//!   until commit or abandonment, so replayed submits get `Duplicate`
+//!   instead of burning block space.
+//!
+//! Blocks in this reproduction carry size-modeled payloads (`batch_start`,
+//! `batch_len`, `payload_per_req`), so the mempool accounts for payload
+//! *sizes* and fee ordering but drops the opaque payload bytes at
+//! admission — what flows into a block is the admission itself.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use iniva_consensus::chain::RequestSource;
+use iniva_obs::{Counter, EventKind, Gauge, Histogram, Registry, Tracer};
+
+use crate::wire::SubmitStatus;
+
+/// Ingress tier configuration: mempool bounds plus the per-connection
+/// admission rate. One struct serves the cluster builder, the TOML
+/// config, and the CLI.
+#[derive(Debug, Clone)]
+pub struct IngressOptions {
+    /// Maximum queued (admitted, not yet drafted) entries.
+    pub capacity: usize,
+    /// Sustained per-connection submit rate (submits/sec) enforced by a
+    /// token bucket on each connection thread; `0` disables limiting.
+    pub rate_per_client: u64,
+    /// Token bucket depth: how large a burst a client may front-load.
+    pub burst: u64,
+}
+
+impl Default for IngressOptions {
+    fn default() -> Self {
+        IngressOptions {
+            capacity: 65_536,
+            rate_per_client: 1_000,
+            burst: 256,
+        }
+    }
+}
+
+/// An admitted entry waiting in the queue.
+struct Queued {
+    client: u64,
+    nonce: u64,
+    admitted_ns: u64,
+}
+
+/// A drafted entry awaiting commit, keyed by its block sequence number.
+struct Drafted {
+    client: u64,
+    nonce: u64,
+    admitted_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Admission order id → entry. Order ids are unique forever.
+    queued: HashMap<u64, Queued>,
+    /// (fee, Reverse(order)): max element = highest fee, oldest within
+    /// the fee (drafting pops the back); min element = lowest fee,
+    /// newest within the fee (eviction pops the front).
+    by_fee: BTreeSet<(u64, Reverse<u64>)>,
+    /// Reserved (client, nonce) pairs: queued or drafted-not-settled.
+    dedup: HashSet<(u64, u64)>,
+    /// seq → drafted entry, settled (or abandoned) in seq order.
+    ledger: BTreeMap<u64, Drafted>,
+    next_order: u64,
+}
+
+/// Monotone counters snapshot; see the module docs for the invariant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngressStats {
+    /// Submits that reached admission (including ones shed there) plus
+    /// rate-limited submits acked `Busy` on the connection thread.
+    pub offered: u64,
+    /// Submits admitted to the queue.
+    pub admitted: u64,
+    /// Submits refused as (client, nonce) replays.
+    pub duplicates: u64,
+    /// Submits acked `Busy` by the per-connection token bucket.
+    pub shed_busy: u64,
+    /// Submits acked `Busy` because the queue was full and the fee did
+    /// not outbid the cheapest queued entry.
+    pub shed_full: u64,
+    /// Admitted entries later displaced by a higher-fee submission.
+    pub evicted: u64,
+    /// Entries drafted into proposed blocks.
+    pub drafted: u64,
+    /// Drafted entries whose block committed.
+    pub committed: u64,
+    /// Drafted entries given up on (failed views, overwritten ranges).
+    pub abandoned: u64,
+    /// Current queue depth.
+    pub depth: u64,
+    /// Highest committed block height observed.
+    pub committed_height: u64,
+}
+
+/// The shared mempool. In-process clusters share one instance across
+/// every replica's ingress listener (mirroring the shared committee
+/// keyring); multi-process deployments get one per process.
+pub struct Mempool {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// Drafted-but-unsettled entries beyond this are abandoned oldest
+    /// first, bounding memory under sustained view failures.
+    ledger_cap: usize,
+    epoch: Instant,
+    next_client: AtomicU64,
+    committed_height: AtomicU64,
+    registry: Registry,
+    offered: Counter,
+    admitted: Counter,
+    duplicates: Counter,
+    shed_busy: Counter,
+    shed_full: Counter,
+    evicted: Counter,
+    drafted: Counter,
+    committed: Counter,
+    abandoned: Counter,
+    payload_bytes: Counter,
+    depth: Gauge,
+    height_gauge: Gauge,
+    latency: Histogram,
+    tracer: Mutex<Tracer>,
+}
+
+impl Mempool {
+    /// Creates an empty mempool with the given bounds.
+    pub fn new(opts: &IngressOptions) -> Mempool {
+        let registry = Registry::new();
+        Mempool {
+            inner: Mutex::new(Inner::default()),
+            capacity: opts.capacity.max(1),
+            ledger_cap: opts.capacity.max(1).saturating_mul(4),
+            epoch: Instant::now(),
+            next_client: AtomicU64::new(0),
+            committed_height: AtomicU64::new(0),
+            offered: registry.counter("ingress.offered"),
+            admitted: registry.counter("ingress.admitted"),
+            duplicates: registry.counter("ingress.duplicates"),
+            shed_busy: registry.counter("ingress.shed_busy"),
+            shed_full: registry.counter("ingress.shed_full"),
+            evicted: registry.counter("ingress.evicted"),
+            drafted: registry.counter("ingress.drafted"),
+            committed: registry.counter("ingress.committed"),
+            abandoned: registry.counter("ingress.abandoned"),
+            payload_bytes: registry.counter("ingress.payload_bytes"),
+            depth: registry.gauge("ingress.depth"),
+            height_gauge: registry.gauge("ingress.committed_height"),
+            latency: registry.histogram("ingress.submit_to_commit_ns"),
+            registry,
+            tracer: Mutex::new(Tracer::disabled()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Allocates a connection-scoped client id, unique across every
+    /// server sharing this pool.
+    pub fn next_client_id(&self) -> u64 {
+        self.next_client.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Attaches a tracer; drafts emit [`EventKind::IngressBatch`].
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().unwrap() = tracer;
+    }
+
+    /// Admission decision for one submit. Counted as offered either way.
+    pub fn submit(&self, client: u64, nonce: u64, fee: u64, payload_len: usize) -> SubmitStatus {
+        self.offered.inc();
+        let mut g = self.inner.lock().unwrap();
+        if !g.dedup.insert((client, nonce)) {
+            self.duplicates.inc();
+            return SubmitStatus::Duplicate;
+        }
+        if g.queued.len() >= self.capacity {
+            // Full: the newcomer must outbid the cheapest queued entry.
+            match g.by_fee.iter().next().copied() {
+                Some((low_fee, Reverse(order))) if low_fee < fee => {
+                    g.by_fee.remove(&(low_fee, Reverse(order)));
+                    let old = g.queued.remove(&order).expect("by_fee/queued in sync");
+                    g.dedup.remove(&(old.client, old.nonce));
+                    self.evicted.inc();
+                }
+                _ => {
+                    g.dedup.remove(&(client, nonce));
+                    self.shed_full.inc();
+                    return SubmitStatus::Busy;
+                }
+            }
+        }
+        let order = g.next_order;
+        g.next_order += 1;
+        g.queued.insert(
+            order,
+            Queued {
+                client,
+                nonce,
+                admitted_ns: self.now_ns(),
+            },
+        );
+        g.by_fee.insert((fee, Reverse(order)));
+        self.admitted.inc();
+        self.payload_bytes.add(payload_len as u64);
+        self.depth.set(g.queued.len() as u64);
+        SubmitStatus::Accepted
+    }
+
+    /// Records a submit shed by a connection's token bucket (the
+    /// connection thread acks `Busy` without touching the queue).
+    pub fn note_rate_limited(&self) {
+        self.offered.inc();
+        self.shed_busy.inc();
+    }
+
+    /// Highest committed block height settled through this pool.
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height.load(Ordering::Relaxed)
+    }
+
+    /// The `ingress.*` metrics series (counters, depth gauge, and the
+    /// submit-to-commit latency histogram).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The submit-to-commit latency histogram (nanoseconds).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Typed counters snapshot.
+    pub fn stats(&self) -> IngressStats {
+        IngressStats {
+            offered: self.offered.get(),
+            admitted: self.admitted.get(),
+            duplicates: self.duplicates.get(),
+            shed_busy: self.shed_busy.get(),
+            shed_full: self.shed_full.get(),
+            evicted: self.evicted.get(),
+            drafted: self.drafted.get(),
+            committed: self.committed.get(),
+            abandoned: self.abandoned.get(),
+            depth: self.depth.get(),
+            committed_height: self.committed_height(),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().queued.len()
+    }
+}
+
+impl RequestSource for Mempool {
+    fn draft(&self, start: u64, max: u32) -> u32 {
+        let mut g = self.inner.lock().unwrap();
+        let mut n: u32 = 0;
+        while n < max {
+            let Some(&(fee, Reverse(order))) = g.by_fee.iter().next_back() else {
+                break;
+            };
+            g.by_fee.remove(&(fee, Reverse(order)));
+            let e = g.queued.remove(&order).expect("by_fee/queued in sync");
+            let seq = start + n as u64;
+            if let Some(prev) = g.ledger.insert(
+                seq,
+                Drafted {
+                    client: e.client,
+                    nonce: e.nonce,
+                    admitted_ns: e.admitted_ns,
+                },
+            ) {
+                // A competing proposer already drafted this seq (forked
+                // view); the earlier claim can never settle.
+                g.dedup.remove(&(prev.client, prev.nonce));
+                self.abandoned.inc();
+            }
+            n += 1;
+        }
+        // Bound drafted-but-unsettled state: abandon the oldest ranges
+        // (their views failed long ago) and free the nonces.
+        while g.ledger.len() > self.ledger_cap {
+            let (_, d) = g.ledger.pop_first().expect("ledger non-empty");
+            g.dedup.remove(&(d.client, d.nonce));
+            self.abandoned.inc();
+        }
+        if n > 0 {
+            self.drafted.add(n as u64);
+        }
+        self.depth.set(g.queued.len() as u64);
+        let depth = g.queued.len() as u64;
+        drop(g);
+        let tracer = self.tracer.lock().unwrap().clone();
+        if tracer.enabled() && n > 0 {
+            tracer.emit(
+                tracer.now(),
+                EventKind::IngressBatch {
+                    start,
+                    len: n,
+                    depth,
+                },
+            );
+        }
+        n
+    }
+
+    fn committed(&self, height: u64, start: u64, len: u32) -> Vec<u64> {
+        let now = self.now_ns();
+        let mut latencies = Vec::new();
+        let mut g = self.inner.lock().unwrap();
+        for seq in start..start.saturating_add(len as u64) {
+            if let Some(d) = g.ledger.remove(&seq) {
+                g.dedup.remove(&(d.client, d.nonce));
+                let lat = now.saturating_sub(d.admitted_ns);
+                self.latency.record(lat);
+                latencies.push(lat);
+            }
+        }
+        drop(g);
+        if !latencies.is_empty() {
+            self.committed.add(latencies.len() as u64);
+        }
+        self.committed_height.fetch_max(height, Ordering::Relaxed);
+        self.height_gauge.raise(height);
+        latencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(capacity: usize) -> Mempool {
+        Mempool::new(&IngressOptions {
+            capacity,
+            ..IngressOptions::default()
+        })
+    }
+
+    #[test]
+    fn duplicate_nonces_rejected_until_committed() {
+        let pool = small_pool(8);
+        assert_eq!(pool.submit(1, 7, 10, 4), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(1, 7, 99, 4), SubmitStatus::Duplicate);
+        // Still reserved while drafted.
+        assert_eq!(pool.draft(0, 8), 1);
+        assert_eq!(pool.submit(1, 7, 99, 4), SubmitStatus::Duplicate);
+        // Freed after commit.
+        assert_eq!(pool.committed(1, 0, 1).len(), 1);
+        assert_eq!(pool.submit(1, 7, 99, 4), SubmitStatus::Accepted);
+    }
+
+    #[test]
+    fn draft_pops_highest_fee_fifo_within_fee() {
+        let pool = small_pool(8);
+        pool.submit(0, 0, 5, 0);
+        pool.submit(1, 0, 9, 0);
+        pool.submit(2, 0, 5, 0);
+        pool.submit(3, 0, 9, 0);
+        assert_eq!(pool.draft(0, 3), 3);
+        // seq 0 = fee 9 from client 1 (oldest of the 9s), seq 1 = fee 9
+        // from client 3, seq 2 = fee 5 from client 0. Settle and check
+        // which nonces free up in that order.
+        pool.committed(1, 0, 2);
+        assert_eq!(pool.submit(1, 0, 1, 0), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(3, 0, 1, 0), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(0, 0, 1, 0), SubmitStatus::Duplicate); // still drafted
+    }
+
+    #[test]
+    fn full_pool_sheds_unless_outbid() {
+        let pool = small_pool(2);
+        assert_eq!(pool.submit(0, 0, 5, 0), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(1, 0, 7, 0), SubmitStatus::Accepted);
+        // Equal fee does not displace.
+        assert_eq!(pool.submit(2, 0, 5, 0), SubmitStatus::Busy);
+        // A higher bid evicts the cheapest (client 0) and frees its nonce.
+        assert_eq!(pool.submit(3, 0, 6, 0), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(0, 0, 8, 0), SubmitStatus::Accepted);
+        let s = pool.stats();
+        assert_eq!(s.shed_full, 1);
+        assert_eq!(s.evicted, 2); // fee-6 entry evicted in turn by fee-8
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn eviction_prefers_newest_within_cheapest_fee() {
+        let pool = small_pool(2);
+        pool.submit(0, 0, 5, 0);
+        pool.submit(1, 0, 5, 0);
+        assert_eq!(pool.submit(2, 0, 9, 0), SubmitStatus::Accepted);
+        // Client 1 (newest fee-5) was evicted — its nonce is free again
+        // (Busy, not Duplicate: the still-full pool sheds the low bid) —
+        // while client 0 remains queued and dedup'd.
+        assert_eq!(pool.submit(1, 0, 1, 0), SubmitStatus::Busy);
+        assert_eq!(pool.submit(0, 0, 1, 0), SubmitStatus::Duplicate);
+    }
+
+    #[test]
+    fn accounting_invariant_holds_under_churn() {
+        let pool = small_pool(16);
+        for i in 0..200u64 {
+            pool.submit(i % 8, i, i % 13, 32);
+        }
+        let mut next = 0u64;
+        for round in 0..10u64 {
+            let n = pool.draft(next, 7);
+            if round % 2 == 0 {
+                pool.committed(round + 1, next, n);
+            } // odd rounds: abandoned range
+            next += n as u64;
+        }
+        let s = pool.stats();
+        assert!(s.committed <= s.drafted, "{s:?}");
+        assert!(s.drafted <= s.admitted, "{s:?}");
+        assert!(s.admitted <= s.offered, "{s:?}");
+        assert_eq!(s.admitted - s.drafted - s.evicted, s.depth, "{s:?}");
+        assert_eq!(
+            s.offered,
+            s.admitted + s.duplicates + s.shed_full + s.shed_busy,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn committed_latencies_settle_once() {
+        let pool = small_pool(8);
+        pool.submit(0, 0, 1, 0);
+        pool.submit(0, 1, 1, 0);
+        assert_eq!(pool.draft(10, 8), 2);
+        assert_eq!(pool.committed(3, 10, 2).len(), 2);
+        // A second replica reporting the same range settles nothing new.
+        assert_eq!(pool.committed(3, 10, 2).len(), 0);
+        assert_eq!(pool.committed_height(), 3);
+        assert_eq!(pool.latency().count(), 2);
+    }
+
+    #[test]
+    fn ledger_overflow_abandons_oldest_and_frees_nonces() {
+        let pool = Mempool::new(&IngressOptions {
+            capacity: 4,
+            ..IngressOptions::default()
+        });
+        // ledger_cap = 16; draft 20 entries across failed views.
+        for i in 0..20u64 {
+            assert_eq!(pool.submit(9, i, 1, 0), SubmitStatus::Accepted);
+            assert_eq!(pool.draft(i, 1), 1);
+        }
+        let s = pool.stats();
+        assert_eq!(s.abandoned, 4);
+        // The abandoned nonces (oldest four) are submittable again.
+        assert_eq!(pool.submit(9, 0, 1, 0), SubmitStatus::Accepted);
+        assert_eq!(pool.submit(9, 19, 1, 0), SubmitStatus::Duplicate);
+    }
+}

@@ -218,6 +218,30 @@ impl Decoder {
         Ok(self.buf.copy_to_bytes(len))
     }
 
+    /// Reads a length-prefixed byte string whose claimed length must not
+    /// exceed `cap`, rejecting oversized prefixes with
+    /// [`DecodeError::Malformed`] *before* any bytes are copied. Use this
+    /// for fields whose length an untrusted peer controls (client
+    /// payloads), where the plain [`Decoder::get_bytes`] bounds check
+    /// against the remaining buffer is not a meaningful policy limit.
+    pub fn get_bytes_capped(
+        &mut self,
+        cap: usize,
+        context: &'static str,
+    ) -> Result<Bytes, DecodeError> {
+        let len = self.get_u32()? as usize;
+        if len > cap {
+            return Err(DecodeError::Malformed { context });
+        }
+        if self.buf.remaining() < len {
+            return Err(DecodeError::BadLength {
+                claimed: len,
+                remaining: self.buf.remaining(),
+            });
+        }
+        Ok(self.buf.copy_to_bytes(len))
+    }
+
     /// Reads a fixed-width array.
     pub fn get_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
         self.need(N)?;

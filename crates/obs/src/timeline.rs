@@ -312,7 +312,8 @@ impl Timeline {
                     | EventKind::WalFsync { .. }
                     | EventKind::StateChunk { .. }
                     | EventKind::TimeoutSent { .. }
-                    | EventKind::TimeoutQcAdopted { .. } => {}
+                    | EventKind::TimeoutQcAdopted { .. }
+                    | EventKind::IngressBatch { .. } => {}
                 }
             }
             per_node_commits.push((d.node, commits));

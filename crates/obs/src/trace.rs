@@ -163,6 +163,17 @@ pub enum EventKind {
         /// View of the adopted QC.
         qc_view: u64,
     },
+    /// The proposer drafted a batch of admitted client requests out of
+    /// the ingress mempool (live ingress only; the synthetic workload
+    /// shows up in `ProposalSent.txs` instead).
+    IngressBatch {
+        /// First request sequence number claimed.
+        start: u64,
+        /// Requests drafted into the block.
+        len: u32,
+        /// Entries still queued in the mempool after the draft.
+        depth: u64,
+    },
 }
 
 /// A timestamped [`EventKind`] on the node's runtime time axis.
@@ -258,6 +269,11 @@ impl Event {
                     "\"timeout_qc_adopted\", \"view\": {view}, \"qc_view\": {qc_view}"
                 ));
             }
+            EventKind::IngressBatch { start, len, depth } => {
+                s.push_str(&format!(
+                    "\"ingress_batch\", \"start\": {start}, \"len\": {len}, \"depth\": {depth}"
+                ));
+            }
         }
         s.push('}');
         s
@@ -340,6 +356,11 @@ impl Event {
             "timeout_qc_adopted" => EventKind::TimeoutQcAdopted {
                 view: u("view")?,
                 qc_view: u("qc_view")?,
+            },
+            "ingress_batch" => EventKind::IngressBatch {
+                start: u("start")?,
+                len: u("len")? as u32,
+                depth: u("depth")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };

@@ -7,22 +7,46 @@
 //! tests, the `live_cluster` example and the transport benchmark baseline
 //! all run through this harness.
 //!
-//! Chaos runs use the same harness: [`ClusterFaults`] aggregates every
-//! replica's [`NodeFaults`] switch plus the shared [`LinkFaults`] filter,
-//! and [`run_local_iniva_cluster_with_plan`] replays a seeded
-//! [`FaultPlan`] — the *same* plan type the simulator replays via
-//! `FaultPlan::run_on_sim` — against the live sockets from a driver
-//! thread, so the Fig. 4 resilience sweeps compare one scenario across
-//! both backends.
+//! [`ClusterBuilder`] is the single entry point: every capability is a
+//! builder method, composing freely —
+//!
+//! ```no_run
+//! # use iniva_transport::cluster::{ClusterBuilder, ObsOptions};
+//! # use iniva::protocol::InivaConfig;
+//! # use iniva_net::faults::FaultPlan;
+//! # use std::time::Duration;
+//! # fn main() -> std::io::Result<()> {
+//! # let cfg = InivaConfig::for_tests(4, 1);
+//! # let plan = FaultPlan::new();
+//! let run = ClusterBuilder::new(&cfg, Duration::from_secs(2))
+//!     .scheme::<iniva_crypto::bls::BlsScheme>() // default: SimScheme
+//!     .faults(&plan)                            // chaos injection
+//!     .wal("/tmp/wal")                          // durable, restartable
+//!     .observe(ObsOptions::new("/tmp/obs"))     // metrics + traces
+//!     .ingress(Default::default())              // client mempool tier
+//!     .spawn()?;
+//! # Ok(()) }
+//! ```
+//!
+//! Chaos runs replay a seeded [`FaultPlan`] — the *same* plan type the
+//! simulator replays via `FaultPlan::run_on_sim` — against the live
+//! sockets from a driver thread ([`ClusterFaults`] aggregates every
+//! replica's [`NodeFaults`] switch plus the shared [`LinkFaults`]
+//! filter), so the Fig. 4 resilience sweeps compare one scenario across
+//! both backends. With [`ClusterBuilder::ingress`], every replica also
+//! runs a client-facing listener feeding one shared fee-ordered mempool
+//! (`iniva-ingress`), and the proposer drafts blocks from *that* instead
+//! of the synthetic workload model; [`ClusterBuilder::launch`] returns a
+//! non-blocking [`ClusterHandle`] so load generators can drive clients
+//! while the cluster runs.
 //!
 //! The whole harness is generic over the vote scheme
-//! ([`WireScheme`](iniva_crypto::multisig::WireScheme)): the same cluster
-//! functions run the calibrated [`SimScheme`] stand-in *or* real BLS
-//! pairing crypto ([`iniva_crypto::bls::BlsScheme`]) end to end — codec,
+//! ([`WireScheme`](iniva_crypto::multisig::WireScheme)): the same builder
+//! runs the calibrated [`SimScheme`] stand-in *or* real BLS pairing
+//! crypto ([`iniva_crypto::bls::BlsScheme`]) end to end — codec,
 //! framing, WAL and state transfer included — selected by one type
-//! parameter (`run_local_iniva_cluster::<BlsScheme>(..)`). `SimScheme`
-//! remains the default type parameter so scheme-agnostic code keeps
-//! reading naturally.
+//! parameter (`.scheme::<BlsScheme>()`). `SimScheme` remains the default
+//! type parameter so scheme-agnostic code keeps reading naturally.
 
 use crate::faults::{LinkFaults, NodeFaults};
 use crate::runtime::{export_runtime_stats, CpuMode, Runtime, RuntimeStats};
@@ -32,11 +56,13 @@ use crate::transport::{
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::multisig::WireScheme;
 use iniva_crypto::sim_scheme::SimScheme;
+use iniva_ingress::{IngressOptions, IngressServer, Mempool, RequestSource};
 use iniva_net::faults::{FaultEvent, FaultPlan};
 use iniva_net::NodeId;
 use iniva_obs::{Registry, Tracer};
 use iniva_storage::ChainWal;
 use std::io;
+use std::marker::PhantomData;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
@@ -102,6 +128,10 @@ pub struct ClusterRun<S: WireScheme = SimScheme> {
     pub nodes: Vec<NodeRun<S>>,
     /// The wall-clock load duration.
     pub duration: Duration,
+    /// The client ingress tier, when [`ClusterBuilder::ingress`] enabled
+    /// one. The servers are already shut down; the mempool's counters
+    /// and latency histogram hold the run's client-side totals.
+    pub ingress: Option<IngressRun>,
 }
 
 impl<S: WireScheme> ClusterRun<S> {
@@ -373,17 +403,284 @@ pub fn chaos_demo_scenario(seed: u64) -> (InivaConfig, FaultPlan, NodeId, Vec<No
     (cfg, plan, victim, o)
 }
 
-/// Runs an `cfg.n`-replica Iniva cluster over loopback TCP for `duration`,
-/// then collects every replica's final state.
+/// A running client ingress tier: one client-facing listener per replica,
+/// all feeding one shared [`Mempool`]. Cloneable (the mempool is shared),
+/// handed out by [`ClusterHandle::ingress`] while the cluster runs and
+/// attached to [`ClusterRun`] afterwards.
+#[derive(Clone)]
+pub struct IngressRun {
+    /// Client-facing listen addresses, indexed by replica id.
+    pub client_addrs: Vec<SocketAddr>,
+    /// The shared mempool: admission stats, depth, and the
+    /// submit-to-commit latency histogram.
+    pub mempool: Arc<Mempool>,
+}
+
+/// The live ingress servers plus the handles [`IngressRun`] publishes;
+/// servers are private so only the harness can shut them down.
+struct IngressTier {
+    run: IngressRun,
+    servers: Vec<IngressServer>,
+}
+
+fn start_ingress_tier(n: usize, opts: &IngressOptions) -> io::Result<IngressTier> {
+    let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+    let mempool = Arc::new(Mempool::new(opts));
+    let mut client_addrs = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind(loopback)?;
+        client_addrs.push(listener.local_addr()?);
+        servers.push(IngressServer::start(listener, Arc::clone(&mempool), opts)?);
+    }
+    Ok(IngressTier {
+        run: IngressRun {
+            client_addrs,
+            mempool,
+        },
+        servers,
+    })
+}
+
+/// A cluster launched without blocking: the replicas run on background
+/// threads while the caller keeps the handle — the way load generators
+/// drive clients against the ingress tier *during* the run. [`Self::join`]
+/// blocks until the run's deadline and returns the [`ClusterRun`].
+pub struct ClusterHandle<S: WireScheme = SimScheme> {
+    thread: thread::JoinHandle<io::Result<ClusterRun<S>>>,
+    ingress: Option<IngressRun>,
+}
+
+impl<S: WireScheme> ClusterHandle<S> {
+    /// The ingress tier, when the builder enabled one: live while the
+    /// cluster runs, so clients can connect to `client_addrs` now.
+    pub fn ingress(&self) -> Option<&IngressRun> {
+        self.ingress.as_ref()
+    }
+
+    /// Waits for the run to end and returns its result.
+    ///
+    /// # Errors
+    /// Propagates the run's own error, or reports a panicked harness
+    /// thread.
+    pub fn join(self) -> io::Result<ClusterRun<S>> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("cluster harness thread panicked"))?
+    }
+}
+
+/// Builds and runs a local loopback Iniva cluster: `cfg.n` replica
+/// threads, each with its own [`Runtime`] and TCP [`Transport`], plus a
+/// fault-plan driver thread. Every capability is opt-in through one
+/// builder method; see the [module docs](self) for the composition
+/// overview.
 ///
-/// # Errors
-/// Propagates socket setup failures (binding listeners, starting lanes).
-pub fn run_local_iniva_cluster<S: WireScheme>(
-    cfg: &InivaConfig,
+/// [`Self::spawn`] runs the cluster to completion on the calling thread;
+/// [`Self::launch`] returns immediately with a [`ClusterHandle`] (needed
+/// to drive ingress clients while the cluster runs).
+#[must_use = "a ClusterBuilder does nothing until spawn() or launch()"]
+pub struct ClusterBuilder<S: WireScheme = SimScheme> {
+    cfg: InivaConfig,
     duration: Duration,
     cpu: CpuMode,
-) -> io::Result<ClusterRun<S>> {
-    run_local_iniva_cluster_with_plan::<S>(cfg, duration, cpu, &FaultPlan::new())
+    plan: FaultPlan,
+    wal: Option<PathBuf>,
+    options: TransportOptions,
+    obs: Option<ObsOptions>,
+    ingress: Option<IngressOptions>,
+    _scheme: PhantomData<S>,
+}
+
+impl ClusterBuilder<SimScheme> {
+    /// A builder for a `cfg.n`-replica cluster running for `duration`,
+    /// with the calibrated [`SimScheme`], real CPU accounting, no
+    /// faults, no WAL, no observability and no ingress tier.
+    pub fn new(cfg: &InivaConfig, duration: Duration) -> ClusterBuilder<SimScheme> {
+        ClusterBuilder {
+            cfg: cfg.clone(),
+            duration,
+            cpu: CpuMode::Real,
+            plan: FaultPlan::new(),
+            wal: None,
+            options: TransportOptions::default(),
+            obs: None,
+            ingress: None,
+            _scheme: PhantomData,
+        }
+    }
+}
+
+impl<S: WireScheme> ClusterBuilder<S> {
+    /// Selects the vote scheme (e.g.
+    /// `.scheme::<iniva_crypto::bls::BlsScheme>()` for real pairing
+    /// crypto). The default is [`SimScheme`].
+    pub fn scheme<S2: WireScheme>(self) -> ClusterBuilder<S2> {
+        ClusterBuilder {
+            cfg: self.cfg,
+            duration: self.duration,
+            cpu: self.cpu,
+            plan: self.plan,
+            wal: self.wal,
+            options: self.options,
+            obs: self.obs,
+            ingress: self.ingress,
+            _scheme: PhantomData,
+        }
+    }
+
+    /// Overrides the CPU cost accounting mode (default:
+    /// [`CpuMode::Real`]).
+    pub fn cpu(mut self, cpu: CpuMode) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replays `plan` against the live sockets from a driver thread:
+    /// crash, heal, partition and slow-link events fire at their
+    /// scheduled wall-clock offsets. With [`Self::wal`], process-level
+    /// faults ([`FaultEvent::Crash`], [`FaultEvent::RestartFromDisk`])
+    /// tear down and rebuild whole replica runtimes.
+    pub fn faults(mut self, plan: &FaultPlan) -> Self {
+        self.plan = plan.clone();
+        self
+    }
+
+    /// Makes chain state durable: each replica journals commits and
+    /// views to a write-ahead log under `wal_root/replica-<id>/`
+    /// (`iniva-storage`), crashes tear the whole runtime down, and
+    /// restarts recover from disk then catch up via state transfer.
+    /// Pre-existing replica logs are recovered, so a harness can also
+    /// *resume* a cluster.
+    pub fn wal(mut self, wal_root: impl Into<PathBuf>) -> Self {
+        self.wal = Some(wal_root.into());
+        self
+    }
+
+    /// Tunes every replica's transport — chaos tests pass a small
+    /// [`TransportOptions::lane_capacity`] so peers shed (rather than
+    /// replay) most of the history a dead replica missed, forcing the
+    /// restarted replica through state transfer instead of lane-backlog
+    /// replay.
+    pub fn transport(mut self, options: TransportOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs every replica with a live tracer and metrics registry,
+    /// dumping `metrics-<id>.json` + `trace-<id>.jsonl` (and, with
+    /// ingress, `ingress.json` + `ingress-trace.jsonl`) into
+    /// `obs.metrics_dir` when the run ends — ready for the
+    /// `view_timeline` analyzer. Combined with [`Self::wal`], one
+    /// registry and tracer per node span every incarnation, so restarts
+    /// lose nothing.
+    pub fn observe(mut self, obs: ObsOptions) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Adds a client ingress tier: one client-facing TCP listener per
+    /// replica, all feeding one shared bounded fee-ordered [`Mempool`]
+    /// with per-client token-bucket rate limiting. The proposer then
+    /// drafts blocks from the mempool instead of the synthetic workload
+    /// model, and submit-to-commit latency is measured per request.
+    pub fn ingress(mut self, opts: IngressOptions) -> Self {
+        self.ingress = Some(opts);
+        self
+    }
+
+    /// Runs the cluster to completion and collects every replica's final
+    /// state.
+    ///
+    /// # Errors
+    /// Propagates socket, thread, WAL-I/O and dump-file setup failures.
+    pub fn spawn(self) -> io::Result<ClusterRun<S>> {
+        let tier = match &self.ingress {
+            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts)?),
+            None => None,
+        };
+        self.run_with(tier)
+    }
+
+    /// Starts the cluster on a background thread and returns a handle
+    /// immediately, so the caller can drive ingress clients (or other
+    /// out-of-band work) while the run is live.
+    ///
+    /// # Errors
+    /// Propagates ingress listener binding and thread spawn failures;
+    /// failures *inside* the run surface from [`ClusterHandle::join`].
+    pub fn launch(self) -> io::Result<ClusterHandle<S>> {
+        let tier = match &self.ingress {
+            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts)?),
+            None => None,
+        };
+        let ingress = tier.as_ref().map(|t| t.run.clone());
+        let thread = thread::Builder::new()
+            .name("iniva-cluster-harness".into())
+            .spawn(move || self.run_with(tier))?;
+        Ok(ClusterHandle { thread, ingress })
+    }
+
+    fn run_with(self, tier: Option<IngressTier>) -> io::Result<ClusterRun<S>> {
+        let mempool = tier.as_ref().map(|t| Arc::clone(&t.run.mempool));
+        // The ingress tier shares the consensus tier's observability
+        // epoch closely enough: its tracer is anchored here, just before
+        // the replicas' shared time zero, and carries the pseudo-node id
+        // `n` (one past the committee).
+        let ingress_tracer = match (&self.obs, &mempool) {
+            (Some(obs), Some(pool)) => {
+                let tracer = Tracer::live(self.cfg.n as u32, obs.trace_capacity, Instant::now());
+                pool.set_tracer(tracer.clone());
+                Some(tracer)
+            }
+            _ => None,
+        };
+        let result = match &self.wal {
+            None => run_plan_impl::<S>(
+                &self.cfg,
+                self.duration,
+                self.cpu,
+                &self.plan,
+                self.options,
+                self.obs.as_ref(),
+                mempool.clone(),
+            ),
+            Some(wal_root) => run_wal_impl::<S>(
+                &self.cfg,
+                self.duration,
+                self.cpu,
+                &self.plan,
+                wal_root,
+                self.options,
+                self.obs.as_ref(),
+                mempool.clone(),
+            ),
+        };
+        let Some(tier) = tier else {
+            return result;
+        };
+        // Stop serving clients before reporting results, so the final
+        // admission counters are quiescent.
+        for server in tier.servers {
+            server.shutdown();
+        }
+        let mut run = result?;
+        if let Some(obs) = &self.obs {
+            std::fs::create_dir_all(&obs.metrics_dir)?;
+            std::fs::write(
+                obs.metrics_dir.join("ingress.json"),
+                tier.run.mempool.registry().to_json(),
+            )?;
+            if let Some(tracer) = &ingress_tracer {
+                // Named so the `trace-<id>.jsonl` glob the view-timeline
+                // analyzer consumes doesn't pick up the ingress
+                // pseudo-node as a replica.
+                tracer.write_jsonl(&obs.metrics_dir.join("ingress-trace.jsonl"))?;
+            }
+        }
+        run.ingress = Some(tier.run);
+        Ok(run)
+    }
 }
 
 /// A releasable start line: workers arrive and wait for a go/abort
@@ -505,46 +802,15 @@ where
     nodes
 }
 
-/// Runs an `cfg.n`-replica Iniva cluster over loopback TCP for `duration`
-/// while a driver thread injects `plan` — crash, heal, partition and
-/// slow-link events at their scheduled wall-clock offsets — then collects
-/// every replica's final state.
-///
-/// # Errors
-/// Propagates socket and thread setup failures (binding listeners,
-/// starting lanes, spawning replica or driver threads).
-pub fn run_local_iniva_cluster_with_plan<S: WireScheme>(
-    cfg: &InivaConfig,
-    duration: Duration,
-    cpu: CpuMode,
-    plan: &FaultPlan,
-) -> io::Result<ClusterRun<S>> {
-    run_plan_impl::<S>(cfg, duration, cpu, plan, None)
-}
-
-/// [`run_local_iniva_cluster_with_plan`] with observability: every
-/// replica runs with a live tracer and a metrics registry, and dumps
-/// `metrics-<id>.json` + `trace-<id>.jsonl` into `obs.metrics_dir` when
-/// the run ends — ready for the `view_timeline` analyzer.
-///
-/// # Errors
-/// Propagates socket, thread and dump-file I/O failures.
-pub fn run_local_iniva_cluster_observed<S: WireScheme>(
-    cfg: &InivaConfig,
-    duration: Duration,
-    cpu: CpuMode,
-    plan: &FaultPlan,
-    obs: &ObsOptions,
-) -> io::Result<ClusterRun<S>> {
-    run_plan_impl::<S>(cfg, duration, cpu, plan, Some(obs))
-}
-
+#[allow(clippy::too_many_arguments)]
 fn run_plan_impl<S: WireScheme>(
     cfg: &InivaConfig,
     duration: Duration,
     cpu: CpuMode,
     plan: &FaultPlan,
+    options: TransportOptions,
     obs: Option<&ObsOptions>,
+    mempool: Option<Arc<Mempool>>,
 ) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
@@ -577,7 +843,7 @@ fn run_plan_impl<S: WireScheme>(
             id as u32,
             listener,
             &peers,
-            TransportOptions::default(),
+            options,
             faults.node(id as u32),
             faults.links(),
         )?);
@@ -596,10 +862,16 @@ fn run_plan_impl<S: WireScheme>(
         let cfg = cfg.clone();
         let scheme = Arc::clone(&scheme);
         let obs = obs.cloned();
+        let mempool = mempool.clone();
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
             .spawn(move || -> io::Result<NodeRun<S>> {
                 let mut replica = InivaReplica::new(id as u32, cfg, Arc::clone(&scheme));
+                if let Some(pool) = &mempool {
+                    replica
+                        .chain
+                        .set_request_source(Arc::clone(pool) as Arc<dyn RequestSource>);
+                }
                 if !gate.arrive_and_wait() {
                     return Err(io::Error::other("cluster setup aborted"));
                 }
@@ -637,7 +909,11 @@ fn run_plan_impl<S: WireScheme>(
                 })
             })
     })?;
-    Ok(ClusterRun { nodes, duration })
+    Ok(ClusterRun {
+        nodes,
+        duration,
+        ingress: None,
+    })
 }
 
 /// Folds one incarnation's event-loop counters into a per-node total.
@@ -665,57 +941,6 @@ fn bind_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpListener> {
     }
 }
 
-/// Runs an `cfg.n`-replica Iniva cluster over loopback TCP with **durable
-/// chain state**: each replica journals its commits and views to a
-/// write-ahead log under `wal_root/replica-<id>/` (`iniva-storage`), and
-/// the plan's process-level faults actually happen — [`FaultEvent::Crash`]
-/// tears the victim's entire runtime and sockets down (the in-process
-/// equivalent of `kill -9`), and [`FaultEvent::RestartFromDisk`] rebuilds
-/// replica + transport from the TOML-equivalent peer list and the WAL,
-/// after which the replica rehydrates its committed prefix from disk and
-/// catches up via `StateRequest`/`StateResponse`.
-///
-/// `wal_root` is created if needed; pre-existing replica logs are
-/// recovered (so a harness can also be used to *resume* a cluster).
-/// `options` tunes every transport — chaos tests pass a small
-/// [`TransportOptions::lane_capacity`] so that peers shed (rather than
-/// replay) most of the history a dead replica missed, forcing the
-/// restarted replica to close the gap through state transfer instead of
-/// lane-backlog replay.
-///
-/// # Errors
-/// Propagates socket, WAL-I/O and thread setup failures.
-pub fn run_local_iniva_cluster_with_wal<S: WireScheme>(
-    cfg: &InivaConfig,
-    duration: Duration,
-    cpu: CpuMode,
-    plan: &FaultPlan,
-    wal_root: &Path,
-    options: TransportOptions,
-) -> io::Result<ClusterRun<S>> {
-    run_wal_impl::<S>(cfg, duration, cpu, plan, wal_root, options, None)
-}
-
-/// [`run_local_iniva_cluster_with_wal`] with observability (see
-/// [`run_local_iniva_cluster_observed`]): one registry and one tracer
-/// per node span *every incarnation* of that node — a replica rebuilt
-/// from its WAL keeps counting into the same series and tracing onto
-/// the same ring, so restarts lose nothing.
-///
-/// # Errors
-/// Propagates socket, WAL-I/O, thread and dump-file I/O failures.
-pub fn run_local_iniva_cluster_with_wal_observed<S: WireScheme>(
-    cfg: &InivaConfig,
-    duration: Duration,
-    cpu: CpuMode,
-    plan: &FaultPlan,
-    wal_root: &Path,
-    options: TransportOptions,
-    obs: &ObsOptions,
-) -> io::Result<ClusterRun<S>> {
-    run_wal_impl::<S>(cfg, duration, cpu, plan, wal_root, options, Some(obs))
-}
-
 #[allow(clippy::too_many_arguments)]
 fn run_wal_impl<S: WireScheme>(
     cfg: &InivaConfig,
@@ -725,6 +950,7 @@ fn run_wal_impl<S: WireScheme>(
     wal_root: &Path,
     options: TransportOptions,
     obs: Option<&ObsOptions>,
+    mempool: Option<Arc<Mempool>>,
 ) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     std::fs::create_dir_all(wal_root)?;
@@ -761,6 +987,7 @@ fn run_wal_impl<S: WireScheme>(
         let control = faults.control(id as u32);
         let wal_dir: PathBuf = wal_root.join(format!("replica-{id}"));
         let obs = obs.cloned();
+        let mempool = mempool.clone();
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
             .spawn(move || -> io::Result<NodeRun<S>> {
@@ -780,10 +1007,15 @@ fn run_wal_impl<S: WireScheme>(
                     cpu,
                     &wal_dir,
                     obs,
+                    mempool,
                 )
             })
     })?;
-    Ok(ClusterRun { nodes, duration })
+    Ok(ClusterRun {
+        nodes,
+        duration,
+        ingress: None,
+    })
 }
 
 /// One replica's process lifecycle in a WAL-enabled run: (re)build the
@@ -809,6 +1041,7 @@ fn replica_lifecycle<S: WireScheme>(
     cpu: CpuMode,
     wal_dir: &Path,
     obs: Option<ObsOptions>,
+    mempool: Option<Arc<Mempool>>,
 ) -> io::Result<NodeRun<S>> {
     let mut pending_listener = Some(listener);
     if !gate.arrive_and_wait() {
@@ -869,6 +1102,14 @@ fn replica_lifecycle<S: WireScheme>(
             replica.set_observability(registry, tracer.clone());
         }
         replica.chain.set_commit_sink(Box::new(wal));
+        // The shared mempool spans incarnations like the registry does:
+        // requests drafted by a previous incarnation stay claimed, and
+        // recovery's committed prefix settles them on replay.
+        if let Some(pool) = &mempool {
+            replica
+                .chain
+                .set_request_source(Arc::clone(pool) as Arc<dyn RequestSource>);
+        }
         // Every incarnation shares the cluster's time zero, so metrics
         // stay on one time axis across restarts.
         let mut runtime = Runtime::with_epoch(replica, transport, cpu, time_zero);

@@ -13,6 +13,10 @@
 //! rate = 10000          # open-loop client requests/second
 //! duration_secs = 10    # load duration
 //! # metrics_dir = "/tmp/iniva-obs"   # optional: per-process observability dumps
+//! # client_listen = "127.0.0.1:7200" # optional: client ingress base address
+//! # mempool = 65536                  # ingress mempool capacity (requests)
+//! # client_rate = 1000               # per-client token refill rate (submits/s)
+//! # client_burst = 256               # per-client token bucket burst
 //!
 //! [[peers]]
 //! id = 0
@@ -66,6 +70,20 @@ pub struct ClusterConfig {
     /// finds every node's dump in one place. `None` (default) disables
     /// observability.
     pub metrics_dir: Option<String>,
+    /// Base address for the client ingress tier: replica `id` listens
+    /// for client connections on this address's port **plus `id`**
+    /// (mirroring how [`Self::local`] lays out peer ports). `None`
+    /// (default) disables ingress — replicas draft from the synthetic
+    /// open-loop workload model instead.
+    pub client_listen: Option<String>,
+    /// Ingress mempool capacity in requests (admissions beyond it evict
+    /// the cheapest queued request or shed with `Busy`).
+    pub mempool: u64,
+    /// Per-client token-bucket refill rate, submits/second (0 disables
+    /// rate limiting).
+    pub client_rate: u64,
+    /// Per-client token-bucket burst size.
+    pub client_burst: u64,
 }
 
 impl ClusterConfig {
@@ -84,6 +102,24 @@ impl ClusterConfig {
         self.peers.iter().find(|p| p.id == id).map(|p| p.addr)
     }
 
+    /// The client ingress listen address of peer `id`: `client_listen`'s
+    /// port plus `id`. `None` when ingress is disabled.
+    pub fn client_addr_of(&self, id: u32) -> Option<SocketAddr> {
+        let base: SocketAddr = self.client_listen.as_ref()?.parse().ok()?;
+        let mut addr = base;
+        addr.set_port(base.port() + id as u16);
+        Some(addr)
+    }
+
+    /// The mempool / rate-limit knobs as [`iniva_ingress::IngressOptions`].
+    pub fn ingress_options(&self) -> iniva_ingress::IngressOptions {
+        iniva_ingress::IngressOptions {
+            capacity: self.mempool as usize,
+            rate_per_client: self.client_rate,
+            burst: self.client_burst,
+        }
+    }
+
     /// A loopback cluster of `n` consecutive ports starting at `base_port`.
     pub fn local(n: usize, base_port: u16) -> Self {
         ClusterConfig {
@@ -100,6 +136,7 @@ impl ClusterConfig {
     }
 
     fn defaults() -> Self {
+        let ingress = iniva_ingress::IngressOptions::default();
         ClusterConfig {
             peers: Vec::new(),
             internal: 2,
@@ -109,6 +146,10 @@ impl ClusterConfig {
             duration_secs: 10,
             scheme: "sim".to_string(),
             metrics_dir: None,
+            client_listen: None,
+            mempool: ingress.capacity as u64,
+            client_rate: ingress.rate_per_client,
+            client_burst: ingress.burst,
         }
     }
 
@@ -189,6 +230,19 @@ impl ClusterConfig {
                         cfg.scheme = s;
                     }
                     "metrics_dir" => cfg.metrics_dir = Some(parse_string(value, lineno)?),
+                    "client_listen" => {
+                        let s = parse_string(value, lineno)?;
+                        if s.parse::<SocketAddr>().is_err() {
+                            return Err(ConfigError::at(
+                                lineno,
+                                "client_listen is not a socket address",
+                            ));
+                        }
+                        cfg.client_listen = Some(s);
+                    }
+                    "mempool" => cfg.mempool = parse_int(value, lineno)?,
+                    "client_rate" => cfg.client_rate = parse_int(value, lineno)?,
+                    "client_burst" => cfg.client_burst = parse_int(value, lineno)?,
                     _ => return Err(ConfigError::at(lineno, "unknown [cluster] key")),
                 },
                 Section::Peer => {
@@ -339,6 +393,34 @@ addr = "127.0.0.1:7102"
                 "{text:?} -> {err} (wanted {needle:?})"
             );
         }
+    }
+
+    #[test]
+    fn parses_ingress_keys_and_spreads_client_ports() {
+        let cfg = ClusterConfig::parse(
+            "[cluster]\nclient_listen = \"127.0.0.1:7200\"\nmempool = 1024\n\
+             client_rate = 50\nclient_burst = 10\n\
+             [[peers]]\nid = 0\naddr = \"127.0.0.1:7100\"\n\
+             [[peers]]\nid = 1\naddr = \"127.0.0.1:7101\"",
+        )
+        .unwrap();
+        assert_eq!(cfg.client_addr_of(0).unwrap().port(), 7200);
+        assert_eq!(cfg.client_addr_of(1).unwrap().port(), 7201);
+        let opts = cfg.ingress_options();
+        assert_eq!(opts.capacity, 1024);
+        assert_eq!(opts.rate_per_client, 50);
+        assert_eq!(opts.burst, 10);
+
+        let off = ClusterConfig::parse("[[peers]]\nid = 0\naddr = \"127.0.0.1:7100\"").unwrap();
+        assert_eq!(off.client_addr_of(0), None, "ingress defaults off");
+        let defaults = iniva_ingress::IngressOptions::default();
+        assert_eq!(off.ingress_options().capacity, defaults.capacity);
+
+        let err = ClusterConfig::parse(
+            "[cluster]\nclient_listen = \"nonsense\"\n[[peers]]\nid = 0\naddr = \"1.2.3.4:1\"",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("socket address"), "{err}");
     }
 
     #[test]

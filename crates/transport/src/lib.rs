@@ -26,18 +26,19 @@
 //!   path, in the lanes and on the reader path.
 //! * [`config`] — a TOML-style cluster/peer-list file format for
 //!   multi-process deployments.
-//! * [`cluster`] — convenience harness running an n-replica Iniva cluster
-//!   on loopback threads, used by the integration tests, the
-//!   `live_cluster` example and the transport benchmark baseline; its
-//!   [`ClusterFaults`](cluster::ClusterFaults) handle replays an
-//!   `iniva_net::faults::FaultPlan` against the live cluster, so the same
-//!   seeded chaos scenario runs on the simulator and on sockets. The
-//!   WAL-enabled variant
-//!   ([`run_local_iniva_cluster_with_wal`](cluster::run_local_iniva_cluster_with_wal))
-//!   adds process-level chaos: `Crash` tears a replica's entire runtime
-//!   and sockets down, and `RestartFromDisk` rebuilds it from its
+//! * [`cluster`] — the harness running an n-replica Iniva cluster on
+//!   loopback threads behind one entry point,
+//!   [`ClusterBuilder`](cluster::ClusterBuilder), used by the integration
+//!   tests, the `live_cluster` example and the transport benchmark
+//!   baseline. `.faults(plan)` replays an `iniva_net::faults::FaultPlan`
+//!   against the live cluster (via
+//!   [`ClusterFaults`](cluster::ClusterFaults)), so the same seeded chaos
+//!   scenario runs on the simulator and on sockets; `.wal(dir)` adds
+//!   process-level chaos — `Crash` tears a replica's entire runtime and
+//!   sockets down, and `RestartFromDisk` rebuilds it from its
 //!   `iniva-storage` write-ahead log, after which it catches up via
-//!   state transfer.
+//!   state transfer; `.ingress(opts)` bolts on the `iniva-ingress`
+//!   client tier feeding the proposer from a real fee-ordered mempool.
 
 #![warn(missing_docs)]
 

@@ -7,11 +7,8 @@ use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::faults::FaultPlan;
 use iniva_net::{NetConfig, NodeId, Simulation, Time, MILLIS, SECS};
-use iniva_transport::cluster::{
-    chaos_demo_scenario, run_local_iniva_cluster_with_plan, run_local_iniva_cluster_with_wal,
-    ClusterRun,
-};
-use iniva_transport::{CpuMode, TransportOptions};
+use iniva_transport::cluster::{chaos_demo_scenario, ClusterBuilder, ClusterRun};
+use iniva_transport::TransportOptions;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -68,13 +65,10 @@ fn crash_partition_heal_matches_simulator_within_10pct() {
     // declaring the backends divergent.
     let mut last = String::new();
     for attempt in 0..2 {
-        let run = run_local_iniva_cluster_with_plan::<SimScheme>(
-            &cfg,
-            Duration::from_secs(duration),
-            CpuMode::Real,
-            &plan,
-        )
-        .expect("cluster starts");
+        let run = ClusterBuilder::new(&cfg, Duration::from_secs(duration))
+            .faults(&plan)
+            .spawn()
+            .expect("cluster starts");
         match check_acceptance(&run, victim, others, heal_margin, sim_blocks) {
             Ok(()) => return,
             Err(e) if attempt == 0 => last = e,
@@ -144,13 +138,10 @@ fn killed_replica_heals_and_rejoins() {
     let plan = FaultPlan::new()
         .crash(SECS, victim)
         .restart(2_500 * MILLIS, victim);
-    let run = run_local_iniva_cluster_with_plan::<SimScheme>(
-        &cfg,
-        Duration::from_secs(5),
-        CpuMode::Real,
-        &plan,
-    )
-    .expect("cluster starts");
+    let run = ClusterBuilder::new(&cfg, Duration::from_secs(5))
+        .faults(&plan)
+        .spawn()
+        .expect("cluster starts");
 
     run.agreed_prefix_height().expect("no divergence anywhere");
     let m = &run.nodes[victim as usize].replica.chain.metrics;
@@ -208,15 +199,12 @@ fn killed_process_restarts_from_wal_and_catches_up() {
     let mut last = String::new();
     for attempt in 0..2 {
         let wal_root = wal_scratch(&format!("kill-restart-{attempt}"));
-        let run = run_local_iniva_cluster_with_wal::<SimScheme>(
-            &cfg,
-            Duration::from_secs(6),
-            CpuMode::Real,
-            &plan,
-            &wal_root,
-            options,
-        )
-        .expect("cluster starts");
+        let run = ClusterBuilder::new(&cfg, Duration::from_secs(6))
+            .faults(&plan)
+            .wal(&wal_root)
+            .transport(options)
+            .spawn()
+            .expect("cluster starts");
         match check_recovery(&run, victim, resumed_margin) {
             Ok(()) => {
                 let _ = std::fs::remove_dir_all(&wal_root);

@@ -5,7 +5,7 @@ use iniva_crypto::bls::BlsScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
 use iniva_net::{Actor, Context, NodeId};
-use iniva_transport::cluster::run_local_iniva_cluster;
+use iniva_transport::cluster::ClusterBuilder;
 use iniva_transport::{CpuMode, LinkFaults, NodeFaults, Runtime, Transport, TransportOptions};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::Arc;
@@ -22,7 +22,9 @@ fn four_replica_cluster_commits_and_agrees() {
     // Real clocks make the run timing-sensitive; retry once on a slow CI
     // machine before declaring the liveness property broken.
     for attempt in 0..2 {
-        let r = run_local_iniva_cluster::<SimScheme>(&cfg, Duration::from_secs(2), CpuMode::Real)
+        let r = ClusterBuilder::new(&cfg, Duration::from_secs(2))
+            .scheme::<SimScheme>()
+            .spawn()
             .expect("cluster starts");
         let committed = r
             .nodes
@@ -71,12 +73,10 @@ fn four_replica_cluster_commits_and_agrees() {
 fn clusters_tear_down_cleanly() {
     let cfg = InivaConfig::for_tests(4, 1);
     for _ in 0..2 {
-        let run = run_local_iniva_cluster::<SimScheme>(
-            &cfg,
-            Duration::from_millis(400),
-            CpuMode::Scaled(0.2),
-        )
-        .expect("cluster starts");
+        let run = ClusterBuilder::new(&cfg, Duration::from_millis(400))
+            .cpu(CpuMode::Scaled(0.2))
+            .spawn()
+            .expect("cluster starts");
         assert!(run.agreed_prefix_height().is_ok());
     }
 }
@@ -96,7 +96,9 @@ fn four_replica_bls_cluster_commits_and_agrees() {
     let mut run = None;
     // Real pairing on shared CI cores is timing-sensitive; retry once.
     for attempt in 0..2 {
-        let r = run_local_iniva_cluster::<BlsScheme>(&cfg, Duration::from_secs(12), CpuMode::Real)
+        let r = ClusterBuilder::new(&cfg, Duration::from_secs(12))
+            .scheme::<BlsScheme>()
+            .spawn()
             .expect("cluster starts");
         let committed = r
             .nodes

@@ -68,19 +68,41 @@
 //! cargo run --release --example live_cluster -- --chaos --metrics-dir /tmp/iniva-obs
 //! cargo run --release -p iniva-bench --bin view_timeline -- /tmp/iniva-obs
 //! ```
+//!
+//! Client ingress — `--ingress` (in-process) or a `client_listen` key in
+//! the shared config (multi-process) gives every replica a client-facing
+//! listener feeding a bounded fee-ordered mempool; the proposer then
+//! drafts blocks from real client submits instead of the synthetic
+//! open-loop model. Drive it with the `ingress_load` bench:
+//!
+//! ```sh
+//! cargo run --release --example live_cluster -- --ingress --duration 30
+//! cargo run --release -p iniva-bench --bin ingress_load   # separate terminal
+//! ```
+//!
+//! Each ingress knob exists as a CLI flag (in-process / ad-hoc) and a
+//! `[cluster]` TOML key (multi-process, shared like the peer list); in
+//! `--config` mode an explicit flag that disagrees with the config fails
+//! by name, exactly like `--scheme`:
+//!
+//! | CLI flag          | TOML key        | meaning                                      |
+//! |-------------------|-----------------|----------------------------------------------|
+//! | `--ingress`       | `client_listen` | enable the client tier (TOML: base address; replica `id` listens on port + id) |
+//! | `--client-listen` | `client_listen` | client listen base address (`--write-config` seeds it) |
+//! | `--mempool`       | `mempool`       | mempool capacity in requests                 |
+//! | `--client-rate`   | `client_rate`   | per-client token refill rate, submits/second |
+//! | `--client-burst`  | `client_burst`  | per-client token bucket burst                |
 
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_consensus::PerfSummary;
 use iniva_crypto::bls::BlsScheme;
 use iniva_crypto::multisig::WireScheme;
 use iniva_crypto::sim_scheme::SimScheme;
+use iniva_ingress::{IngressOptions, IngressServer, Mempool, RequestSource};
 use iniva_net::{NetConfig, Simulation, SECS};
 use iniva_obs::{Registry, Tracer};
 use iniva_storage::ChainWal;
-use iniva_transport::cluster::{
-    chaos_demo_scenario, run_local_iniva_cluster, run_local_iniva_cluster_observed,
-    run_local_iniva_cluster_with_plan, ObsOptions, CLUSTER_SEED,
-};
+use iniva_transport::cluster::{chaos_demo_scenario, ClusterBuilder, ObsOptions, CLUSTER_SEED};
 use iniva_transport::{ClusterConfig, CpuMode, Runtime, Transport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -106,7 +128,12 @@ fn simulated_point(cfg: &InivaConfig, duration_secs: u64) -> PerfSummary {
     iniva_sim::perf::harvest(&sim, &metrics, duration_secs)
 }
 
-fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64, metrics_dir: Option<&str>) {
+fn in_process<S: WireScheme>(
+    mut cfg: InivaConfig,
+    duration_secs: u64,
+    metrics_dir: Option<&str>,
+    ingress: Option<IngressOptions>,
+) {
     let (n, internal, rate) = (cfg.n, cfg.internal, cfg.request_rate);
     if S::REAL_CRYPTO {
         cfg.tune_for_real_crypto();
@@ -117,15 +144,37 @@ fn in_process<S: WireScheme>(mut cfg: InivaConfig, duration_secs: u64, metrics_d
         scheme = S::NAME
     );
     let duration = Duration::from_secs(duration_secs);
-    let run = match metrics_dir {
-        None => run_local_iniva_cluster::<S>(&cfg, duration, CpuMode::Real),
-        Some(dir) => {
-            let obs = ObsOptions::new(dir);
-            let plan = iniva_net::faults::FaultPlan::new();
-            run_local_iniva_cluster_observed::<S>(&cfg, duration, CpuMode::Real, &plan, &obs)
+    let mut builder = ClusterBuilder::new(&cfg, duration).scheme::<S>();
+    if let Some(dir) = metrics_dir {
+        builder = builder.observe(ObsOptions::new(dir));
+    }
+    if let Some(opts) = ingress {
+        builder = builder.ingress(opts);
+    }
+    // launch() rather than spawn(): with --ingress the client addresses
+    // must be printed while the cluster is live, so clients can connect.
+    let handle = builder.launch().expect("cluster starts");
+    if let Some(ing) = handle.ingress() {
+        println!("client ingress listening on:");
+        for (id, addr) in ing.client_addrs.iter().enumerate() {
+            println!("  replica {id}: {addr}");
         }
     }
-    .expect("cluster starts");
+    let run = handle.join().expect("cluster run");
+    if let Some(ing) = &run.ingress {
+        let stats = ing.mempool.stats();
+        println!(
+            "ingress: {} offered, {} admitted, {} duplicates, {} shed \
+             ({} rate-limited, {} full), {} committed",
+            stats.offered,
+            stats.admitted,
+            stats.duplicates,
+            stats.shed_busy + stats.shed_full,
+            stats.shed_busy,
+            stats.shed_full,
+            stats.committed,
+        );
+    }
     if let Some(dir) = metrics_dir {
         println!(
             "observability dumps in {dir}/ — merge with: \
@@ -222,7 +271,20 @@ fn one_process<S: WireScheme>(
     // closes the rest of the gap once a peer message reveals it) and
     // journals every commit and view entry from here on — the kill -9
     // + restart demo from the module docs.
-    let replica = match wal_dir {
+    // Client ingress, when the shared config enables it: this process
+    // listens for clients on `client_listen`'s port + id and drafts its
+    // blocks from the mempool instead of the synthetic workload model.
+    let ingress = cluster.client_addr_of(id).map(|client_addr| {
+        let opts = cluster.ingress_options();
+        let mempool = Arc::new(Mempool::new(&opts));
+        let listener =
+            std::net::TcpListener::bind(client_addr).expect("bind client ingress listener");
+        let server =
+            IngressServer::start(listener, Arc::clone(&mempool), &opts).expect("start ingress");
+        println!("client ingress: listening on {client_addr}");
+        (mempool, server)
+    });
+    let mut replica = match wal_dir {
         None => InivaReplica::new(id, cfg, scheme),
         Some(dir) => {
             let dir = std::path::Path::new(dir).join(format!("replica-{id}"));
@@ -242,6 +304,11 @@ fn one_process<S: WireScheme>(
             replica
         }
     };
+    if let Some((mempool, _)) = &ingress {
+        replica
+            .chain
+            .set_request_source(Arc::clone(mempool) as Arc<dyn RequestSource>);
+    }
     let mut runtime = Runtime::with_epoch(replica, transport, CpuMode::Real, epoch);
     match &node_obs {
         None => runtime.run_for(duration),
@@ -262,6 +329,18 @@ fn one_process<S: WireScheme>(
         }
     }
     let (mut replica, stats, transport) = runtime.finish();
+    if let Some((mempool, server)) = ingress {
+        server.shutdown();
+        let s = mempool.stats();
+        println!(
+            "client ingress: {} offered, {} admitted, {} duplicates, {} shed, {} committed",
+            s.offered,
+            s.admitted,
+            s.duplicates,
+            s.shed_busy + s.shed_full,
+            s.committed,
+        );
+    }
     if let Some((registry, tracer, dir)) = &node_obs {
         replica.chain.metrics.export(registry);
         scheme_handle.export_observability(registry);
@@ -304,19 +383,11 @@ fn chaos(duration_secs: u64, metrics_dir: Option<&str>) {
     );
 
     let duration = Duration::from_secs(duration_secs);
-    let run = match metrics_dir {
-        None => {
-            run_local_iniva_cluster_with_plan::<SimScheme>(&cfg, duration, CpuMode::Real, &plan)
-        }
-        Some(dir) => run_local_iniva_cluster_observed::<SimScheme>(
-            &cfg,
-            duration,
-            CpuMode::Real,
-            &plan,
-            &ObsOptions::new(dir),
-        ),
+    let mut builder = ClusterBuilder::new(&cfg, duration).faults(&plan);
+    if let Some(dir) = metrics_dir {
+        builder = builder.observe(ObsOptions::new(dir));
     }
-    .expect("cluster starts");
+    let run = builder.spawn().expect("cluster starts");
     let survivors: Vec<usize> = o.iter().map(|&id| id as usize).collect();
     let agreed = match run.agreed_prefix_height_of(&survivors) {
         Ok(h) => h,
@@ -353,13 +424,20 @@ fn chaos(duration_secs: u64, metrics_dir: Option<&str>) {
     }
 }
 
-fn write_config(path: &str, n: usize, scheme: &str) {
+fn write_config(path: &str, n: usize, scheme: &str, client_listen: Option<&str>) {
     // BLS runs commit a few blocks per second of real pairing work; a
     // sub-saturation rate keeps the out-of-the-box demo readable.
     let rate = if scheme == "bls" { 200 } else { 10_000 };
     let mut text = format!(
         "# Iniva live cluster — one `--id` process per [[peers]] entry\n[cluster]\nscheme = \"{scheme}\"\ninternal = 2\nbatch = 100\npayload = 64\nrate = {rate}\nduration_secs = 10\n",
     );
+    if let Some(listen) = client_listen {
+        let defaults = IngressOptions::default();
+        text.push_str(&format!(
+            "client_listen = \"{listen}\"\nmempool = {}\nclient_rate = {}\nclient_burst = {}\n",
+            defaults.capacity, defaults.rate_per_client, defaults.burst
+        ));
+    }
     for id in 0..n {
         text.push_str(&format!(
             "\n[[peers]]\nid = {id}\naddr = \"127.0.0.1:{}\"\n",
@@ -392,7 +470,12 @@ fn main() {
         panic!("--scheme wants 'sim' or 'bls', got '{scheme}'");
     }
     if let Some(path) = flag("--write-config") {
-        write_config(&path, parse("--n", 4) as usize, &scheme);
+        write_config(
+            &path,
+            parse("--n", 4) as usize,
+            &scheme,
+            flag("--client-listen").as_deref(),
+        );
         return;
     }
     let metrics_dir = flag("--metrics-dir");
@@ -421,6 +504,33 @@ fn main() {
                 cluster.scheme
             );
         }
+        // The ingress knobs are cluster-wide common knowledge like the
+        // scheme (every process must agree on the mempool geometry and
+        // client port layout), so explicit flags follow the same rule:
+        // they must match the shared config or fail by name.
+        if let Some(listen) = flag("--client-listen") {
+            assert_eq!(
+                Some(&listen),
+                cluster.client_listen.as_ref(),
+                "--client-listen {listen} conflicts with client_listen = {:?} in {path}",
+                cluster.client_listen
+            );
+        }
+        for (name, key, configured) in [
+            ("--mempool", "mempool", cluster.mempool),
+            ("--client-rate", "client_rate", cluster.client_rate),
+            ("--client-burst", "client_burst", cluster.client_burst),
+        ] {
+            if let Some(v) = flag(name) {
+                let v: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} wants a number"));
+                assert_eq!(
+                    v, configured,
+                    "{name} {v} conflicts with {key} = {configured} in {path}"
+                );
+            }
+        }
         // A process dumps observability when the shared config says so
         // (so one key covers the whole cluster) or when this process got
         // an explicit --metrics-dir (which wins).
@@ -448,8 +558,19 @@ fn main() {
         parse("--payload", 64) as u32,
     );
     let duration = parse("--duration", if bls { 15 } else { 5 });
+    // --ingress bolts the client tier onto the in-process cluster: the
+    // proposer drafts from a real fee-ordered mempool (initially empty —
+    // drive it with the `ingress_load` bench or any ClientMsg speaker).
+    let ingress = args.iter().any(|a| a == "--ingress").then(|| {
+        let defaults = IngressOptions::default();
+        IngressOptions {
+            capacity: parse("--mempool", defaults.capacity as u64) as usize,
+            rate_per_client: parse("--client-rate", defaults.rate_per_client),
+            burst: parse("--client-burst", defaults.burst),
+        }
+    });
     match scheme.as_str() {
-        "bls" => in_process::<BlsScheme>(cfg, duration, metrics_dir.as_deref()),
-        _ => in_process::<SimScheme>(cfg, duration, metrics_dir.as_deref()),
+        "bls" => in_process::<BlsScheme>(cfg, duration, metrics_dir.as_deref(), ingress),
+        _ => in_process::<SimScheme>(cfg, duration, metrics_dir.as_deref(), ingress),
     }
 }

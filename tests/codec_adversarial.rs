@@ -3,7 +3,9 @@
 //! oversized-length-prefix inputs, asserting clean `DecodeError`s — never
 //! a panic — for `InivaMsg`, `StarMsg`, `Qc`, `SimAggregate`,
 //! `BlsAggregate` (48-byte compressed G1 points, with off-curve and
-//! non-subgroup rejection), `Multiplicities` and `GossipShare`.
+//! non-subgroup rejection), `Multiplicities`, `GossipShare` and the
+//! fully-untrusted client protocol `ClientMsg` (bit-flip canonicality,
+//! oversized-payload rejection).
 //!
 //! The transport drops a connection whose peer sends an undecodable body;
 //! a panicking decoder would instead let one malformed frame take down
@@ -17,6 +19,7 @@ use iniva_crypto::bls::{BlsAggregate, BlsScheme};
 use iniva_crypto::multisig::{Multiplicities, VoteScheme};
 use iniva_crypto::sim_scheme::{SimAggregate, SimScheme};
 use iniva_gosig::GossipShare;
+use iniva_ingress::{ClientMsg, SubmitStatus, MAX_CLIENT_PAYLOAD};
 use iniva_net::wire::{Codec, DecodeError, Encoder};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -235,7 +238,99 @@ proptest! {
         let _ = GossipShare::from_frame(bytes.clone());
         let _ = InivaMsg::<BlsScheme>::from_frame(bytes.clone());
         let _ = Qc::<BlsScheme>::from_frame(bytes.clone());
-        let _ = BlsAggregate::from_frame(bytes);
+        let _ = BlsAggregate::from_frame(bytes.clone());
+        let _ = ClientMsg::from_frame(bytes);
+    }
+
+    /// Every `ClientMsg` variant round-trips canonically and rejects
+    /// truncation and trailing bytes — clients are fully untrusted, so
+    /// this codec is the first line the transport holds against them.
+    #[test]
+    fn client_msg_roundtrips_and_survives_mutation(
+        fee in any::<u64>(),
+        nonce in any::<u64>(),
+        height in any::<u64>(),
+        committed in any::<bool>(),
+        status in 0u8..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        variant in 0u8..4,
+    ) {
+        let msg = match variant {
+            0 => ClientMsg::Submit {
+                fee,
+                nonce,
+                payload: bytes::Bytes::from(payload),
+            },
+            1 => ClientMsg::SubmitAck {
+                nonce,
+                status: match status {
+                    0 => SubmitStatus::Accepted,
+                    1 => SubmitStatus::Busy,
+                    _ => SubmitStatus::Duplicate,
+                },
+            },
+            2 => ClientMsg::Query { height },
+            _ => ClientMsg::QueryResponse {
+                height,
+                committed_height: nonce,
+                committed,
+            },
+        };
+        let frame = msg.to_frame();
+        let back = ClientMsg::from_frame(frame.clone()).expect("round-trip");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(&back.to_frame()[..], &frame[..], "canonical re-encoding");
+        assert_truncation_clean::<ClientMsg>(&frame, "ClientMsg");
+        assert_trailing_rejected(&msg, "ClientMsg");
+    }
+
+    /// Any single bit flipped in a `ClientMsg` frame either fails to
+    /// decode cleanly or decodes to a message that re-encodes to exactly
+    /// the mutated bytes — i.e. the codec stays canonical and total under
+    /// mutation, so a hostile client can never wedge the decoder or craft
+    /// two byte forms of one message.
+    #[test]
+    fn client_msg_bit_flips_decode_cleanly(
+        nonce in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        byte_seed in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let msg = ClientMsg::Submit {
+            fee: 7,
+            nonce,
+            payload: bytes::Bytes::from(payload),
+        };
+        let frame = msg.to_frame();
+        let mut mutated = frame.to_vec();
+        let idx = byte_seed as usize % mutated.len();
+        mutated[idx] ^= 1 << bit;
+        let mutated = bytes::Bytes::from(mutated);
+        match ClientMsg::from_frame(mutated.clone()) {
+            Err(_) => {} // clean rejection: bad tag, bad length, overrun
+            Ok(back) => prop_assert_eq!(
+                &back.to_frame()[..],
+                &mutated[..],
+                "bit {} of byte {} produced a non-canonical decode",
+                bit,
+                idx
+            ),
+        }
+    }
+
+    /// Submit payloads over [`MAX_CLIENT_PAYLOAD`] are rejected at decode
+    /// no matter how much the hostile length prefix claims — before any
+    /// allocation proportional to the claim.
+    #[test]
+    fn client_msg_oversized_payload_rejected(
+        claim in (MAX_CLIENT_PAYLOAD as u32 + 1)..u32::MAX,
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u8(0).put_u64(1).put_u64(2).put_u32(claim);
+        prop_assert!(matches!(
+            ClientMsg::from_frame(enc.finish()),
+            Err(DecodeError::Malformed { .. })
+        ));
     }
 }
 
