@@ -1,10 +1,14 @@
 //! Records the live-transport performance baseline: a 4-replica Iniva
 //! cluster over loopback TCP, reduced to committed throughput and latency
 //! with the shared metric definitions, written to `BENCH_transport.json`.
-//! Two cells per run: the calibrated `SimScheme` stand-in (modeled crypto
-//! costs spent as real time) and `BlsScheme` (genuine pairing crypto on
-//! the wire — 48-byte compressed G1 aggregates, ~50 ms per verification),
-//! so the baseline pins the real-crypto latency/throughput delta.
+//! Cells per run: the calibrated `SimScheme` stand-in on **both**
+//! transport backends — the threaded fabric (baseline continuity) and the
+//! epoll reactor (`reactor_*` keys), plus a 50-replica reactor cell
+//! (`reactor_n50_*` keys: 50 replicas would need ~7,500 fabric threads on
+//! the threaded backend, one poller thread each on the reactor) — and
+//! `BlsScheme` (genuine pairing crypto on the wire — 48-byte compressed
+//! G1 aggregates, ~50 ms per verification), so the baseline pins the
+//! real-crypto latency/throughput delta.
 //!
 //! ```sh
 //! cargo run --release -p iniva-bench --bin transport_baseline
@@ -20,11 +24,13 @@
 //! cargo run --release -p iniva-bench --bin transport_baseline -- --check BENCH_transport.json
 //! ```
 //!
-//! which re-measures the SimScheme configuration, prints measured vs.
+//! which re-measures both backends' SimScheme cells, prints measured vs.
 //! baseline for triage, and exits nonzero if committed throughput fell —
-//! or median latency rose — by more than 25%. (The BLS cell is recorded
-//! but not gated: its absolute numbers are dominated by pairing cost, and
-//! a handful of blocks per short run would make a percentage gate noisy.)
+//! or median latency rose — by more than 25%, if the reactor backend
+//! fell behind the threaded one, or if the n=50 reactor cell failed to
+//! commit an agreed prefix. (The BLS cell is recorded but not gated: its
+//! absolute numbers are dominated by pairing cost, and a handful of
+//! blocks per short run would make a percentage gate noisy.)
 
 use iniva::protocol::InivaConfig;
 use iniva_consensus::PerfSummary;
@@ -32,6 +38,7 @@ use iniva_crypto::bls::{BlsAggregate, BlsScheme};
 use iniva_crypto::multisig::VoteScheme;
 use iniva_crypto::sim_scheme::SimScheme;
 use iniva_transport::cluster::{ClusterBuilder, ClusterRun};
+use iniva_transport::{CpuMode, TransportBackend, TransportOptions};
 use std::time::{Duration, Instant};
 
 /// Regression gate: measured throughput below, or median latency above,
@@ -73,6 +80,51 @@ fn bls_batch_cells() -> (f64, f64) {
     (individual_ms, batch_ms)
 }
 
+/// One SimScheme cluster cell reduced to the numbers the baseline keeps.
+struct SimCell {
+    point: PerfSummary,
+    agreed: u64,
+    frames: u64,
+    bytes: u64,
+    reconnects: u64,
+}
+
+/// Runs one SimScheme loopback cluster on the given transport backend.
+fn run_sim_cell(cfg: &InivaConfig, secs: u64, backend: TransportBackend, cpu: CpuMode) -> SimCell {
+    let run = ClusterBuilder::new(cfg, Duration::from_secs(secs))
+        .scheme::<SimScheme>()
+        .cpu(cpu)
+        .transport(TransportOptions {
+            backend,
+            ..TransportOptions::default()
+        })
+        .spawn()
+        .expect("cluster starts");
+    let agreed = run
+        .agreed_prefix_height()
+        .expect("committed prefixes agree");
+    let cpu_busy: Vec<u64> = run.nodes.iter().map(|nd| nd.runtime.busy).collect();
+    let point =
+        PerfSummary::from_metrics(&run.nodes[0].replica.chain.metrics, secs as f64, &cpu_busy);
+    SimCell {
+        point,
+        agreed,
+        frames: run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum(),
+        bytes: run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum(),
+        reconnects: run.nodes.iter().map(|nd| nd.transport.reconnects).sum(),
+    }
+}
+
+/// The 50-replica reactor cell's config: same committee-scaling formula
+/// as the main cell, CPU costs scaled down so 50 replicas share the
+/// machine, and a modest offered rate (the point is fabric scale, not
+/// saturation throughput).
+fn n50_config() -> InivaConfig {
+    let mut cfg = InivaConfig::for_tests(50, 7);
+    cfg.request_rate = 500;
+    cfg
+}
+
 /// Pulls a numeric field out of the flat baseline JSON (the workspace is
 /// offline — no serde — and the schema is flat `"key": number` pairs).
 fn json_number(text: &str, key: &str) -> Option<f64> {
@@ -110,19 +162,39 @@ fn main() {
     // rate (the proposer-side draft cursor keeps uncommitted ranges from
     // being re-batched and double-counted).
     cfg.request_rate = 2_000;
-    let run = ClusterBuilder::new(&cfg, Duration::from_secs(duration_secs))
-        .scheme::<SimScheme>()
-        .spawn()
-        .expect("cluster starts");
-    let agreed = run
-        .agreed_prefix_height()
-        .expect("committed prefixes agree");
-
-    let cpu_busy: Vec<u64> = run.nodes.iter().map(|nd| nd.runtime.busy).collect();
-    let metrics = &run.nodes[0].replica.chain.metrics;
-    let point = PerfSummary::from_metrics(metrics, duration_secs as f64, &cpu_busy);
+    // The main cell stays pinned to the threaded fabric so the committed
+    // trajectory keys keep measuring the same thing across PRs; the
+    // reactor runs as its own cell beside it.
+    let threaded = run_sim_cell(
+        &cfg,
+        duration_secs,
+        TransportBackend::Threaded,
+        CpuMode::Real,
+    );
+    let point = &threaded.point;
     println!("{}", PerfSummary::table_header());
-    println!("{}", point.table_row("live-tcp[sim]"));
+    println!("{}", point.table_row("live-tcp[sim,threaded]"));
+
+    let reactor = run_sim_cell(
+        &cfg,
+        duration_secs,
+        TransportBackend::Reactor,
+        CpuMode::Real,
+    );
+    println!("{}", reactor.point.table_row("live-tcp[sim,reactor]"));
+
+    // The scale cell: 50 replicas on one machine is only workable on the
+    // reactor backend (one poller thread per node vs ~150 fabric threads
+    // per node threaded). Structural gate, not a throughput gate.
+    let n50_cfg = n50_config();
+    let n50_secs = 4;
+    let n50 = run_sim_cell(
+        &n50_cfg,
+        n50_secs,
+        TransportBackend::Reactor,
+        CpuMode::Scaled(0.01),
+    );
+    println!("{}", n50.point.table_row("live-tcp[sim,reactor,n=50]"));
 
     if let Some(baseline_path) = check_against {
         // Bench-smoke mode: compare against the committed baseline and
@@ -180,6 +252,47 @@ fn main() {
             );
             failed = true;
         }
+        // Reactor cells: the committed baseline must carry the reactor_*
+        // keys, the reactor backend must hold the baseline committed
+        // throughput, and it must not fall behind the threaded fabric
+        // measured in the same process.
+        match json_number(&text, "reactor_committed_throughput_per_sec") {
+            None => {
+                eprintln!("REGRESSION: baseline is missing the reactor_* transport cells");
+                failed = true;
+            }
+            Some(base_reactor_tp) => {
+                println!(
+                    "  reactor throughput   : measured {:>9.1}/s vs baseline {:>9.1}/s ({:+.1}%)",
+                    reactor.point.throughput,
+                    base_reactor_tp,
+                    (reactor.point.throughput / base_reactor_tp - 1.0) * 100.0
+                );
+                if reactor.point.throughput < base_reactor_tp * (1.0 - TOLERANCE) {
+                    eprintln!(
+                        "REGRESSION: reactor committed throughput fell more than 25% below \
+                         the baseline"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if reactor.point.throughput < point.throughput * (1.0 - TOLERANCE) {
+            eprintln!(
+                "REGRESSION: reactor backend fell more than 25% behind the threaded \
+                 fabric ({:.1}/s vs {:.1}/s)",
+                reactor.point.throughput, point.throughput
+            );
+            failed = true;
+        }
+        println!(
+            "  reactor n=50 cell    : {} agreed blocks, {} reconnects",
+            n50.agreed, n50.reconnects
+        );
+        if n50.agreed < 1 {
+            eprintln!("REGRESSION: n=50 reactor cell failed to commit an agreed prefix");
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -187,9 +300,10 @@ fn main() {
         return;
     }
 
-    let frames: u64 = run.nodes.iter().map(|nd| nd.transport.msgs_sent).sum();
-    let bytes: u64 = run.nodes.iter().map(|nd| nd.transport.bytes_sent).sum();
-    let reconnects: u64 = run.nodes.iter().map(|nd| nd.transport.reconnects).sum();
+    let agreed = threaded.agreed;
+    let frames = threaded.frames;
+    let bytes = threaded.bytes;
+    let reconnects = threaded.reconnects;
 
     // The BLS cell: the same cluster harness monomorphized over real
     // pairing crypto. Offered load sits near the *BLS* saturation point
@@ -263,6 +377,16 @@ fn main() {
          \"agreed_prefix_blocks\": {agreed},\n  \"cpu_mean_pct\": {cpu:.2},\n  \
          \"frames_sent\": {frames},\n  \"body_bytes_sent\": {bytes},\n  \
          \"reconnects\": {reconnects},\n  \
+         \"reactor_committed_throughput_per_sec\": {reactor_tp:.1},\n  \
+         \"reactor_median_latency_ms\": {reactor_med:.3},\n  \
+         \"reactor_agreed_prefix_blocks\": {reactor_agreed},\n  \
+         \"reactor_reconnects\": {reactor_reconnects},\n  \
+         \"reactor_n50_n\": 50,\n  \
+         \"reactor_n50_duration_secs\": {n50_secs},\n  \
+         \"reactor_n50_committed_throughput_per_sec\": {n50_tp:.1},\n  \
+         \"reactor_n50_median_latency_ms\": {n50_med:.3},\n  \
+         \"reactor_n50_agreed_prefix_blocks\": {n50_agreed},\n  \
+         \"reactor_n50_reconnects\": {n50_reconnects},\n  \
          \"bls_duration_secs\": {bls_secs},\n  \
          \"bls_offered_rate_per_sec\": {bls_rate},\n  \
          \"bls_committed_throughput_per_sec\": {bls_tp:.1},\n  \
@@ -278,6 +402,14 @@ fn main() {
          \"bls_widened_committed_throughput_per_sec\": {widened_tp:.1},\n  \
          \"bls_widened_median_latency_ms\": {widened_med:.3}\n}}\n",
         speedup = bls_individual8_ms / bls_batch8_ms,
+        reactor_tp = reactor.point.throughput,
+        reactor_med = reactor.point.median_latency_ms,
+        reactor_agreed = reactor.agreed,
+        reactor_reconnects = reactor.reconnects,
+        n50_tp = n50.point.throughput,
+        n50_med = n50.point.median_latency_ms,
+        n50_agreed = n50.agreed,
+        n50_reconnects = n50.reconnects,
         rate = cfg.request_rate,
         tp = point.throughput,
         med = point.median_latency_ms,

@@ -22,7 +22,7 @@ pub mod wire;
 
 pub use iniva_consensus::chain::RequestSource;
 pub use limiter::TokenBucket;
-pub use mempool::{IngressOptions, IngressStats, Mempool};
+pub use mempool::{CommitInbox, CommitNote, IngressOptions, IngressStats, Mempool};
 pub use server::IngressServer;
 pub use wire::{
     read_frame, write_frame, ClientMsg, SubmitStatus, MAX_CLIENT_FRAME, MAX_CLIENT_PAYLOAD,

@@ -30,9 +30,9 @@
 //! admission — what flows into a block is the admission itself.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use iniva_consensus::chain::RequestSource;
@@ -122,6 +122,64 @@ pub struct IngressStats {
     pub committed_height: u64,
 }
 
+/// One commit notification for a followed connection: the submission
+/// identified by `nonce` settled in the block at `height`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitNote {
+    /// The client-chosen nonce of the committed submission.
+    pub nonce: u64,
+    /// Height of the block that carried it.
+    pub height: u64,
+}
+
+/// Pending notifications beyond this are dropped oldest-first: a client
+/// that stops reading cannot grow replica memory, and a dropped note
+/// degrades to the pre-push world (the client falls back to `Query`).
+const INBOX_CAP: usize = 4096;
+
+/// A per-connection mailbox of [`CommitNote`]s, filled by
+/// [`RequestSource::committed`] on whichever thread settles the block and
+/// drained by the connection that called [`Mempool::follow`].
+pub struct CommitInbox {
+    notes: Mutex<VecDeque<CommitNote>>,
+    /// Invoked (outside all locks) after new notes land, so a
+    /// readiness-driven server can schedule a flush.
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl CommitInbox {
+    fn new() -> CommitInbox {
+        CommitInbox {
+            notes: Mutex::new(VecDeque::new()),
+            waker: Mutex::new(None),
+        }
+    }
+
+    /// Installs the wakeup hook run after each push batch.
+    pub fn set_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap() = Some(waker);
+    }
+
+    /// Takes every pending note.
+    pub fn drain(&self) -> Vec<CommitNote> {
+        self.notes.lock().unwrap().drain(..).collect()
+    }
+
+    fn push(&self, note: CommitNote) {
+        let mut g = self.notes.lock().unwrap();
+        if g.len() >= INBOX_CAP {
+            g.pop_front();
+        }
+        g.push_back(note);
+    }
+
+    fn wake(&self) {
+        if let Some(w) = self.waker.lock().unwrap().as_ref() {
+            w();
+        }
+    }
+}
+
 /// The shared mempool. In-process clusters share one instance across
 /// every replica's ingress listener (mirroring the shared committee
 /// keyring); multi-process deployments get one per process.
@@ -134,6 +192,8 @@ pub struct Mempool {
     epoch: Instant,
     next_client: AtomicU64,
     committed_height: AtomicU64,
+    /// client id → commit inbox, for connections that sent `Follow`.
+    subscribers: Mutex<HashMap<u64, Arc<CommitInbox>>>,
     registry: Registry,
     offered: Counter,
     admitted: Counter,
@@ -162,6 +222,7 @@ impl Mempool {
             epoch: Instant::now(),
             next_client: AtomicU64::new(0),
             committed_height: AtomicU64::new(0),
+            subscribers: Mutex::new(HashMap::new()),
             offered: registry.counter("ingress.offered"),
             admitted: registry.counter("ingress.admitted"),
             duplicates: registry.counter("ingress.duplicates"),
@@ -280,6 +341,24 @@ impl Mempool {
     pub fn depth(&self) -> usize {
         self.inner.lock().unwrap().queued.len()
     }
+
+    /// Subscribes `client`'s connection to commit pushes: every later
+    /// settlement of one of its drafted submissions lands in the returned
+    /// inbox (idempotent — a repeated `Follow` reuses the same inbox).
+    pub fn follow(&self, client: u64) -> Arc<CommitInbox> {
+        Arc::clone(
+            self.subscribers
+                .lock()
+                .unwrap()
+                .entry(client)
+                .or_insert_with(|| Arc::new(CommitInbox::new())),
+        )
+    }
+
+    /// Drops `client`'s subscription (connection closed).
+    pub fn unfollow(&self, client: u64) {
+        self.subscribers.lock().unwrap().remove(&client);
+    }
 }
 
 impl RequestSource for Mempool {
@@ -338,10 +417,12 @@ impl RequestSource for Mempool {
     fn committed(&self, height: u64, start: u64, len: u32) -> Vec<u64> {
         let now = self.now_ns();
         let mut latencies = Vec::new();
+        let mut settled: Vec<(u64, u64)> = Vec::new();
         let mut g = self.inner.lock().unwrap();
         for seq in start..start.saturating_add(len as u64) {
             if let Some(d) = g.ledger.remove(&seq) {
                 g.dedup.remove(&(d.client, d.nonce));
+                settled.push((d.client, d.nonce));
                 let lat = now.saturating_sub(d.admitted_ns);
                 self.latency.record(lat);
                 latencies.push(lat);
@@ -353,6 +434,36 @@ impl RequestSource for Mempool {
         }
         self.committed_height.fetch_max(height, Ordering::Relaxed);
         self.height_gauge.raise(height);
+        // Commit-push: deliver notes to followed connections. Inboxes are
+        // collected under the subscriber lock but filled and woken outside
+        // it, so a waker can never deadlock back into the mempool.
+        if !settled.is_empty() {
+            let mut notify: Vec<(Arc<CommitInbox>, u64)> = Vec::new();
+            {
+                let subs = self.subscribers.lock().unwrap();
+                if !subs.is_empty() {
+                    for &(client, nonce) in &settled {
+                        if let Some(inbox) = subs.get(&client) {
+                            notify.push((Arc::clone(inbox), nonce));
+                        }
+                    }
+                }
+            }
+            for (inbox, nonce) in &notify {
+                inbox.push(CommitNote {
+                    nonce: *nonce,
+                    height,
+                });
+            }
+            let mut woken: Vec<*const CommitInbox> = Vec::new();
+            for (inbox, _) in &notify {
+                let p = Arc::as_ptr(inbox);
+                if !woken.contains(&p) {
+                    woken.push(p);
+                    inbox.wake();
+                }
+            }
+        }
         latencies
     }
 }
@@ -464,6 +575,35 @@ mod tests {
         assert_eq!(pool.committed(3, 10, 2).len(), 0);
         assert_eq!(pool.committed_height(), 3);
         assert_eq!(pool.latency().count(), 2);
+    }
+
+    #[test]
+    fn followed_connections_get_commit_notes() {
+        let pool = small_pool(8);
+        let inbox = pool.follow(1);
+        let woke = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&woke);
+        inbox.set_waker(Box::new(move || {
+            w.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.submit(1, 7, 10, 4);
+        pool.submit(2, 3, 10, 4); // client 2 did not follow
+        assert_eq!(pool.draft(0, 8), 2);
+        pool.committed(5, 0, 2);
+        assert_eq!(
+            inbox.drain(),
+            vec![CommitNote {
+                nonce: 7,
+                height: 5
+            }]
+        );
+        assert!(woke.load(Ordering::SeqCst) >= 1, "waker never ran");
+        // After unfollow, later commits are no longer delivered.
+        pool.unfollow(1);
+        pool.submit(1, 8, 10, 4);
+        assert_eq!(pool.draft(2, 8), 1);
+        pool.committed(6, 2, 1);
+        assert!(inbox.drain().is_empty());
     }
 
     #[test]

@@ -147,16 +147,38 @@ fn serve_connection(
     stream.set_read_timeout(Some(READ_POLL))?;
     stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut bucket = TokenBucket::new(opts.rate_per_client, opts.burst);
-    while !stop.load(Ordering::SeqCst) {
+    // Present after a `Follow`: commit notes to push between reads. The
+    // READ_POLL tick bounds push latency at ~100 ms on an idle connection.
+    let mut inbox: Option<Arc<crate::mempool::CommitInbox>> = None;
+    let result = loop {
+        if stop.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        if let Some(ib) = &inbox {
+            let mut dead = false;
+            for note in ib.drain() {
+                let push = ClientMsg::Committed {
+                    nonce: note.nonce,
+                    height: note.height,
+                };
+                if write_frame(&mut stream, &push).is_err() {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                break Ok(());
+            }
+        }
         let msg = match read_frame(&mut stream) {
             Ok(Some(msg)) => msg,
-            Ok(None) => break, // clean disconnect
+            Ok(None) => break Ok(()), // clean disconnect
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue; // idle poll tick; re-check stop
+                continue; // idle poll tick; re-check stop and the inbox
             }
-            Err(_) => break, // hostile frame or dead socket: drop
+            Err(_) => break Ok(()), // hostile frame or dead socket: drop
         };
         let reply = match msg {
             ClientMsg::Submit {
@@ -180,14 +202,24 @@ fn serve_connection(
                     committed: height <= committed_height && committed_height > 0,
                 }
             }
+            ClientMsg::Follow => {
+                // No reply: the acknowledgement is the first push.
+                inbox = Some(mempool.follow(client));
+                continue;
+            }
             // Server-to-client messages arriving here mean a broken peer.
-            ClientMsg::SubmitAck { .. } | ClientMsg::QueryResponse { .. } => break,
+            ClientMsg::SubmitAck { .. }
+            | ClientMsg::QueryResponse { .. }
+            | ClientMsg::Committed { .. } => break Ok(()),
         };
         if write_frame(&mut stream, &reply).is_err() {
-            break; // non-draining or dead client
+            break Ok(()); // non-draining or dead client
         }
+    };
+    if inbox.is_some() {
+        mempool.unfollow(client);
     }
-    Ok(())
+    result
 }
 
 #[cfg(test)]
@@ -274,6 +306,29 @@ mod tests {
                 committed: true,
             }) => {}
             other => panic!("unexpected reply: {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn follow_pushes_commits_without_polling() {
+        use iniva_consensus::chain::RequestSource;
+        let (pool, server) = start_pool_server(IngressOptions::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut stream, &ClientMsg::Follow).unwrap();
+        assert_eq!(submit(&mut stream, 1, 42), SubmitStatus::Accepted);
+        assert_eq!(pool.draft(0, 10), 1);
+        pool.committed(3, 0, 1);
+        // The commit arrives with no Query issued.
+        match read_frame(&mut stream).unwrap() {
+            Some(ClientMsg::Committed {
+                nonce: 42,
+                height: 3,
+            }) => {}
+            other => panic!("expected commit push, got {other:?}"),
         }
         server.shutdown();
     }

@@ -98,6 +98,18 @@ pub enum ClientMsg {
         /// Whether `height` is at or below the committed frontier.
         committed: bool,
     },
+    /// Client → replica: push commit notifications for this connection's
+    /// submissions over the connection instead of being polled via
+    /// `Query`. Opt-in and sticky for the connection's lifetime; there is
+    /// no reply — the acknowledgement is the first `Committed` push.
+    Follow,
+    /// Replica → client: a followed connection's submission committed.
+    Committed {
+        /// Echo of the submitted nonce.
+        nonce: u64,
+        /// Height of the block that carried it.
+        height: u64,
+    },
 }
 
 impl WireEncode for ClientMsg {
@@ -128,6 +140,12 @@ impl WireEncode for ClientMsg {
                     .put_u64(*height)
                     .put_u64(*committed_height)
                     .put_u8(u8::from(*committed));
+            }
+            ClientMsg::Follow => {
+                enc.put_u8(4);
+            }
+            ClientMsg::Committed { nonce, height } => {
+                enc.put_u8(5).put_u64(*nonce).put_u64(*height);
             }
         }
     }
@@ -167,6 +185,11 @@ impl WireDecode for ClientMsg {
                     committed,
                 })
             }
+            4 => Ok(ClientMsg::Follow),
+            5 => Ok(ClientMsg::Committed {
+                nonce: dec.get_u64()?,
+                height: dec.get_u64()?,
+            }),
             tag => Err(DecodeError::InvalidTag {
                 tag,
                 context: "ClientMsg",
@@ -264,6 +287,11 @@ mod tests {
             height: 9,
             committed_height: 12,
             committed: true,
+        });
+        roundtrip(ClientMsg::Follow);
+        roundtrip(ClientMsg::Committed {
+            nonce: 41,
+            height: 7,
         });
     }
 

@@ -51,7 +51,8 @@
 use crate::faults::{LinkFaults, NodeFaults};
 use crate::runtime::{export_runtime_stats, CpuMode, Runtime, RuntimeStats};
 use crate::transport::{
-    export_transport_snapshot, Transport, TransportOptions, TransportSnapshot, TransportStats,
+    export_transport_snapshot, Transport, TransportBackend, TransportOptions, TransportSnapshot,
+    TransportStats,
 };
 use iniva::protocol::{InivaConfig, InivaReplica};
 use iniva_crypto::multisig::WireScheme;
@@ -421,24 +422,61 @@ pub struct IngressRun {
 struct IngressTier {
     run: IngressRun,
     servers: Vec<IngressServer>,
+    attach: Arc<IngressAttach>,
 }
 
-fn start_ingress_tier(n: usize, opts: &IngressOptions) -> io::Result<IngressTier> {
+/// What the run implementations need to wire the ingress tier into each
+/// replica: the shared mempool (the proposer's request source) and, on
+/// the reactor backend, the client listeners each node attaches to its
+/// own poller via [`Transport::serve_clients`].
+struct IngressAttach {
+    mempool: Arc<Mempool>,
+    opts: IngressOptions,
+    /// Per-replica client listeners awaiting reactor attachment; all
+    /// `None` on the threaded backend (the [`IngressServer`]s own them).
+    pending: Vec<Mutex<Option<TcpListener>>>,
+    /// Per-replica client addresses, for rebinding after a WAL restart
+    /// tears the previous incarnation's poller (and its listener) down.
+    client_addrs: Vec<SocketAddr>,
+}
+
+fn start_ingress_tier(
+    n: usize,
+    opts: &IngressOptions,
+    backend: TransportBackend,
+) -> io::Result<IngressTier> {
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
     let mempool = Arc::new(Mempool::new(opts));
     let mut client_addrs = Vec::with_capacity(n);
-    let mut servers = Vec::with_capacity(n);
+    let mut servers = Vec::new();
+    let mut pending = Vec::with_capacity(n);
     for _ in 0..n {
         let listener = TcpListener::bind(loopback)?;
         client_addrs.push(listener.local_addr()?);
-        servers.push(IngressServer::start(listener, Arc::clone(&mempool), opts)?);
+        match backend {
+            // Threaded: dedicated accept/connection threads per replica.
+            TransportBackend::Threaded => {
+                servers.push(IngressServer::start(listener, Arc::clone(&mempool), opts)?);
+                pending.push(Mutex::new(None));
+            }
+            // Reactor: no threads here — each listener is parked until
+            // its replica's transport exists, then served off the same
+            // poller as the peer sockets.
+            TransportBackend::Reactor => pending.push(Mutex::new(Some(listener))),
+        }
     }
     Ok(IngressTier {
         run: IngressRun {
-            client_addrs,
-            mempool,
+            client_addrs: client_addrs.clone(),
+            mempool: Arc::clone(&mempool),
         },
         servers,
+        attach: Arc::new(IngressAttach {
+            mempool,
+            opts: opts.clone(),
+            pending,
+            client_addrs,
+        }),
     })
 }
 
@@ -596,7 +634,7 @@ impl<S: WireScheme> ClusterBuilder<S> {
     /// Propagates socket, thread, WAL-I/O and dump-file setup failures.
     pub fn spawn(self) -> io::Result<ClusterRun<S>> {
         let tier = match &self.ingress {
-            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts)?),
+            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts, self.options.backend)?),
             None => None,
         };
         self.run_with(tier)
@@ -611,7 +649,7 @@ impl<S: WireScheme> ClusterBuilder<S> {
     /// failures *inside* the run surface from [`ClusterHandle::join`].
     pub fn launch(self) -> io::Result<ClusterHandle<S>> {
         let tier = match &self.ingress {
-            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts)?),
+            Some(opts) => Some(start_ingress_tier(self.cfg.n, opts, self.options.backend)?),
             None => None,
         };
         let ingress = tier.as_ref().map(|t| t.run.clone());
@@ -622,15 +660,15 @@ impl<S: WireScheme> ClusterBuilder<S> {
     }
 
     fn run_with(self, tier: Option<IngressTier>) -> io::Result<ClusterRun<S>> {
-        let mempool = tier.as_ref().map(|t| Arc::clone(&t.run.mempool));
+        let attach = tier.as_ref().map(|t| Arc::clone(&t.attach));
         // The ingress tier shares the consensus tier's observability
         // epoch closely enough: its tracer is anchored here, just before
         // the replicas' shared time zero, and carries the pseudo-node id
         // `n` (one past the committee).
-        let ingress_tracer = match (&self.obs, &mempool) {
-            (Some(obs), Some(pool)) => {
+        let ingress_tracer = match (&self.obs, &attach) {
+            (Some(obs), Some(att)) => {
                 let tracer = Tracer::live(self.cfg.n as u32, obs.trace_capacity, Instant::now());
-                pool.set_tracer(tracer.clone());
+                att.mempool.set_tracer(tracer.clone());
                 Some(tracer)
             }
             _ => None,
@@ -643,7 +681,7 @@ impl<S: WireScheme> ClusterBuilder<S> {
                 &self.plan,
                 self.options,
                 self.obs.as_ref(),
-                mempool.clone(),
+                attach.clone(),
             ),
             Some(wal_root) => run_wal_impl::<S>(
                 &self.cfg,
@@ -653,7 +691,7 @@ impl<S: WireScheme> ClusterBuilder<S> {
                 wal_root,
                 self.options,
                 self.obs.as_ref(),
-                mempool.clone(),
+                attach.clone(),
             ),
         };
         let Some(tier) = tier else {
@@ -810,7 +848,7 @@ fn run_plan_impl<S: WireScheme>(
     plan: &FaultPlan,
     options: TransportOptions,
     obs: Option<&ObsOptions>,
-    mempool: Option<Arc<Mempool>>,
+    ingress: Option<Arc<IngressAttach>>,
 ) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     let loopback = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
@@ -848,6 +886,20 @@ fn run_plan_impl<S: WireScheme>(
             faults.links(),
         )?);
     }
+    // Reactor-backed ingress: each replica's client listener joins its
+    // transport's poller; peer and client sockets share one thread.
+    if let Some(att) = &ingress {
+        for (id, transport) in transports.iter().enumerate() {
+            let pending = att.pending[id]
+                .lock()
+                .expect("client listener handoff")
+                .take();
+            if let Some(listener) = pending {
+                transport.serve_clients(listener, Arc::clone(&att.mempool), &att.opts)?;
+            }
+        }
+    }
+    let mempool = ingress.as_ref().map(|att| Arc::clone(&att.mempool));
 
     let slots: Vec<Mutex<Option<Transport<_>>>> = transports
         .into_iter()
@@ -950,7 +1002,7 @@ fn run_wal_impl<S: WireScheme>(
     wal_root: &Path,
     options: TransportOptions,
     obs: Option<&ObsOptions>,
-    mempool: Option<Arc<Mempool>>,
+    ingress: Option<Arc<IngressAttach>>,
 ) -> io::Result<ClusterRun<S>> {
     let n = cfg.n;
     std::fs::create_dir_all(wal_root)?;
@@ -987,7 +1039,7 @@ fn run_wal_impl<S: WireScheme>(
         let control = faults.control(id as u32);
         let wal_dir: PathBuf = wal_root.join(format!("replica-{id}"));
         let obs = obs.cloned();
-        let mempool = mempool.clone();
+        let ingress = ingress.clone();
         thread::Builder::new()
             .name(format!("iniva-replica-{id}"))
             .spawn(move || -> io::Result<NodeRun<S>> {
@@ -1007,7 +1059,7 @@ fn run_wal_impl<S: WireScheme>(
                     cpu,
                     &wal_dir,
                     obs,
-                    mempool,
+                    ingress,
                 )
             })
     })?;
@@ -1041,7 +1093,7 @@ fn replica_lifecycle<S: WireScheme>(
     cpu: CpuMode,
     wal_dir: &Path,
     obs: Option<ObsOptions>,
-    mempool: Option<Arc<Mempool>>,
+    ingress: Option<Arc<IngressAttach>>,
 ) -> io::Result<NodeRun<S>> {
     let mut pending_listener = Some(listener);
     if !gate.arrive_and_wait() {
@@ -1089,6 +1141,23 @@ fn replica_lifecycle<S: WireScheme>(
             Arc::clone(&link_faults),
             Arc::clone(&shared_stats),
         )?;
+        // Reactor-backed ingress: re-attach this node's client listener
+        // to the fresh incarnation's poller. The first incarnation takes
+        // the tier's parked listener; restarts rebind the same address
+        // (the dead poller closed it on teardown).
+        if let Some(att) = &ingress {
+            if options.backend == TransportBackend::Reactor {
+                let pending = att.pending[id as usize]
+                    .lock()
+                    .expect("client listener handoff")
+                    .take();
+                let client_listener = match pending {
+                    Some(l) => l,
+                    None => bind_retry(att.client_addrs[id as usize], deadline)?,
+                };
+                transport.serve_clients(client_listener, Arc::clone(&att.mempool), &att.opts)?;
+            }
+        }
         let (mut wal, recovered) = ChainWal::<S>::open(wal_dir)?;
         let mut replica = InivaReplica::recover(
             id,
@@ -1105,10 +1174,10 @@ fn replica_lifecycle<S: WireScheme>(
         // The shared mempool spans incarnations like the registry does:
         // requests drafted by a previous incarnation stay claimed, and
         // recovery's committed prefix settles them on replay.
-        if let Some(pool) = &mempool {
+        if let Some(att) = &ingress {
             replica
                 .chain
-                .set_request_source(Arc::clone(pool) as Arc<dyn RequestSource>);
+                .set_request_source(Arc::clone(&att.mempool) as Arc<dyn RequestSource>);
         }
         // Every incarnation shares the cluster's time zero, so metrics
         // stay on one time axis across restarts.

@@ -33,15 +33,22 @@ pub const HANDSHAKE_BYTES: usize = 13;
 /// rather than allocated for.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Writes the connection handshake identifying `node` in incarnation
-/// `epoch`.
-pub fn write_handshake(stream: &mut TcpStream, node: NodeId, epoch: u32) -> io::Result<()> {
+/// The handshake bytes identifying `node` in incarnation `epoch` — the
+/// buffer form used by the reactor's non-blocking lanes, which may need
+/// several partial writes to ship it.
+pub fn handshake_bytes(node: NodeId, epoch: u32) -> [u8; HANDSHAKE_BYTES] {
     let mut hello = [0u8; HANDSHAKE_BYTES];
     hello[..4].copy_from_slice(&MAGIC);
     hello[4] = VERSION;
     hello[5..9].copy_from_slice(&node.to_le_bytes());
     hello[9..].copy_from_slice(&epoch.to_le_bytes());
-    stream.write_all(&hello)
+    hello
+}
+
+/// Writes the connection handshake identifying `node` in incarnation
+/// `epoch`.
+pub fn write_handshake(stream: &mut TcpStream, node: NodeId, epoch: u32) -> io::Result<()> {
+    stream.write_all(&handshake_bytes(node, epoch))
 }
 
 /// Reads and validates the handshake, returning `(peer id, peer epoch)`.

@@ -15,8 +15,16 @@
 //!   per-sender sequence number and an identifying handshake.
 //! * [`dedup`] — a bounded seen-message cache dropping duplicate
 //!   `(sender, sequence)` deliveries (e.g. replays after a reconnect).
-//! * [`transport`] — the peer fabric: one listener with per-connection
-//!   reader threads, and a reconnecting outbound lane per peer.
+//! * [`reactor`] — a dependency-free epoll event loop (raw
+//!   `epoll_create1`/`epoll_ctl`/`epoll_wait`/`eventfd` syscalls): sources
+//!   register fds with read/write interest, get readiness callbacks plus
+//!   cross-thread notifications and deadlines, all on one poller thread.
+//! * [`transport`] — the peer fabric: one listener and a reconnecting
+//!   outbound lane per peer, driven either by the reactor (default: every
+//!   peer *and* ingress-client socket on one poller, zero-copy frame
+//!   decode, coalesced `writev` flushes) or by the original
+//!   thread-per-connection engine
+//!   ([`TransportBackend`](transport::TransportBackend)).
 //! * [`runtime`] — the event loop implementing the simulator's `Context`
 //!   contract: queued sends go to the transport, timers to a
 //!   monotonic-clock timer wheel, and CPU charges become real elapsed time.
@@ -45,12 +53,16 @@
 pub mod cluster;
 pub mod config;
 pub mod dedup;
+mod fabric;
 pub mod faults;
 pub mod frame;
+pub mod reactor;
 pub mod runtime;
 pub mod transport;
 
 pub use config::{ClusterConfig, ConfigError, Peer};
 pub use faults::{LinkFaults, NodeFaults};
 pub use runtime::{CpuMode, Runtime, RuntimeStats};
-pub use transport::{Incoming, Transport, TransportOptions, TransportSnapshot, TransportStats};
+pub use transport::{
+    Incoming, Transport, TransportBackend, TransportOptions, TransportSnapshot, TransportStats,
+};

@@ -1,5 +1,9 @@
-//! The peer fabric: a listener accepting inbound connections (one reader
-//! thread per connection) and a reconnecting outbound lane per peer.
+//! The peer fabric: a listener accepting inbound connections and a
+//! reconnecting outbound lane per peer, driven by one of two engines
+//! selected via [`TransportOptions::backend`] — the epoll reactor
+//! ([`crate::reactor`], default: every socket on one poller thread) or the
+//! original thread-per-connection fabric (one reader thread per inbound
+//! connection plus one blocking lane thread per peer).
 //!
 //! Connections are asymmetric: each node *dials* every peer for its own
 //! outbound traffic and *accepts* the peers' dials for inbound traffic, so
@@ -38,6 +42,36 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
+/// Which connection engine a [`Transport`] runs on.
+///
+/// Both speak the identical wire protocol and fault semantics; they
+/// differ only in how sockets are driven, so the two can be compared
+/// differentially on the same test suite (CI runs both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportBackend {
+    /// Thread-per-connection: one reader thread per inbound connection
+    /// plus one blocking outbound-lane thread per peer. Simple, but
+    /// thread count scales with cluster size.
+    Threaded,
+    /// One epoll reactor thread ([`crate::reactor`]) owning every socket:
+    /// non-blocking I/O, coalesced `writev` flushes, zero-copy frame
+    /// decode, and (via [`Transport::serve_clients`]) client ingress on
+    /// the same poller. The default.
+    Reactor,
+}
+
+impl Default for TransportBackend {
+    /// Reads `INIVA_TRANSPORT_BACKEND` (`"threaded"` / `"reactor"`), so
+    /// CI can run the whole suite against either engine; defaults to
+    /// [`TransportBackend::Reactor`].
+    fn default() -> Self {
+        match std::env::var("INIVA_TRANSPORT_BACKEND").as_deref() {
+            Ok("threaded") => TransportBackend::Threaded,
+            _ => TransportBackend::Reactor,
+        }
+    }
+}
+
 /// Tuning knobs for a [`Transport`].
 #[derive(Debug, Clone, Copy)]
 pub struct TransportOptions {
@@ -47,12 +81,15 @@ pub struct TransportOptions {
     /// the freshest view, so shedding the stalest backlog first is the
     /// policy that lets a healed peer catch up fastest.
     pub lane_capacity: usize,
+    /// The connection engine (see [`TransportBackend`]).
+    pub backend: TransportBackend,
 }
 
 impl Default for TransportOptions {
     fn default() -> Self {
         TransportOptions {
             lane_capacity: 16_384,
+            backend: TransportBackend::default(),
         }
     }
 }
@@ -106,7 +143,7 @@ pub struct TransportSnapshot {
 }
 
 impl TransportStats {
-    fn bump(counter: &AtomicU64, by: u64) {
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
     }
 
@@ -160,11 +197,11 @@ pub fn export_transport_snapshot(snap: &TransportSnapshot, registry: &iniva_obs:
 }
 
 /// How many `(sender, epoch, seq)` triples the duplicate filter remembers.
-const DEDUP_CAPACITY: usize = 4096;
+pub(crate) const DEDUP_CAPACITY: usize = 4096;
 
 /// Backoff bounds for outbound reconnects.
-const BACKOFF_START: Duration = Duration::from_millis(10);
-const BACKOFF_CAP: Duration = Duration::from_millis(500);
+pub(crate) const BACKOFF_START: Duration = Duration::from_millis(10);
+pub(crate) const BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// Read timeout on inbound connections; bounds how long a reader thread
 /// takes to observe shutdown.
@@ -175,12 +212,14 @@ const READ_TIMEOUT: Duration = Duration::from_millis(200);
 /// instead, keeping the hot path probe-free).
 const PROBE_AFTER_IDLE: Duration = Duration::from_millis(50);
 
-/// A bounded, epoch-tagged frame queue feeding one outbound lane thread.
+/// A bounded, epoch-tagged frame queue feeding one outbound lane (a
+/// blocking thread on the threaded backend, a reactor source on the epoll
+/// backend).
 ///
 /// Drop-oldest on overflow; closable. A hand-rolled `Mutex` + `Condvar`
 /// queue instead of `mpsc` because the bound and the eviction must happen
 /// on the *sender* side, which channels cannot do.
-struct LaneQueue {
+pub(crate) struct LaneQueue {
     state: Mutex<LaneState>,
     cv: Condvar,
     capacity: usize,
@@ -247,12 +286,18 @@ impl LaneQueue {
         }
     }
 
+    /// Pops without waiting — the reactor lane drains under readiness
+    /// notifications instead of blocking on the condvar.
+    pub(crate) fn try_pop(&self) -> Option<(u32, Vec<u8>)> {
+        self.state.lock().expect("lane lock").frames.pop_front()
+    }
+
     fn close(&self) {
         self.state.lock().expect("lane lock").closed = true;
         self.cv.notify_all();
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.state.lock().expect("lane lock").frames.len()
     }
 }
@@ -260,6 +305,23 @@ impl LaneQueue {
 struct PeerLane {
     queue: Arc<LaneQueue>,
     handle: JoinHandle<()>,
+}
+
+/// The connection engine behind a [`Transport`]: either the original
+/// thread-per-connection fabric or the epoll reactor (see
+/// [`TransportBackend`]). Both feed the same `incoming_tx` channel and
+/// count into the same [`TransportStats`].
+enum Fabric {
+    Threaded {
+        lanes: HashMap<NodeId, PeerLane>,
+        shutdown: Arc<AtomicBool>,
+        listener_handle: Option<JoinHandle<()>>,
+    },
+    Reactor {
+        handle: crate::reactor::Handle,
+        thread: Option<JoinHandle<()>>,
+        lanes: HashMap<NodeId, (Arc<LaneQueue>, crate::reactor::Token)>,
+    },
 }
 
 /// What a lane thread shares with its `Transport`.
@@ -278,13 +340,11 @@ struct LaneShared {
 pub struct Transport<M> {
     node: NodeId,
     local_addr: SocketAddr,
-    lanes: HashMap<NodeId, PeerLane>,
+    fabric: Fabric,
     /// Loopback: self-sends skip the socket layer entirely.
     incoming_tx: Sender<Incoming<M>>,
     incoming_rx: Receiver<Incoming<M>>,
     stats: Arc<TransportStats>,
-    shutdown: Arc<AtomicBool>,
-    listener_handle: Option<JoinHandle<()>>,
     node_faults: Arc<NodeFaults>,
     link_faults: Arc<LinkFaults>,
     seq: u64,
@@ -366,63 +426,118 @@ impl<M: Codec + Send + 'static> Transport<M> {
     ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let (incoming_tx, incoming_rx) = mpsc::channel();
-        let shutdown = Arc::new(AtomicBool::new(false));
+        listener.set_nonblocking(true)?;
 
-        let listener_handle = {
-            let tx = incoming_tx.clone();
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
-            let node_faults = Arc::clone(&node_faults);
-            let link_faults = Arc::clone(&link_faults);
-            listener.set_nonblocking(true)?;
-            thread::Builder::new()
-                .name(format!("iniva-accept-{node}"))
-                .spawn(move || {
-                    accept_loop(
+        let fabric = match options.backend {
+            TransportBackend::Threaded => {
+                let shutdown = Arc::new(AtomicBool::new(false));
+                let listener_handle = {
+                    let tx = incoming_tx.clone();
+                    let stats = Arc::clone(&stats);
+                    let shutdown = Arc::clone(&shutdown);
+                    let node_faults = Arc::clone(&node_faults);
+                    let link_faults = Arc::clone(&link_faults);
+                    thread::Builder::new()
+                        .name(format!("iniva-accept-{node}"))
+                        .spawn(move || {
+                            accept_loop(
+                                node,
+                                listener,
+                                tx,
+                                stats,
+                                shutdown,
+                                node_faults,
+                                link_faults,
+                            )
+                        })
+                        .expect("spawn accept thread")
+                };
+
+                let mut lanes = HashMap::new();
+                for &(peer, addr) in peers {
+                    if peer == node {
+                        continue;
+                    }
+                    let queue = Arc::new(LaneQueue::new(options.lane_capacity));
+                    let shared = LaneShared {
                         node,
-                        listener,
-                        tx,
-                        stats,
-                        shutdown,
-                        node_faults,
-                        link_faults,
-                    )
-                })
-                .expect("spawn accept thread")
-        };
-
-        let mut lanes = HashMap::new();
-        for &(peer, addr) in peers {
-            if peer == node {
-                continue;
+                        peer,
+                        addr,
+                        queue: Arc::clone(&queue),
+                        stats: Arc::clone(&stats),
+                        shutdown: Arc::clone(&shutdown),
+                        node_faults: Arc::clone(&node_faults),
+                        link_faults: Arc::clone(&link_faults),
+                    };
+                    let handle = thread::Builder::new()
+                        .name(format!("iniva-out-{node}-to-{peer}"))
+                        .spawn(move || outbound_loop(shared))
+                        .expect("spawn outbound thread");
+                    lanes.insert(peer, PeerLane { queue, handle });
+                }
+                Fabric::Threaded {
+                    lanes,
+                    shutdown,
+                    listener_handle: Some(listener_handle),
+                }
             }
-            let queue = Arc::new(LaneQueue::new(options.lane_capacity));
-            let shared = LaneShared {
-                node,
-                peer,
-                addr,
-                queue: Arc::clone(&queue),
-                stats: Arc::clone(&stats),
-                shutdown: Arc::clone(&shutdown),
-                node_faults: Arc::clone(&node_faults),
-                link_faults: Arc::clone(&link_faults),
-            };
-            let handle = thread::Builder::new()
-                .name(format!("iniva-out-{node}-to-{peer}"))
-                .spawn(move || outbound_loop(shared))
-                .expect("spawn outbound thread");
-            lanes.insert(peer, PeerLane { queue, handle });
-        }
+            TransportBackend::Reactor => {
+                use std::os::fd::AsRawFd;
+                let mut reactor = crate::reactor::Reactor::new()?;
+                let ctx = Arc::new(crate::fabric::PeerCtx {
+                    node,
+                    tx: incoming_tx.clone(),
+                    stats: Arc::clone(&stats),
+                    node_faults: Arc::clone(&node_faults),
+                    link_faults: Arc::clone(&link_faults),
+                    dedup: Mutex::new(DedupCache::new(DEDUP_CAPACITY)),
+                });
+                let listener_fd = listener.as_raw_fd();
+                reactor.register(
+                    Box::new(crate::fabric::PeerListener::new(listener, Arc::clone(&ctx))),
+                    Some(listener_fd),
+                    crate::reactor::Interest::READ,
+                )?;
+                let mut lanes = HashMap::new();
+                for &(peer, addr) in peers {
+                    if peer == node {
+                        continue;
+                    }
+                    let queue = Arc::new(LaneQueue::new(options.lane_capacity));
+                    // No fd yet: the lane dials lazily on its first frame,
+                    // exactly like the threaded backend.
+                    let token = reactor.register(
+                        Box::new(crate::fabric::OutboundLane::new(
+                            peer,
+                            addr,
+                            Arc::clone(&queue),
+                            Arc::clone(&ctx),
+                        )),
+                        None,
+                        crate::reactor::Interest::NONE,
+                    )?;
+                    lanes.insert(peer, (queue, token));
+                }
+                let handle = reactor.handle();
+                let thread = thread::Builder::new()
+                    .name(format!("iniva-reactor-{node}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor thread");
+                Fabric::Reactor {
+                    handle,
+                    thread: Some(thread),
+                    lanes,
+                }
+            }
+        };
 
         Ok(Transport {
             node,
             local_addr,
-            lanes,
+            fabric,
             incoming_tx,
             incoming_rx,
             stats,
-            shutdown,
-            listener_handle: Some(listener_handle),
             node_faults,
             link_faults,
             seq: 0,
@@ -456,7 +571,10 @@ impl<M: Codec + Send + 'static> Transport<M> {
 
     /// Frames currently queued across all outbound lanes.
     pub fn queue_depth(&self) -> usize {
-        self.lanes.values().map(|l| l.queue.len()).sum()
+        match &self.fabric {
+            Fabric::Threaded { lanes, .. } => lanes.values().map(|l| l.queue.len()).sum(),
+            Fabric::Reactor { lanes, .. } => lanes.values().map(|(q, _)| q.len()).sum(),
+        }
     }
 
     /// This node's crash/heal switch.
@@ -506,8 +624,21 @@ impl<M: Codec + Send + 'static> Transport<M> {
             TransportStats::bump(&self.stats.faults_dropped, 1);
             return;
         }
-        let Some(lane) = self.lanes.get(&to) else {
-            return;
+        // Locate the destination lane on whichever fabric is running; the
+        // reactor lane additionally needs a wakeup after the push.
+        let (queue, wake) = match &self.fabric {
+            Fabric::Threaded { lanes, .. } => {
+                let Some(lane) = lanes.get(&to) else {
+                    return;
+                };
+                (&lane.queue, None)
+            }
+            Fabric::Reactor { lanes, handle, .. } => {
+                let Some((queue, token)) = lanes.get(&to) else {
+                    return;
+                };
+                (queue, Some((handle, *token)))
+            }
         };
         // Enforce the same bound the receiver's parser enforces: a frame it
         // would reject as corrupt must never be queued (the lane would
@@ -525,8 +656,11 @@ impl<M: Codec + Send + 'static> Transport<M> {
         framed.extend_from_slice(&len.to_le_bytes());
         framed.extend_from_slice(&self.seq.to_le_bytes());
         framed.extend_from_slice(&body);
-        if lane.queue.push(epoch, framed) {
+        if queue.push(epoch, framed) {
             TransportStats::bump(&self.stats.lane_evicted, 1);
+        }
+        if let Some((handle, token)) = wake {
+            handle.notify(token);
         }
     }
 
@@ -540,29 +674,85 @@ impl<M: Codec + Send + 'static> Transport<M> {
         self.incoming_rx.try_recv().ok()
     }
 
+    /// Registers `listener`'s client sockets on this transport's reactor:
+    /// accepted connections speak the `iniva-ingress` client wire protocol
+    /// (submit/ack, query, commit follow) against `mempool`, multiplexed on
+    /// the *same* poller as the peer fabric — client count never implies
+    /// thread count. Only available on the [`TransportBackend::Reactor`]
+    /// backend; the threaded backend keeps the thread-per-client
+    /// [`iniva_ingress::IngressServer`] and returns `Unsupported` here.
+    pub fn serve_clients(
+        &self,
+        listener: TcpListener,
+        mempool: Arc<iniva_ingress::Mempool>,
+        opts: &iniva_ingress::IngressOptions,
+    ) -> io::Result<()> {
+        match &self.fabric {
+            Fabric::Reactor { handle, .. } => {
+                use std::os::fd::AsRawFd;
+                listener.set_nonblocking(true)?;
+                let fd = listener.as_raw_fd();
+                let ctx = Arc::new(crate::fabric::ClientCtx {
+                    mempool,
+                    opts: opts.clone(),
+                    handle: handle.clone(),
+                });
+                handle.register(
+                    Box::new(crate::fabric::ClientListener::new(listener, ctx)),
+                    Some(fd),
+                    crate::reactor::Interest::READ,
+                );
+                Ok(())
+            }
+            Fabric::Threaded { .. } => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "client ingress on the shared poller requires the reactor backend",
+            )),
+        }
+    }
+
     /// Stops all threads and closes the listener. Called by `Drop`; exposed
     /// for explicit, joined shutdown in tests.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for (_, lane) in self.lanes.drain() {
-            lane.queue.close();
-            let _ = lane.handle.join();
-        }
-        if let Some(h) = self.listener_handle.take() {
-            let _ = h.join();
-        }
+        teardown(&mut self.fabric);
     }
 }
 
 impl<M> Drop for Transport<M> {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for (_, lane) in self.lanes.drain() {
-            lane.queue.close();
-            let _ = lane.handle.join();
+        teardown(&mut self.fabric);
+    }
+}
+
+/// Stops whichever engine is running and joins its threads (idempotent).
+fn teardown(fabric: &mut Fabric) {
+    match fabric {
+        Fabric::Threaded {
+            lanes,
+            shutdown,
+            listener_handle,
+        } => {
+            shutdown.store(true, Ordering::SeqCst);
+            for (_, lane) in lanes.drain() {
+                lane.queue.close();
+                let _ = lane.handle.join();
+            }
+            if let Some(h) = listener_handle.take() {
+                let _ = h.join();
+            }
         }
-        if let Some(h) = self.listener_handle.take() {
-            let _ = h.join();
+        Fabric::Reactor {
+            handle,
+            thread,
+            lanes,
+        } => {
+            for (_, (queue, _)) in lanes.drain() {
+                queue.close();
+            }
+            handle.shutdown();
+            if let Some(t) = thread.take() {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -723,7 +913,7 @@ fn conn_is_dead(stream: &mut TcpStream) -> bool {
     dead
 }
 
-fn would_block(e: &io::Error) -> bool {
+pub(crate) fn would_block(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
@@ -748,6 +938,9 @@ fn outbound_loop(shared: LaneShared) {
     let mut conn_epoch = 0u32;
     let mut backoff = BACKOFF_START;
     let mut last_write = Instant::now();
+    // The first successful dial is the lane coming up, not a *re*connect:
+    // only count once a previously-working connection had to be rebuilt.
+    let mut ever_connected = false;
     'main: while !shutdown.load(Ordering::SeqCst) {
         let (epoch, framed) = match queue.pop_timeout(Duration::from_millis(200)) {
             LanePop::Frame(epoch, framed) => (epoch, framed),
@@ -798,7 +991,11 @@ fn outbound_loop(shared: LaneShared) {
                     if stream.set_nodelay(true).is_ok()
                         && frame::write_handshake(&mut stream, node, epoch).is_ok()
                     {
-                        TransportStats::bump(&stats.reconnects, 1);
+                        if ever_connected {
+                            TransportStats::bump(&stats.reconnects, 1);
+                        } else {
+                            ever_connected = true;
+                        }
                         conn = Some(stream);
                         conn_epoch = epoch;
                         backoff = BACKOFF_START;

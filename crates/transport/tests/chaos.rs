@@ -193,7 +193,10 @@ fn killed_process_restarts_from_wal_and_catches_up() {
     // close through `StateRequest`/`StateResponse` rather than
     // lane-backlog replay; the frames lost in the killed socket's buffers
     // guarantee a gap even on machines where the dead window is short.
-    let options = TransportOptions { lane_capacity: 8 };
+    let options = TransportOptions {
+        lane_capacity: 8,
+        ..TransportOptions::default()
+    };
 
     // Real clocks make this timing-sensitive; retry once before failing.
     let mut last = String::new();

@@ -21,8 +21,42 @@ use iniva_crypto::sim_scheme::{SimAggregate, SimScheme};
 use iniva_gosig::GossipShare;
 use iniva_ingress::{ClientMsg, SubmitStatus, MAX_CLIENT_PAYLOAD};
 use iniva_net::wire::{Codec, DecodeError, Encoder};
+use iniva_transport::frame::{self, FrameParse, HANDSHAKE_BYTES, MAX_FRAME_BYTES};
 use proptest::prelude::*;
 use std::sync::OnceLock;
+
+/// Reference whole-buffer parse: every complete frame in `buf`, plus the
+/// offset where the partial tail (if any) begins. `Err` on corrupt
+/// framing.
+#[allow(clippy::type_complexity)]
+fn parse_stream(buf: &[u8]) -> Result<(Vec<(u64, Vec<u8>)>, usize), ()> {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    loop {
+        match frame::parse_frame(&buf[offset..]) {
+            Ok(FrameParse::Incomplete) => return Ok((frames, offset)),
+            Ok(FrameParse::Complete {
+                consumed,
+                seq,
+                body,
+            }) => {
+                frames.push((seq, buf[offset + body.start..offset + body.end].to_vec()));
+                offset += consumed;
+            }
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Encodes one transport frame the way `write_frame` lays it out:
+/// `[len:u32-le][seq:u64-le][body]` with `len = 8 + body.len()`.
+fn encode_frame(seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&((body.len() + 8) as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
 
 /// Exhaustive prefix truncation: every strict prefix of a valid frame
 /// must decode to an error, never panic, never a value.
@@ -253,7 +287,7 @@ proptest! {
         committed in any::<bool>(),
         status in 0u8..3,
         payload in proptest::collection::vec(any::<u8>(), 0..512),
-        variant in 0u8..4,
+        variant in 0u8..6,
     ) {
         let msg = match variant {
             0 => ClientMsg::Submit {
@@ -270,11 +304,13 @@ proptest! {
                 },
             },
             2 => ClientMsg::Query { height },
-            _ => ClientMsg::QueryResponse {
+            3 => ClientMsg::QueryResponse {
                 height,
                 committed_height: nonce,
                 committed,
             },
+            4 => ClientMsg::Follow,
+            _ => ClientMsg::Committed { nonce, height },
         };
         let frame = msg.to_frame();
         let back = ClientMsg::from_frame(frame.clone()).expect("round-trip");
@@ -331,6 +367,133 @@ proptest! {
             ClientMsg::from_frame(enc.finish()),
             Err(DecodeError::Malformed { .. })
         ));
+    }
+
+    /// The incremental frame parser must be feed-order independent: a
+    /// stream of frames delivered in arbitrary-sized chunks (with the
+    /// partial tail carried between feeds, as the reactor's read path
+    /// does) yields exactly the frames a single whole-buffer parse
+    /// yields — same seqs, same bodies, same order, nothing left over.
+    #[test]
+    fn frame_parser_incremental_feed_equals_whole_buffer(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        seqs in proptest::collection::vec(any::<u64>(), 6..7),
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            stream.extend_from_slice(&encode_frame(seqs[i], body));
+            expect.push((seqs[i], body.clone()));
+        }
+
+        let (whole, tail) = parse_stream(&stream).expect("valid stream");
+        prop_assert_eq!(tail, stream.len(), "whole parse left bytes behind");
+        prop_assert_eq!(&whole, &expect);
+
+        // Chunked feed: `chunk` bytes at a time, partial tail carried.
+        let mut pending: Vec<u8> = Vec::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            pending.extend_from_slice(piece);
+            let (frames, consumed) = parse_stream(&pending).expect("valid prefix");
+            got.extend(frames);
+            pending.drain(..consumed);
+        }
+        prop_assert!(pending.is_empty(), "bytes stuck in the carry buffer");
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Every strict prefix of a valid frame parses `Incomplete` — the
+    /// parser never misreads a split boundary as corruption or as a
+    /// shorter frame.
+    #[test]
+    fn frame_parser_all_split_boundaries_incomplete(
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let framed = encode_frame(seq, &body);
+        for cut in 0..framed.len() {
+            prop_assert!(
+                matches!(frame::parse_frame(&framed[..cut]), Ok(FrameParse::Incomplete)),
+                "prefix of {cut}/{} bytes did not parse Incomplete",
+                framed.len()
+            );
+        }
+        match frame::parse_frame(&framed).expect("complete frame") {
+            FrameParse::Complete { consumed, seq: got, body: range } => {
+                prop_assert_eq!(consumed, framed.len());
+                prop_assert_eq!(got, seq);
+                prop_assert_eq!(&framed[range], &body[..]);
+            }
+            FrameParse::Incomplete => prop_assert!(false, "full frame parsed Incomplete"),
+        }
+    }
+
+    /// A hostile length prefix (under the 8-byte seq floor or over
+    /// [`MAX_FRAME_BYTES`]) is rejected the moment the 4 length bytes are
+    /// buffered — before the claimed bytes arrive, so a 4 GiB claim never
+    /// causes a 4 GiB buffer. In-range claims with missing bytes are
+    /// `Incomplete`, never an error and never an over-read.
+    #[test]
+    fn frame_parser_hostile_lengths_rejected_without_overread(
+        claim in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        let mut buf = claim.to_le_bytes().to_vec();
+        if !(8..=MAX_FRAME_BYTES).contains(&claim) {
+            prop_assert!(frame::parse_frame(&buf).is_err(), "length {claim} accepted");
+            buf.extend_from_slice(&seq.to_le_bytes());
+            prop_assert!(frame::parse_frame(&buf).is_err(), "length {claim} accepted with seq");
+        } else {
+            prop_assert!(
+                matches!(frame::parse_frame(&buf).unwrap(), FrameParse::Incomplete),
+                "in-range length {claim} with missing body must be Incomplete"
+            );
+        }
+    }
+
+    /// The handshake parser across every split boundary: strict prefixes
+    /// are `None` (wait for more), the full 13 bytes decode the node and
+    /// epoch, trailing frame bytes are untouched, and corruption in any
+    /// of the magic/version bytes is rejected only once 13 bytes are
+    /// buffered (never a false positive on a partial read).
+    #[test]
+    fn handshake_parser_incremental_feed(
+        node in any::<u32>(),
+        epoch in any::<u32>(),
+        trailer in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let hs = frame::handshake_bytes(node, epoch);
+        for cut in 0..hs.len() {
+            prop_assert!(
+                matches!(frame::parse_handshake(&hs[..cut]), Ok(None)),
+                "handshake prefix of {cut} bytes did not wait for more"
+            );
+        }
+        let (consumed, got_node, got_epoch) =
+            frame::parse_handshake(&hs).unwrap().expect("complete handshake");
+        prop_assert_eq!((consumed, got_node, got_epoch), (HANDSHAKE_BYTES, node, epoch));
+
+        // Bytes after the handshake (the first frames) are not consumed.
+        let mut buf = hs.to_vec();
+        buf.extend_from_slice(&trailer);
+        let (consumed, ..) = frame::parse_handshake(&buf).unwrap().expect("complete");
+        prop_assert_eq!(consumed, HANDSHAKE_BYTES);
+
+        // Corrupt magic or version: clean rejection at 13 bytes.
+        for idx in 0..5 {
+            let mut bad = hs;
+            bad[idx] ^= 0x01;
+            prop_assert!(
+                matches!(frame::parse_handshake(&bad[..hs.len() - 1]), Ok(None)),
+                "corruption at byte {idx} rejected before the handshake completed"
+            );
+            prop_assert!(
+                frame::parse_handshake(&bad).is_err(),
+                "corrupt byte {idx} accepted"
+            );
+        }
     }
 }
 
