@@ -1,0 +1,412 @@
+//! A small comment/string-aware Rust lexer.
+//!
+//! The rules in this crate only need a faithful separation of *code tokens*
+//! from *comments* and *literals*, with accurate line numbers.  The lexer
+//! therefore does not classify keywords or build a syntax tree; it guarantees
+//! that the word `unsafe` inside a string literal, a raw string, or a nested
+//! block comment never surfaces as an identifier token, and that comments are
+//! captured with their text and line span so rules can look for annotations
+//! like `// SAFETY:` immediately above a flagged site.
+//!
+//! Handled forms: line and (nested) block comments, doc comments, string and
+//! byte-string literals with escapes, raw strings `r#".."#` (any number of
+//! `#`s, including zero), raw byte strings `br".."`, raw identifiers
+//! `r#ident`, char and byte-char literals, and the char-literal/lifetime
+//! ambiguity (`'a'` vs `'a`).
+
+/// The kind of a code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers are unprefixed: `r#fn` -> `fn`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A literal (string, char, number); the text is not retained.
+    Lit,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One code token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-indexed line on which the token starts.
+    pub line: u32,
+    /// Token classification.
+    pub kind: TokKind,
+    /// Identifier text, or the punctuation character; empty for literals.
+    pub text: String,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A comment (line, doc, or block) with its text and line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line on which the comment starts.
+    pub start_line: u32,
+    /// 1-indexed line on which the comment ends (inclusive).
+    pub end_line: u32,
+    /// Comment body without the `//`/`/*` markers, newlines preserved.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// `code_lines[line]` is true when the line holds at least one code token.
+    code_lines: Vec<bool>,
+}
+
+impl Lexed {
+    /// True if 1-indexed `line` carries at least one code token.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// The first code token on 1-indexed `line`, if any.
+    pub fn first_token_on(&self, line: u32) -> Option<&Token> {
+        self.tokens.iter().find(|t| t.line == line)
+    }
+
+    /// Iterate the text of every comment whose span covers 1-indexed `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &str> {
+        self.comments
+            .iter()
+            .filter(move |c| c.start_line <= line && line <= c.end_line)
+            .map(|c| c.text.as_str())
+    }
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    // Advance over `k` chars, counting newlines.
+    macro_rules! advance {
+        ($k:expr) => {{
+            for _ in 0..$k {
+                if i < n {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    let at = |i: usize, c: char| -> bool { i < n && chars[i] == c };
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comment (incl. doc comments `///`, `//!`).
+        if c == '/' && at(i + 1, '/') {
+            let start = line;
+            advance!(2);
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                advance!(1);
+            }
+            out.comments.push(Comment {
+                start_line: start,
+                end_line: start,
+                text,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && at(i + 1, '*') {
+            let start = line;
+            advance!(2);
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while i < n && depth > 0 {
+                if chars[i] == '/' && at(i + 1, '*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    advance!(2);
+                } else if chars[i] == '*' && at(i + 1, '/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    advance!(2);
+                } else {
+                    text.push(chars[i]);
+                    advance!(1);
+                }
+            }
+            out.comments.push(Comment {
+                start_line: start,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings, which all start with
+        // an identifier-looking prefix. Check before generic identifiers.
+        if c == 'r' || c == 'b' {
+            // br"..." / br#"..."# (raw byte string)
+            if c == 'b' && at(i + 1, 'r') {
+                let mut j = i + 2;
+                let mut hashes = 0usize;
+                while at(j, '#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if at(j, '"') {
+                    let tok_line = line;
+                    advance!(j + 1 - i);
+                    skip_raw_string(&chars, &mut i, &mut line, n, hashes);
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                    });
+                    continue;
+                }
+            }
+            if c == 'r' {
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while at(j, '#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if at(j, '"') {
+                    // r"..." / r#"..."# (raw string)
+                    let tok_line = line;
+                    advance!(j + 1 - i);
+                    skip_raw_string(&chars, &mut i, &mut line, n, hashes);
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                    });
+                    continue;
+                }
+                if hashes == 1 && j < n && is_ident_start(chars[j]) {
+                    // r#ident (raw identifier): emit without the r# prefix.
+                    let tok_line = line;
+                    advance!(2);
+                    let mut text = String::new();
+                    while i < n && is_ident_cont(chars[i]) {
+                        text.push(chars[i]);
+                        advance!(1);
+                    }
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        kind: TokKind::Ident,
+                        text,
+                    });
+                    continue;
+                }
+            }
+            // b"..." (byte string) / b'x' (byte char)
+            if c == 'b' && at(i + 1, '"') {
+                let tok_line = line;
+                advance!(2);
+                skip_quoted(&chars, &mut i, &mut line, n, '"');
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                });
+                continue;
+            }
+            if c == 'b' && at(i + 1, '\'') {
+                let tok_line = line;
+                advance!(2);
+                skip_quoted(&chars, &mut i, &mut line, n, '\'');
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            advance!(1);
+            skip_quoted(&chars, &mut i, &mut line, n, '"');
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Lit,
+                text: String::new(),
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            // Escape sequence: definitely a char literal.
+            if at(i + 1, '\\') {
+                advance!(2);
+                skip_quoted(&chars, &mut i, &mut line, n, '\'');
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                });
+                continue;
+            }
+            // `'x'` (closing quote right after one char): char literal.
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                advance!(3);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                });
+                continue;
+            }
+            // Otherwise a lifetime: `'a`, `'static`, `'_`.
+            advance!(1);
+            let mut text = String::new();
+            while i < n && is_ident_cont(chars[i]) {
+                text.push(chars[i]);
+                advance!(1);
+            }
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Lifetime,
+                text,
+            });
+            continue;
+        }
+
+        // Number literal (incl. suffixes and simple floats).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < n && (is_ident_cont(chars[i])) {
+                advance!(1);
+            }
+            // Consume a fractional part only when followed by a digit, so
+            // ranges like `0..n` keep their dots as punctuation.
+            if at(i, '.') && i + 1 < n && chars[i + 1].is_ascii_digit() {
+                advance!(1);
+                while i < n && is_ident_cont(chars[i]) {
+                    advance!(1);
+                }
+            }
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Lit,
+                text: String::new(),
+            });
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let tok_line = line;
+            let mut text = String::new();
+            while i < n && is_ident_cont(chars[i]) {
+                text.push(chars[i]);
+                advance!(1);
+            }
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokKind::Ident,
+                text,
+            });
+            continue;
+        }
+
+        // Anything else is single-char punctuation.
+        out.tokens.push(Token {
+            line,
+            kind: TokKind::Punct,
+            text: c.to_string(),
+        });
+        advance!(1);
+    }
+
+    // Build the line -> has-code map.
+    let max_line = out.tokens.iter().map(|t| t.line).max().unwrap_or(0) as usize;
+    out.code_lines = vec![false; max_line + 1];
+    for t in &out.tokens {
+        out.code_lines[t.line as usize] = true;
+    }
+    out
+}
+
+/// Consume a non-raw quoted literal body up to the closing `quote`,
+/// honouring backslash escapes. The opening quote has been consumed.
+fn skip_quoted(chars: &[char], i: &mut usize, line: &mut u32, n: usize, quote: char) {
+    while *i < n {
+        let c = chars[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+        if c == '\\' {
+            if *i < n {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+        } else if c == quote {
+            return;
+        }
+    }
+}
+
+/// Consume a raw string body terminated by `"` followed by `hashes` `#`s.
+/// The opening delimiter has been consumed.
+fn skip_raw_string(chars: &[char], i: &mut usize, line: &mut u32, n: usize, hashes: usize) {
+    while *i < n {
+        let c = chars[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+        if c == '"' {
+            let mut k = 0usize;
+            while k < hashes && *i + k < n && chars[*i + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                *i += hashes;
+                return;
+            }
+        }
+    }
+}

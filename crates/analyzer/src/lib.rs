@@ -1,0 +1,93 @@
+//! `iniva-lint`: dependency-free static analysis for consensus-critical
+//! invariants.
+//!
+//! The workspace is built and tested fully offline, so this analyzer is
+//! hand-rolled in-tree: a comment/string-aware lexer ([`lexer`]) feeds a
+//! token-level rule engine ([`rules`]) configured by `analyzer.toml` at the
+//! repo root ([`config`]). Findings are rendered as a table or JSON
+//! ([`report`]). See the repo README's "Static analysis" section for the
+//! rule catalogue and the `// lint: allow(<rule>) <reason>` escape-hatch
+//! policy.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{analyze_source, Finding};
+
+/// Directories never scanned regardless of configuration.
+const ALWAYS_EXCLUDED: &[&str] = &["target", ".git", ".claude"];
+
+/// Recursively collect the `.rs` files under `root`, returning repo-relative
+/// paths with `/` separators, sorted for deterministic output.
+pub fn collect_sources(root: &Path, cfg: &Config) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                let excluded = ALWAYS_EXCLUDED.contains(&name.as_str())
+                    || (dir == *root && cfg.exclude_dirs.contains(&name));
+                if !excluded && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Run every rule over the workspace rooted at `root`. Returns all findings
+/// (active and suppressed) plus the number of files scanned.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<(Vec<Finding>, usize)> {
+    let files = collect_sources(root, cfg)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        findings.extend(analyze_source(&rel, &src, cfg));
+    }
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    Ok((findings, files.len()))
+}
+
+/// Locate the repo root by walking upward from `start` until a directory
+/// containing `analyzer.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("analyzer.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Load `analyzer.toml` from `root`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("analyzer.toml");
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&text)
+}

@@ -1,0 +1,96 @@
+//! `iniva-lint` CLI.
+//!
+//! Usage: `iniva-lint [--root DIR] [--json FILE] [--check] [--list-rules]`
+//!
+//! Without `--root`, the repo root is located by walking upward from the
+//! current directory until `analyzer.toml` is found. `--check` exits with
+//! status 1 when any unsuppressed finding remains (the CI gate); `--json`
+//! additionally writes the full findings document to a file.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use iniva_analyzer::{analyze_workspace, find_root, load_config, report, rules};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--check" => check = true,
+            "--list-rules" => {
+                for r in rules::ALL_RULES {
+                    println!("{r}");
+                }
+                println!("{}", rules::RULE_ALLOW_REASON);
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "iniva-lint: consensus-critical invariant checks for the Iniva workspace\n\n\
+                     USAGE: iniva-lint [--root DIR] [--json FILE] [--check] [--list-rules]\n\n\
+                     --root DIR    repo root (default: nearest ancestor with analyzer.toml)\n\
+                     --json FILE   write findings as JSON to FILE\n\
+                     --check       exit non-zero if any unsuppressed finding remains\n\
+                     --list-rules  print the rule names and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("iniva-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("iniva-lint: no analyzer.toml found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = match load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("iniva-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, files_scanned) = match analyze_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("iniva-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let active = findings.iter().filter(|f| f.is_active()).count();
+    let suppressed = findings.len() - active;
+
+    print!("{}", report::render_table(&findings));
+    println!(
+        "iniva-lint: {active} finding(s), {suppressed} suppressed, {files_scanned} files scanned"
+    );
+
+    if let Some(path) = json_out {
+        let doc = report::render_json(&findings, files_scanned);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("iniva-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if check && active > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

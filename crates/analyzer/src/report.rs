@@ -1,0 +1,102 @@
+//! Output formatting: a human-readable table and machine-readable JSON.
+
+use crate::rules::Finding;
+
+/// Render the findings as an aligned table. Suppressed findings are listed
+/// after active ones, marked with their recorded reason.
+pub fn render_table(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let (active, suppressed): (Vec<_>, Vec<_>) = findings.iter().partition(|f| f.is_active());
+    let rows: Vec<(String, String, String)> = active
+        .iter()
+        .map(|f| {
+            (
+                f.rule.to_string(),
+                format!("{}:{}", f.file, f.line),
+                f.message.clone(),
+            )
+        })
+        .collect();
+    let w0 = rows
+        .iter()
+        .map(|r| r.0.len())
+        .max()
+        .unwrap_or(4)
+        .max("RULE".len());
+    let w1 = rows
+        .iter()
+        .map(|r| r.1.len())
+        .max()
+        .unwrap_or(8)
+        .max("LOCATION".len());
+    if !rows.is_empty() {
+        out.push_str(&format!("{:w0$}  {:w1$}  MESSAGE\n", "RULE", "LOCATION"));
+        for (rule, loc, msg) in &rows {
+            out.push_str(&format!("{rule:w0$}  {loc:w1$}  {msg}\n"));
+        }
+    }
+    if !suppressed.is_empty() {
+        out.push_str(&format!("\n{} suppressed finding(s):\n", suppressed.len()));
+        for f in &suppressed {
+            out.push_str(&format!(
+                "  {} {}:{} — allowed: {}\n",
+                f.rule,
+                f.file,
+                f.line,
+                f.suppressed.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    out
+}
+
+/// Render the findings as a JSON document:
+/// `{"findings": [...], "suppressed": [...], "files_scanned": n}`.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    let active: Vec<&Finding> = findings.iter().filter(|f| f.is_active()).collect();
+    let suppressed: Vec<&Finding> = findings.iter().filter(|f| !f.is_active()).collect();
+    push_finding_array(&mut out, &active);
+    out.push_str("],\n  \"suppressed\": [");
+    push_finding_array(&mut out, &suppressed);
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned}\n}}\n"));
+    out
+}
+
+fn push_finding_array(out: &mut String, findings: &[&Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(f.rule)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        if let Some(reason) = &f.suppressed {
+            out.push_str(&format!(", \"reason\": \"{}\"", escape(reason)));
+        }
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

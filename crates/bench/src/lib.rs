@@ -1,1 +1,2 @@
 //! Benchmark crate; see `benches/`.
+#![forbid(unsafe_code)]

@@ -14,6 +14,7 @@
 //! The Iniva tree-aggregation replica lives in the `iniva` crate and reuses
 //! [`chain`], [`leader`] and [`types`] unchanged.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chain;

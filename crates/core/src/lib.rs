@@ -33,6 +33,7 @@
 //! assert!(sim.actor(0).chain.committed_height() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod incentives;

@@ -159,6 +159,8 @@ impl BlsScheme {
     /// (each probe is one batch equation: two-plus Miller loops and one
     /// final exponentiation).
     pub fn batch_probe_count(&self) -> u64 {
+        // ORDER: monotone stat counter; readers tolerate a slightly stale
+        // value and no other memory is published through it.
         self.batch_probes.load(Ordering::Relaxed)
     }
 
@@ -225,6 +227,8 @@ impl BlsScheme {
     /// over a subset of precomputed items. Costs `1 + #groups-present`
     /// Miller loops and one final exponentiation.
     fn batch_holds(&self, items: &[&BatchItem], hashes: &[G1]) -> bool {
+        // ORDER: stat counter only needs atomicity, not ordering; nothing
+        // synchronizes on its value.
         self.batch_probes.fetch_add(1, Ordering::Relaxed);
         let mut sigma: G1 = Point::infinity();
         let mut apks: Vec<Option<G2>> = vec![None; hashes.len()];

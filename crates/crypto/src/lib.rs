@@ -41,6 +41,7 @@
 //! assert!(committee.verify(msg, &agg));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bls;

@@ -15,6 +15,8 @@ use iniva_crypto::fields::{Field, Fp12};
 use iniva_crypto::{g1, g2, pairing};
 
 fn blst_g1_gen_bytes() -> [u8; 96] {
+    // SAFETY: blst_p1_generator returns a valid static point and
+    // blst_p1_serialize writes exactly 96 bytes into the stack buffer.
     unsafe {
         let gen = blst_p1_generator();
         let mut out = [0u8; 96];
@@ -24,6 +26,8 @@ fn blst_g1_gen_bytes() -> [u8; 96] {
 }
 
 fn blst_g2_gen_bytes() -> [u8; 192] {
+    // SAFETY: blst_p2_generator returns a valid static point and
+    // blst_p2_serialize writes exactly 192 bytes into the stack buffer.
     unsafe {
         let gen = blst_p2_generator();
         let mut out = [0u8; 192];
@@ -36,11 +40,17 @@ fn blst_scalar_from_u64(v: u64) -> blst_scalar {
     let mut s = blst_scalar::default();
     let mut bytes = [0u8; 32];
     bytes[..8].copy_from_slice(&v.to_le_bytes());
+    // SAFETY: blst_scalar_from_lendian reads exactly 32 bytes from `bytes`
+    // and writes into the locally owned `s`.
     unsafe { blst_scalar_from_lendian(&mut s, bytes.as_ptr()) };
     s
 }
 
 fn blst_g1_mul(point_bytes: &[u8; 96], k: u64) -> [u8; 96] {
+    // SAFETY: every pointer handed to blst is a local stack value of the
+    // exact size the call expects (96-byte serialized form, 32-byte scalar
+    // of which 64 bits are consumed); deserialize success is asserted
+    // before the point is used.
     unsafe {
         let mut aff = blst_p1_affine::default();
         assert_eq!(
@@ -59,6 +69,9 @@ fn blst_g1_mul(point_bytes: &[u8; 96], k: u64) -> [u8; 96] {
 }
 
 fn blst_g2_mul(point_bytes: &[u8; 192], k: u64) -> [u8; 192] {
+    // SAFETY: as in blst_g1_mul — local stack buffers of the exact sizes
+    // the G2 calls expect (192-byte serialized form, 32-byte scalar), with
+    // deserialize success asserted before use.
     unsafe {
         let mut aff = blst_p2_affine::default();
         assert_eq!(
@@ -130,6 +143,9 @@ fn blst_fp12_coeffs(f: &blst_fp12) -> Vec<[u8; 48]> {
         for fp2 in &fp6.fp2 {
             for fp in &fp2.fp {
                 let mut be = [0u8; 48];
+                // SAFETY: blst_bendian_from_fp writes exactly 48 bytes
+                // into the stack buffer; `fp` is a valid field element
+                // borrowed from the caller's fp12.
                 unsafe { blst_bendian_from_fp(be.as_mut_ptr(), fp) };
                 out.push(be);
             }
@@ -158,6 +174,9 @@ fn pairing_value_agrees_with_blst() {
     let q = g2::deserialize(&g2_bytes).unwrap().mul_u64(7);
     let ours = pairing::pairing(&p, &q);
 
+    // SAFETY: all pointers are to local stack values of the serialized
+    // sizes blst expects; deserialize success is asserted before the
+    // affine points feed the Miller loop.
     let theirs = unsafe {
         let mut p_aff = blst_p1_affine::default();
         let p_ser = g1::serialize(&p);

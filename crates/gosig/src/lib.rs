@@ -22,6 +22,7 @@
 //! Committees are limited to `n <= 128` so parcels are `u128` bitmasks
 //! (the paper simulates `n = 100`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};

@@ -20,6 +20,19 @@ pub mod mempool;
 pub mod server;
 pub mod wire;
 
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// The mempool and server mutexes protect plain collections that stay
+/// structurally valid at any point the holder could panic; propagating
+/// poison would let one panicking connection thread take down `draft` /
+/// `committed` on the consensus path with it.
+pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 pub use iniva_consensus::chain::RequestSource;
 pub use limiter::TokenBucket;
 pub use mempool::{CommitInbox, CommitNote, IngressOptions, IngressStats, Mempool};

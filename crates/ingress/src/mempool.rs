@@ -157,16 +157,16 @@ impl CommitInbox {
 
     /// Installs the wakeup hook run after each push batch.
     pub fn set_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
-        *self.waker.lock().unwrap() = Some(waker);
+        *crate::relock(&self.waker) = Some(waker);
     }
 
     /// Takes every pending note.
     pub fn drain(&self) -> Vec<CommitNote> {
-        self.notes.lock().unwrap().drain(..).collect()
+        crate::relock(&self.notes).drain(..).collect()
     }
 
     fn push(&self, note: CommitNote) {
-        let mut g = self.notes.lock().unwrap();
+        let mut g = crate::relock(&self.notes);
         if g.len() >= INBOX_CAP {
             g.pop_front();
         }
@@ -174,8 +174,11 @@ impl CommitInbox {
     }
 
     fn wake(&self) {
-        if let Some(w) = self.waker.lock().unwrap().as_ref() {
-            w();
+        if let Some(w) = crate::relock(&self.waker).as_ref() {
+            // A waker is caller-supplied code running on the commit path;
+            // if it panics, the panic must stop here — otherwise one broken
+            // follower connection kills `committed()` for the whole node.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(w));
         }
     }
 }
@@ -248,18 +251,20 @@ impl Mempool {
     /// Allocates a connection-scoped client id, unique across every
     /// server sharing this pool.
     pub fn next_client_id(&self) -> u64 {
+        // ORDER: the counter only needs unique values; no other memory is
+        // published through it.
         self.next_client.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Attaches a tracer; drafts emit [`EventKind::IngressBatch`].
     pub fn set_tracer(&self, tracer: Tracer) {
-        *self.tracer.lock().unwrap() = tracer;
+        *crate::relock(&self.tracer) = tracer;
     }
 
     /// Admission decision for one submit. Counted as offered either way.
     pub fn submit(&self, client: u64, nonce: u64, fee: u64, payload_len: usize) -> SubmitStatus {
         self.offered.inc();
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::relock(&self.inner);
         if !g.dedup.insert((client, nonce)) {
             self.duplicates.inc();
             return SubmitStatus::Duplicate;
@@ -269,8 +274,12 @@ impl Mempool {
             match g.by_fee.iter().next().copied() {
                 Some((low_fee, Reverse(order))) if low_fee < fee => {
                     g.by_fee.remove(&(low_fee, Reverse(order)));
-                    let old = g.queued.remove(&order).expect("by_fee/queued in sync");
-                    g.dedup.remove(&(old.client, old.nonce));
+                    // by_fee and queued are kept in sync, but a desync must
+                    // degrade to a mis-counted eviction, not a panic on the
+                    // submit path.
+                    if let Some(old) = g.queued.remove(&order) {
+                        g.dedup.remove(&(old.client, old.nonce));
+                    }
                     self.evicted.inc();
                 }
                 _ => {
@@ -306,6 +315,8 @@ impl Mempool {
 
     /// Highest committed block height settled through this pool.
     pub fn committed_height(&self) -> u64 {
+        // ORDER: monotone watermark read for acks/queries; callers need no
+        // happens-before with the commit that raised it.
         self.committed_height.load(Ordering::Relaxed)
     }
 
@@ -339,7 +350,7 @@ impl Mempool {
 
     /// Current queue depth.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().queued.len()
+        crate::relock(&self.inner).queued.len()
     }
 
     /// Subscribes `client`'s connection to commit pushes: every later
@@ -347,9 +358,7 @@ impl Mempool {
     /// inbox (idempotent — a repeated `Follow` reuses the same inbox).
     pub fn follow(&self, client: u64) -> Arc<CommitInbox> {
         Arc::clone(
-            self.subscribers
-                .lock()
-                .unwrap()
+            crate::relock(&self.subscribers)
                 .entry(client)
                 .or_insert_with(|| Arc::new(CommitInbox::new())),
         )
@@ -357,20 +366,24 @@ impl Mempool {
 
     /// Drops `client`'s subscription (connection closed).
     pub fn unfollow(&self, client: u64) {
-        self.subscribers.lock().unwrap().remove(&client);
+        crate::relock(&self.subscribers).remove(&client);
     }
 }
 
 impl RequestSource for Mempool {
     fn draft(&self, start: u64, max: u32) -> u32 {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::relock(&self.inner);
         let mut n: u32 = 0;
         while n < max {
             let Some(&(fee, Reverse(order))) = g.by_fee.iter().next_back() else {
                 break;
             };
             g.by_fee.remove(&(fee, Reverse(order)));
-            let e = g.queued.remove(&order).expect("by_fee/queued in sync");
+            // A by_fee/queued desync must skip the stale fee entry, not
+            // panic on the proposer's draft path.
+            let Some(e) = g.queued.remove(&order) else {
+                continue;
+            };
             let seq = start + n as u64;
             if let Some(prev) = g.ledger.insert(
                 seq,
@@ -390,7 +403,9 @@ impl RequestSource for Mempool {
         // Bound drafted-but-unsettled state: abandon the oldest ranges
         // (their views failed long ago) and free the nonces.
         while g.ledger.len() > self.ledger_cap {
-            let (_, d) = g.ledger.pop_first().expect("ledger non-empty");
+            let Some((_, d)) = g.ledger.pop_first() else {
+                break; // len() > cap >= 1 implies non-empty; never panic here
+            };
             g.dedup.remove(&(d.client, d.nonce));
             self.abandoned.inc();
         }
@@ -400,7 +415,7 @@ impl RequestSource for Mempool {
         self.depth.set(g.queued.len() as u64);
         let depth = g.queued.len() as u64;
         drop(g);
-        let tracer = self.tracer.lock().unwrap().clone();
+        let tracer = crate::relock(&self.tracer).clone();
         if tracer.enabled() && n > 0 {
             tracer.emit(
                 tracer.now(),
@@ -418,7 +433,7 @@ impl RequestSource for Mempool {
         let now = self.now_ns();
         let mut latencies = Vec::new();
         let mut settled: Vec<(u64, u64)> = Vec::new();
-        let mut g = self.inner.lock().unwrap();
+        let mut g = crate::relock(&self.inner);
         for seq in start..start.saturating_add(len as u64) {
             if let Some(d) = g.ledger.remove(&seq) {
                 g.dedup.remove(&(d.client, d.nonce));
@@ -432,6 +447,8 @@ impl RequestSource for Mempool {
         if !latencies.is_empty() {
             self.committed.add(latencies.len() as u64);
         }
+        // ORDER: monotone watermark; readers only compare against it (see
+        // `committed_height`), no other memory is published through it.
         self.committed_height.fetch_max(height, Ordering::Relaxed);
         self.height_gauge.raise(height);
         // Commit-push: deliver notes to followed connections. Inboxes are
@@ -440,7 +457,7 @@ impl RequestSource for Mempool {
         if !settled.is_empty() {
             let mut notify: Vec<(Arc<CommitInbox>, u64)> = Vec::new();
             {
-                let subs = self.subscribers.lock().unwrap();
+                let subs = crate::relock(&self.subscribers);
                 if !subs.is_empty() {
                     for &(client, nonce) in &settled {
                         if let Some(inbox) = subs.get(&client) {
@@ -622,5 +639,54 @@ mod tests {
         // The abandoned nonces (oldest four) are submittable again.
         assert_eq!(pool.submit(9, 0, 1, 0), SubmitStatus::Accepted);
         assert_eq!(pool.submit(9, 19, 1, 0), SubmitStatus::Duplicate);
+    }
+
+    /// Poisons `m` the way a real incident would: a thread panics while
+    /// holding the guard.
+    fn poison<T: Send>(m: &std::sync::Mutex<T>) {
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let _g = m.lock().unwrap();
+                    panic!("poison");
+                })
+                .join();
+        });
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+    }
+
+    /// Regression: a panic on one server thread used to poison the pool
+    /// and turn every later `submit`/`draft`/`committed` into a panic,
+    /// taking down all client connections at once. `relock` recovers the
+    /// guard, so the pool keeps serving.
+    #[test]
+    fn poisoned_pool_keeps_serving_submit_draft_commit() {
+        let pool = small_pool(8);
+        assert_eq!(pool.submit(1, 0, 10, 4), SubmitStatus::Accepted);
+        poison(&pool.inner);
+        assert_eq!(pool.submit(1, 1, 10, 4), SubmitStatus::Accepted);
+        assert_eq!(pool.draft(0, 8), 2);
+        assert_eq!(pool.committed(1, 0, 2).len(), 2);
+        assert_eq!(pool.stats().committed, 2);
+    }
+
+    /// Regression: a follower's waker is caller-supplied code running on
+    /// the commit path; one panicking waker used to unwind through
+    /// `committed()` and kill settlement for the whole node.
+    #[test]
+    fn panicking_waker_does_not_unwind_into_committed() {
+        let pool = small_pool(8);
+        let inbox = pool.follow(1);
+        inbox.set_waker(Box::new(|| panic!("broken follower")));
+        assert_eq!(pool.submit(1, 0, 10, 4), SubmitStatus::Accepted);
+        assert_eq!(pool.draft(0, 8), 1);
+        // The waker panics inside this call; it must still settle.
+        assert_eq!(pool.committed(1, 0, 1).len(), 1);
+        assert_eq!(inbox.drain().len(), 1);
+        // And the inbox stays usable afterwards.
+        assert_eq!(pool.submit(1, 1, 10, 4), SubmitStatus::Accepted);
+        assert_eq!(pool.draft(1, 8), 1);
+        assert_eq!(pool.committed(2, 1, 1).len(), 1);
+        assert_eq!(inbox.drain().len(), 1);
     }
 }

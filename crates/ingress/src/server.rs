@@ -88,7 +88,7 @@ impl IngressServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
+        let handles = std::mem::take(&mut *crate::relock(&self.conns));
         for h in handles {
             let _ = h.join();
         }
@@ -125,7 +125,7 @@ fn accept_loop(
                 // and the stream it owns — is dropped with the error),
                 // and the server keeps accepting.
                 if let Ok(h) = handle {
-                    conns.lock().unwrap().push(h);
+                    crate::relock(&conns).push(h);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

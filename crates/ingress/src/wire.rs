@@ -201,7 +201,12 @@ impl WireDecode for ClientMsg {
 /// Writes one length-prefixed [`ClientMsg`] frame to `w`.
 pub fn write_frame<W: Write>(w: &mut W, msg: &ClientMsg) -> io::Result<()> {
     let body = msg.to_frame();
-    let len = u32::try_from(body.len()).expect("client frame exceeds u32");
+    let len = u32::try_from(body.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "client frame exceeds u32 length",
+        )
+    })?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&body)?;
     Ok(())
@@ -245,6 +250,8 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<ClientMsg>> {
             format!("client frame length {len} exceeds cap {MAX_CLIENT_FRAME}"),
         ));
     }
+    // CAP: `len` was checked against MAX_CLIENT_FRAME above; a hostile
+    // length prefix can not size this allocation.
     let mut body = vec![0u8; len];
     let mut got = 0usize;
     while got < len {

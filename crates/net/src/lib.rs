@@ -21,6 +21,7 @@
 //! exactly as on real hardware. Virtual time makes 150-second experiments
 //! run in milliseconds and bit-identical across runs (seeded RNG).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

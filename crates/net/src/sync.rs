@@ -80,7 +80,10 @@ impl<B: WireDecode, Q: WireDecode> WireDecode for StateResponse<B, Q> {
                 context: "StateResponse exceeds MAX_STATE_BLOCKS",
             });
         }
+        // CAP: `n` was checked against MAX_STATE_BLOCKS above; a hostile
+        // count can not size this allocation.
         let mut blocks = Vec::with_capacity(n);
+        // CAP: as above — `n` is bounded by MAX_STATE_BLOCKS.
         let mut qcs = Vec::with_capacity(n);
         for _ in 0..n {
             blocks.push(B::decode(dec)?);

@@ -65,6 +65,7 @@ impl Encoder {
     /// Panics if `bytes` exceeds `u32::MAX` (not reachable for protocol
     /// messages).
     pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        // lint: allow(hot-path-panic) encode side, not wire input; panic documented above, unreachable for protocol messages
         self.put_u32(u32::try_from(bytes.len()).expect("oversized field"));
         self.buf.put_slice(bytes);
         self

@@ -15,6 +15,7 @@
 //! the same series the paper plots. All experiments are deterministic for a
 //! fixed seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod omission;

@@ -21,6 +21,7 @@
 //! [`wire`](iniva_net::wire) codec the transport ships, so the durable
 //! representation of a block is byte-identical to its wire encoding.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crc32;

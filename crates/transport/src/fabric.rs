@@ -131,7 +131,12 @@ impl<M: Codec> PeerConn<M> {
                 Err(_) => return Action::Drop,
             }
         }
-        let (sender, sender_epoch) = self.from.expect("handshake complete");
+        let Some((sender, sender_epoch)) = self.from else {
+            // Unreachable by construction (the handshake arm above either
+            // set `from` or returned), but a hostile peer must never be
+            // able to turn a broken assumption into a poller panic.
+            return Action::Drop;
+        };
         // Fast path: no complete frame buffered — no allocation at all.
         match frame::parse_frame(&self.pending) {
             Ok(frame::FrameParse::Incomplete) => return Action::Keep,
@@ -164,11 +169,8 @@ impl<M: Codec> PeerConn<M> {
                     let Ok(msg) = M::from_frame(frame_body) else {
                         break Action::Drop; // undecodable body: drop the connection
                     };
-                    let fresh = self.ctx.dedup.lock().expect("dedup lock").insert(
-                        sender,
-                        sender_epoch,
-                        seq,
-                    );
+                    let fresh =
+                        crate::reactor::relock(&self.ctx.dedup).insert(sender, sender_epoch, seq);
                     if !fresh {
                         TransportStats::bump(&self.ctx.stats.dups_dropped, 1);
                         continue;
@@ -728,11 +730,17 @@ struct ClientSession {
 }
 
 impl ClientSession {
-    fn enqueue(&mut self, msg: &ClientMsg) {
+    /// Queues a reply frame; `false` (tear the session down) if the encoded
+    /// body can not be framed.
+    #[must_use]
+    fn enqueue(&mut self, msg: &ClientMsg) -> bool {
         let body = msg.to_frame();
-        let len = u32::try_from(body.len()).expect("client frame exceeds u32");
+        let Ok(len) = u32::try_from(body.len()) else {
+            return false; // reply exceeds the u32 length prefix: drop client
+        };
         self.wbuf.extend_from_slice(&len.to_le_bytes());
         self.wbuf.extend_from_slice(&body);
+        true
     }
 
     /// Decodes every complete frame buffered, sharing one allocation
@@ -743,7 +751,7 @@ impl ClientSession {
             if buf.len() < 4 {
                 return Ok(None);
             }
-            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
             if len > MAX_CLIENT_FRAME {
                 return Err(io::ErrorKind::InvalidData.into());
             }
@@ -796,15 +804,19 @@ impl ClientSession {
                     self.ctx.mempool.note_rate_limited();
                     SubmitStatus::Busy
                 };
-                self.enqueue(&ClientMsg::SubmitAck { nonce, status });
+                if !self.enqueue(&ClientMsg::SubmitAck { nonce, status }) {
+                    return Action::Drop;
+                }
             }
             ClientMsg::Query { height } => {
                 let committed_height = self.ctx.mempool.committed_height();
-                self.enqueue(&ClientMsg::QueryResponse {
+                if !self.enqueue(&ClientMsg::QueryResponse {
                     height,
                     committed_height,
                     committed: height <= committed_height && committed_height > 0,
-                });
+                }) {
+                    return Action::Drop;
+                }
             }
             ClientMsg::Follow => {
                 if self.inbox.is_none() {
@@ -823,16 +835,21 @@ impl ClientSession {
         Action::Keep
     }
 
-    /// Turns pending commit notes into `Committed` frames.
-    fn push_commits(&mut self) {
+    /// Turns pending commit notes into `Committed` frames; `false` tears
+    /// the session down.
+    #[must_use]
+    fn push_commits(&mut self) -> bool {
         if let Some(inbox) = self.inbox.clone() {
             for note in inbox.drain() {
-                self.enqueue(&ClientMsg::Committed {
+                if !self.enqueue(&ClientMsg::Committed {
                     nonce: note.nonce,
                     height: note.height,
-                });
+                }) {
+                    return false;
+                }
             }
         }
+        true
     }
 
     fn flush(&mut self, ctl: &mut Ctl<'_>) -> Action {
@@ -880,12 +897,16 @@ impl Source for ClientSession {
                 }
             }
         }
-        self.push_commits();
+        if !self.push_commits() {
+            return Action::Drop;
+        }
         self.flush(ctl)
     }
 
     fn notified(&mut self, ctl: &mut Ctl<'_>) -> Action {
-        self.push_commits();
+        if !self.push_commits() {
+            return Action::Drop;
+        }
         self.flush(ctl)
     }
 }
@@ -895,5 +916,120 @@ impl Drop for ClientSession {
         if self.inbox.is_some() {
             self.ctx.mempool.unfollow(self.client);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iniva_net::wire::{DecodeError, Decoder, Encoder, WireDecode, WireEncode};
+    use std::sync::mpsc;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct TestMsg(u64);
+
+    impl WireEncode for TestMsg {
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u64(self.0);
+        }
+    }
+    impl WireDecode for TestMsg {
+        fn decode(dec: &mut Decoder) -> Result<Self, DecodeError> {
+            Ok(TestMsg(dec.get_u64()?))
+        }
+    }
+
+    /// A socket for `PeerConn`'s `stream` field; `drain` never touches it.
+    fn dummy_stream() -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let _accepted = listener.accept().unwrap();
+        stream
+    }
+
+    fn peer_conn(tx: Sender<Incoming<TestMsg>>) -> PeerConn<TestMsg> {
+        PeerConn {
+            stream: dummy_stream(),
+            pending: Vec::new(),
+            from: None,
+            ctx: Arc::new(PeerCtx {
+                node: 0,
+                tx,
+                stats: Arc::new(TransportStats::default()),
+                node_faults: Arc::new(NodeFaults::new()),
+                link_faults: Arc::new(LinkFaults::new()),
+                dedup: Mutex::new(DedupCache::new(64)),
+            }),
+        }
+    }
+
+    /// Handshake from peer 7 followed by one frame carrying `msg`.
+    fn wire_bytes(seq: u64, msg: TestMsg) -> Vec<u8> {
+        let body = msg.to_frame();
+        let mut bytes = frame::handshake_bytes(7, 1).to_vec();
+        bytes.extend_from_slice(&u32::try_from(body.len() + 8).unwrap().to_le_bytes());
+        bytes.extend_from_slice(&seq.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes
+    }
+
+    /// Regression: a panic on any thread holding the shared dedup filter
+    /// used to poison it, and the next inbound frame — hostile or honest —
+    /// panicked the poller thread, killing every connection of the node.
+    /// `relock` recovers the guard instead.
+    #[test]
+    fn poisoned_dedup_does_not_panic_the_poller() {
+        let (tx, rx) = mpsc::channel();
+        let mut conn = peer_conn(tx);
+        std::thread::scope(|s| {
+            let dedup = &conn.ctx.dedup;
+            let _ = s
+                .spawn(|| {
+                    let _g = dedup.lock().unwrap();
+                    panic!("poison");
+                })
+                .join();
+        });
+        assert!(conn.ctx.dedup.lock().is_err(), "dedup should be poisoned");
+
+        conn.pending = wire_bytes(1, TestMsg(42));
+        assert_eq!(conn.drain(), Action::Keep);
+        let got = rx.try_recv().expect("frame should be delivered");
+        assert_eq!(got.from, 7);
+        assert_eq!(got.msg, TestMsg(42));
+    }
+
+    /// Regression: corrupt framing from a hostile peer must tear down that
+    /// one connection (`Action::Drop`), never unwind the poller.
+    #[test]
+    fn corrupt_frame_drops_connection_without_panic() {
+        let (tx, _rx) = mpsc::channel();
+        let mut conn = peer_conn(tx);
+        let mut bytes = frame::handshake_bytes(7, 1).to_vec();
+        // Length prefix below the 8-byte minimum: unrecoverable framing.
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        conn.pending = bytes;
+        assert_eq!(conn.drain(), Action::Drop);
+    }
+
+    /// Regression: an undecodable body after valid framing is a hostile
+    /// input, not an invariant violation — the connection drops and
+    /// already-parsed frames stay delivered.
+    #[test]
+    fn undecodable_body_drops_connection_after_delivering_good_frames() {
+        let (tx, rx) = mpsc::channel();
+        let mut conn = peer_conn(tx);
+        let mut bytes = wire_bytes(1, TestMsg(9));
+        // Second frame: valid length/seq, 3-byte body no TestMsg decodes.
+        bytes.extend_from_slice(&11u32.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff]);
+        conn.pending = bytes;
+        assert_eq!(conn.drain(), Action::Drop);
+        assert_eq!(
+            rx.try_recv().expect("first frame delivered").msg,
+            TestMsg(9)
+        );
     }
 }

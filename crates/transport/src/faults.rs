@@ -149,23 +149,22 @@ impl LinkFaults {
 
     /// True if frames on `from → to` must be dropped.
     pub fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        // ORDER: fast-path gate only; fault injection promises no
+        // happens-before with in-flight frames, and a stale read merely
+        // delays when an injected fault takes effect by one frame.
         if !self.active.load(Ordering::Relaxed) {
             return false;
         }
-        self.blocked
-            .lock()
-            .expect("blocked lock")
-            .contains(&(from, to))
+        crate::reactor::relock(&self.blocked).contains(&(from, to))
     }
 
     /// The injected delay on `from → to`, if any.
     pub fn delay(&self, from: NodeId, to: NodeId) -> Option<Duration> {
+        // ORDER: fast-path gate only; see `blocked`.
         if !self.active.load(Ordering::Relaxed) {
             return None;
         }
-        self.delays
-            .lock()
-            .expect("delays lock")
+        crate::reactor::relock(&self.delays)
             .get(&(from, to))
             .copied()
     }

@@ -68,8 +68,8 @@ pub fn read_handshake(stream: &mut TcpStream) -> io::Result<(NodeId, u32)> {
         ));
     }
     Ok((
-        NodeId::from_le_bytes(hello[5..9].try_into().unwrap()),
-        u32::from_le_bytes(hello[9..].try_into().unwrap()),
+        NodeId::from_le_bytes([hello[5], hello[6], hello[7], hello[8]]),
+        u32::from_le_bytes([hello[9], hello[10], hello[11], hello[12]]),
     ))
 }
 
@@ -85,6 +85,8 @@ pub fn write_frame(stream: &mut TcpStream, seq: u64, body: &[u8]) -> io::Result<
         ));
     }
     // One buffered write per frame: header + seq + body.
+    // CAP: encode side — `body.len() + 8` passed the u32 / MAX_FRAME_BYTES
+    // checks above, so the allocation is bounded by MAX_FRAME_BYTES.
     let mut buf = Vec::with_capacity(12 + body.len());
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
@@ -110,6 +112,8 @@ pub fn read_frame<M: Codec>(stream: &mut TcpStream) -> io::Result<(u64, M)> {
     }
     let mut seq = [0u8; 8];
     stream.read_exact(&mut seq)?;
+    // CAP: `len` was range-checked against MAX_FRAME_BYTES above; a hostile
+    // length prefix can not size this allocation.
     let mut body = vec![0u8; len as usize - 8];
     stream.read_exact(&mut body)?;
     let msg = M::from_frame(bytes::Bytes::from(body))
@@ -141,8 +145,8 @@ pub fn parse_handshake(buf: &[u8]) -> io::Result<Option<(usize, NodeId, u32)>> {
     }
     Ok(Some((
         HANDSHAKE_BYTES,
-        NodeId::from_le_bytes(buf[5..9].try_into().unwrap()),
-        u32::from_le_bytes(buf[9..HANDSHAKE_BYTES].try_into().unwrap()),
+        NodeId::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]),
+        u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]),
     )))
 }
 
@@ -173,7 +177,7 @@ pub fn parse_frame(buf: &[u8]) -> io::Result<FrameParse> {
     if buf.len() < 4 {
         return Ok(FrameParse::Incomplete);
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
     if !(8..=MAX_FRAME_BYTES).contains(&len) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -184,7 +188,9 @@ pub fn parse_frame(buf: &[u8]) -> io::Result<FrameParse> {
     if buf.len() < total {
         return Ok(FrameParse::Incomplete);
     }
-    let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let seq = u64::from_le_bytes([
+        buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
+    ]);
     Ok(FrameParse::Complete {
         consumed: total,
         seq,

@@ -49,6 +49,12 @@
 //!   client tier feeding the proposer from a real fee-ordered mempool.
 
 #![warn(missing_docs)]
+// The raw-syscall layer in `reactor::sys` is the only place unsafe is
+// permitted in the workspace (every other crate carries
+// `#![forbid(unsafe_code)]`); inside it, each unsafe operation must sit in
+// an explicit `unsafe { }` block with its own `// SAFETY:` comment even
+// within unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cluster;
 pub mod config;

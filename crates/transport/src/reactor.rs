@@ -23,8 +23,21 @@ use std::collections::HashMap;
 use std::io;
 use std::os::unix::io::RawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Every mutex in this crate protects plain data (queues, maps) that stays
+/// structurally valid at any point the holder could panic, so poisoning is
+/// only a signal — propagating it would let one panicking worker thread
+/// cascade into killing the node's entire networking layer.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Raw syscall layer: direct `extern "C"` declarations of the libc
 /// symbols the `std` runtime already links, plus the kernel ABI structs
@@ -118,6 +131,8 @@ pub mod sys {
 
     /// Creates an epoll instance (close-on-exec).
     pub fn epoll_create() -> io::Result<RawFd> {
+        // SAFETY: epoll_create1 takes no pointers; the returned fd is
+        // validated before use.
         let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -130,6 +145,8 @@ pub mod sys {
             events,
             data: token,
         };
+        // SAFETY: `ev` is a live stack value for the duration of the call;
+        // the kernel copies it before returning.
         let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -155,6 +172,8 @@ pub mod sys {
     /// Waits up to `timeout_ms` (`-1` = forever) for events; `EINTR`
     /// surfaces as zero events.
     pub fn epoll_pwait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        // SAFETY: `events` is a valid mutable slice; maxevents equals its
+        // length, so the kernel writes at most `events.len()` entries.
         let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
         if n < 0 {
             return 0; // EINTR or a dying epoll fd: treat as a timeout
@@ -164,6 +183,8 @@ pub mod sys {
 
     /// Creates the wakeup eventfd (non-blocking, close-on-exec).
     pub fn eventfd_new() -> io::Result<RawFd> {
+        // SAFETY: eventfd takes no pointers; the returned fd is validated
+        // before use.
         let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -174,22 +195,31 @@ pub mod sys {
     /// Posts one wakeup (adds 1 to the eventfd counter).
     pub fn eventfd_post(fd: RawFd) {
         let one: u64 = 1;
+        // SAFETY: the buffer is a live 8-byte stack value and the count
+        // matches its size exactly.
         let _ = unsafe { write(fd, (&one as *const u64).cast(), 8) };
     }
 
     /// Drains the eventfd counter (non-blocking; empty is fine).
     pub fn eventfd_drain(fd: RawFd) {
         let mut buf = 0u64;
+        // SAFETY: the buffer is a live 8-byte stack value and the count
+        // matches its size exactly.
         let _ = unsafe { read(fd, (&mut buf as *mut u64).cast(), 8) };
     }
 
     /// Closes a raw fd owned by the reactor (epoll / eventfd).
     pub fn close_fd(fd: RawFd) {
+        // SAFETY: callers pass fds the reactor owns exclusively (epoll /
+        // eventfd), each closed exactly once on drop.
         let _ = unsafe { close(fd) };
     }
 
     /// Gathering write; returns the bytes written.
     pub fn writev_fd(fd: RawFd, iov: &[IoVec]) -> io::Result<usize> {
+        // SAFETY: `iov` is a valid slice of IoVec whose base/len fields are
+        // derived from live byte slices borrowed for this call; iovcnt
+        // equals the slice length.
         let n = unsafe { writev(fd, iov.as_ptr(), iov.len() as c_int) };
         if n < 0 {
             return Err(io::Error::last_os_error());
@@ -207,6 +237,8 @@ pub mod sys {
             SocketAddr::V4(_) => AF_INET,
             SocketAddr::V6(_) => AF_INET6,
         };
+        // SAFETY: socket takes no pointers; the returned fd is validated
+        // before use.
         let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -219,6 +251,8 @@ pub mod sys {
                     addr: u32::from_ne_bytes(v4.ip().octets()),
                     zero: [0; 8],
                 };
+                // SAFETY: `sa` is a live, fully initialized sockaddr_in and
+                // the passed length is exactly its size.
                 unsafe {
                     connect(
                         fd,
@@ -235,6 +269,8 @@ pub mod sys {
                     addr: v6.ip().octets(),
                     scope_id: v6.scope_id(),
                 };
+                // SAFETY: `sa` is a live, fully initialized sockaddr_in6 and
+                // the passed length is exactly its size.
                 unsafe {
                     connect(
                         fd,
@@ -245,12 +281,18 @@ pub mod sys {
             }
         };
         if rc == 0 {
+            // SAFETY: `fd` was just created by socket(), is owned by no
+            // other wrapper, and ownership transfers to the TcpStream.
             return Ok((unsafe { TcpStream::from_raw_fd(fd) }, true));
         }
         let err = io::Error::last_os_error();
         if err.raw_os_error() == Some(EINPROGRESS) || err.raw_os_error() == Some(EINTR) {
+            // SAFETY: as above — fresh fd, exclusive ownership transfers to
+            // the TcpStream.
             return Ok((unsafe { TcpStream::from_raw_fd(fd) }, false));
         }
+        // SAFETY: the connect failed terminally; `fd` was never wrapped, so
+        // it is closed here exactly once.
         unsafe {
             close(fd);
         }
@@ -378,11 +420,7 @@ impl Handle {
     /// Queues a [`Source::notified`] callback for `token` and wakes the
     /// loop. Duplicate notifies between two loop iterations coalesce.
     pub fn notify(&self, token: Token) {
-        self.shared
-            .notified
-            .lock()
-            .expect("reactor notify lock")
-            .push(token);
+        relock(&self.shared.notified).push(token);
         self.wake();
     }
 
@@ -394,17 +432,15 @@ impl Handle {
         fd: Option<RawFd>,
         interest: Interest,
     ) -> Token {
+        // ORDER: the counter only needs unique values; no other memory is
+        // published through it.
         let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .injects
-            .lock()
-            .expect("reactor inject lock")
-            .push(Inject {
-                token,
-                source,
-                fd,
-                interest,
-            });
+        relock(&self.shared.injects).push(Inject {
+            token,
+            source,
+            fd,
+            interest,
+        });
         self.wake();
         token
     }
@@ -484,6 +520,8 @@ impl Ctl<'_> {
         fd: Option<RawFd>,
         interest: Interest,
     ) -> Token {
+        // ORDER: the counter only needs unique values; no other memory is
+        // published through it.
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         self.spawned.push(Inject {
             token,
@@ -561,6 +599,8 @@ impl Reactor {
         fd: Option<RawFd>,
         interest: Interest,
     ) -> io::Result<Token> {
+        // ORDER: the counter only needs unique values; no other memory is
+        // published through it.
         let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
         if let Some(fd) = fd {
             sys::epoll_add(self.epfd, fd, interest.events(), token)?;
@@ -605,8 +645,7 @@ impl Reactor {
     }
 
     fn apply_injects(&mut self) {
-        let injects =
-            std::mem::take(&mut *self.shared.injects.lock().expect("reactor inject lock"));
+        let injects = std::mem::take(&mut *relock(&self.shared.injects));
         for inj in injects {
             self.install(inj);
         }
@@ -636,8 +675,7 @@ impl Reactor {
         // clear, whose eventfd write lands in the next epoll_wait.
         sys::eventfd_drain(self.shared.eventfd);
         self.shared.wake_pending.store(false, Ordering::SeqCst);
-        let mut tokens =
-            std::mem::take(&mut *self.shared.notified.lock().expect("reactor notify lock"));
+        let mut tokens = std::mem::take(&mut *relock(&self.shared.notified));
         tokens.sort_unstable();
         tokens.dedup();
         for token in tokens {

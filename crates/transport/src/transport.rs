@@ -144,21 +144,31 @@ pub struct TransportSnapshot {
 
 impl TransportStats {
     pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        // ORDER: monotone stat counter; readers only observe totals via
+        // `snapshot`, no other memory is published through it.
         counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Reads one stat counter for a snapshot.
+    fn read(counter: &AtomicU64) -> u64 {
+        // ORDER: snapshots are advisory observability reads; each counter
+        // is independently monotone and no cross-counter consistency is
+        // promised.
+        counter.load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
-            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            msgs_received: self.msgs_received.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            dups_dropped: self.dups_dropped.load(Ordering::Relaxed),
-            reconnects: self.reconnects.load(Ordering::Relaxed),
-            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
-            lane_evicted: self.lane_evicted.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            msgs_sent: Self::read(&self.msgs_sent),
+            bytes_sent: Self::read(&self.bytes_sent),
+            msgs_received: Self::read(&self.msgs_received),
+            bytes_received: Self::read(&self.bytes_received),
+            dups_dropped: Self::read(&self.dups_dropped),
+            reconnects: Self::read(&self.reconnects),
+            faults_dropped: Self::read(&self.faults_dropped),
+            lane_evicted: Self::read(&self.lane_evicted),
+            queue_depth: Self::read(&self.queue_depth),
         }
     }
 }
@@ -251,7 +261,7 @@ impl LaneQueue {
     /// Enqueues a frame under `epoch`; returns `true` if the oldest queued
     /// frame was evicted to make room.
     fn push(&self, epoch: u32, framed: Vec<u8>) -> bool {
-        let mut st = self.state.lock().expect("lane lock");
+        let mut st = crate::reactor::relock(&self.state);
         if st.closed {
             return false;
         }
@@ -268,7 +278,7 @@ impl LaneQueue {
     }
 
     fn pop_timeout(&self, timeout: Duration) -> LanePop {
-        let mut st = self.state.lock().expect("lane lock");
+        let mut st = crate::reactor::relock(&self.state);
         let deadline = Instant::now() + timeout;
         loop {
             if let Some((epoch, framed)) = st.frames.pop_front() {
@@ -281,7 +291,10 @@ impl LaneQueue {
             if left.is_zero() {
                 return LanePop::Timeout;
             }
-            let (guard, _) = self.cv.wait_timeout(st, left).expect("lane wait");
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             st = guard;
         }
     }
@@ -289,16 +302,16 @@ impl LaneQueue {
     /// Pops without waiting — the reactor lane drains under readiness
     /// notifications instead of blocking on the condvar.
     pub(crate) fn try_pop(&self) -> Option<(u32, Vec<u8>)> {
-        self.state.lock().expect("lane lock").frames.pop_front()
+        crate::reactor::relock(&self.state).frames.pop_front()
     }
 
     fn close(&self) {
-        self.state.lock().expect("lane lock").closed = true;
+        crate::reactor::relock(&self.state).closed = true;
         self.cv.notify_all();
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("lane lock").frames.len()
+        crate::reactor::relock(&self.state).frames.len()
     }
 }
 
@@ -449,8 +462,7 @@ impl<M: Codec + Send + 'static> Transport<M> {
                                 node_faults,
                                 link_faults,
                             )
-                        })
-                        .expect("spawn accept thread")
+                        })?
                 };
 
                 let mut lanes = HashMap::new();
@@ -471,8 +483,7 @@ impl<M: Codec + Send + 'static> Transport<M> {
                     };
                     let handle = thread::Builder::new()
                         .name(format!("iniva-out-{node}-to-{peer}"))
-                        .spawn(move || outbound_loop(shared))
-                        .expect("spawn outbound thread");
+                        .spawn(move || outbound_loop(shared))?;
                     lanes.insert(peer, PeerLane { queue, handle });
                 }
                 Fabric::Threaded {
@@ -521,8 +532,7 @@ impl<M: Codec + Send + 'static> Transport<M> {
                 let handle = reactor.handle();
                 let thread = thread::Builder::new()
                     .name(format!("iniva-reactor-{node}"))
-                    .spawn(move || reactor.run())
-                    .expect("spawn reactor thread");
+                    .spawn(move || reactor.run())?;
                 Fabric::Reactor {
                     handle,
                     thread: Some(thread),
@@ -563,9 +573,10 @@ impl<M: Codec + Send + 'static> Transport<M> {
     /// A point-in-time copy of the counters with the lane-queue gauge
     /// refreshed.
     pub fn snapshot(&self) -> TransportSnapshot {
-        self.stats
-            .queue_depth
-            .store(self.queue_depth() as u64, Ordering::Relaxed);
+        let depth = self.queue_depth() as u64;
+        // ORDER: advisory gauge refresh; the value is read back only via
+        // `TransportStats::snapshot`, with no ordering dependency.
+        self.stats.queue_depth.store(depth, Ordering::Relaxed);
         self.stats.snapshot()
     }
 
@@ -794,9 +805,14 @@ fn accept_loop<M: Codec + Send + 'static>(
                             node_faults,
                             link_faults,
                         )
-                    })
-                    .expect("spawn reader thread");
-                readers.push(reader);
+                    });
+                // Shed the connection if the OS refuses a reader thread —
+                // the peer redials; a spawn failure must not kill the
+                // accept loop for every other peer.
+                match reader {
+                    Ok(handle) => readers.push(handle),
+                    Err(_) => continue,
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(20));
@@ -853,7 +869,13 @@ fn reader_loop<M: Codec>(
                     seq,
                     body,
                 }) => {
-                    let (sender, sender_epoch) = from.expect("handshake complete");
+                    let Some((sender, sender_epoch)) = from else {
+                        // Unreachable by construction (the handshake arm
+                        // above either set `from` or broke out), but a
+                        // hostile peer must not be able to turn a broken
+                        // assumption into a reader panic.
+                        return;
+                    };
                     // Fault filter first: a frame a crashed node would
                     // never have received, or one crossing a blocked
                     // link, vanishes exactly as in the simulator.
@@ -867,10 +889,7 @@ fn reader_loop<M: Codec>(
                     let Ok(msg) = decoded else {
                         return; // undecodable body: drop the connection
                     };
-                    let fresh = dedup
-                        .lock()
-                        .expect("dedup lock")
-                        .insert(sender, sender_epoch, seq);
+                    let fresh = crate::reactor::relock(&dedup).insert(sender, sender_epoch, seq);
                     if !fresh {
                         TransportStats::bump(&stats.dups_dropped, 1);
                         continue;
@@ -1007,7 +1026,9 @@ fn outbound_loop(shared: LaneShared) {
                     continue;
                 }
             }
-            let stream = conn.as_mut().expect("connected");
+            let Some(stream) = conn.as_mut() else {
+                continue; // unreachable: the dial above just set `conn`
+            };
             // A dead peer turns writes into silent local-buffer successes
             // until the RST arrives. Probe for EOF before writing — but
             // only after an idle gap: on a busy lane the previous write
@@ -1017,7 +1038,9 @@ fn outbound_loop(shared: LaneShared) {
                 conn = None;
                 continue;
             }
-            let stream = conn.as_mut().expect("connected");
+            let Some(stream) = conn.as_mut() else {
+                continue; // unreachable: the probe above kept `conn`
+            };
             match std::io::Write::write_all(stream, &framed) {
                 Ok(()) => {
                     last_write = Instant::now();

@@ -18,6 +18,7 @@
 //! derives the identical tree from the block's view number (the paper's
 //! `makeTree(B)`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use iniva_crypto::shuffle::Assignment;

@@ -1,4 +1,5 @@
 //! Workspace root crate: re-exports for examples and integration tests.
+#![forbid(unsafe_code)]
 pub use iniva_consensus as consensus;
 pub use iniva_crypto as crypto;
 pub use iniva_gosig as gosig;
